@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Ablations: one-at-a-time sweeps of the Figure 3 parameters the
+ * main figures hold fixed, plus on/off studies of the mechanisms
+ * gem5-Aladdin adds over standalone Aladdin. Each block isolates one
+ * design choice so its contribution is visible:
+ *
+ *   - cache line size (16/32/64 B) on a strided and a streaming kernel,
+ *   - MSHR count (hit-under-miss depth),
+ *   - strided prefetcher on/off,
+ *   - accelerator TLB size and miss latency,
+ *   - DMA beat window (outstanding transfers),
+ *   - full/empty-bit granularity (line vs half-array double buffering).
+ */
+
+#include "bench_util.hh"
+
+namespace genie::bench
+{
+namespace
+{
+
+void
+cacheLineAblation()
+{
+    std::printf("\n-- cache line size (cache mode, 4 lanes) --\n");
+    for (const char *name : {"fft-transpose", "stencil-stencil2d"}) {
+        const Prep &p = prep(name);
+        std::printf("  %s:\n", name);
+        for (unsigned line : DesignSpace::cacheLineValues()) {
+            SocConfig c = cacheConfig(4, 16 * 1024, 2, 32, line);
+            SocResults r = runDesign(c, p.trace, p.dddg);
+            std::printf("    line=%2uB  total %8.1f us  miss rate "
+                        "%5.1f%%\n",
+                        line, r.totalUs(), r.cacheMissRate * 100);
+        }
+    }
+    std::printf("  expected: long lines amortize fills for streaming "
+                "rows; strided\n  fft wastes most of each long "
+                "line.\n");
+}
+
+void
+mshrAblation()
+{
+    std::printf("\n-- MSHR count (cache mode, 8 lanes) --\n");
+    const Prep &p = prep("spmv-crs");
+    for (unsigned mshrs : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        SocConfig c = cacheConfig(8, 16 * 1024, 2);
+        c.cache.mshrs = mshrs;
+        SocResults r = runDesign(c, p.trace, p.dddg);
+        std::printf("    mshrs=%2u  total %8.1f us\n", mshrs,
+                    r.totalUs());
+    }
+    std::printf("  expected: more outstanding misses -> more "
+                "memory-level parallelism,\n  saturating near the "
+                "lane count.\n");
+}
+
+void
+prefetcherAblation()
+{
+    std::printf("\n-- strided prefetcher (cache mode, 4 lanes) --\n");
+    for (const char *name :
+         {"gemm-ncubed", "stencil-stencil2d", "spmv-crs"}) {
+        const Prep &p = prep(name);
+        SocConfig off = cacheConfig(4, 16 * 1024, 2);
+        off.cache.prefetch = false;
+        SocConfig on = cacheConfig(4, 16 * 1024, 2);
+        SocResults roff = runDesign(off, p.trace, p.dddg);
+        SocResults ron = runDesign(on, p.trace, p.dddg);
+        std::printf("    %-20s off %8.1f us -> on %8.1f us "
+                    "(%+5.1f%%)\n",
+                    name, roff.totalUs(), ron.totalUs(),
+                    100.0 * (ron.totalUs() - roff.totalUs()) /
+                        roff.totalUs());
+    }
+    std::printf("  expected: wins on strided/streaming kernels, "
+                "little or negative\n  effect on indirect gathers "
+                "(spmv).\n");
+}
+
+void
+tlbAblation()
+{
+    std::printf("\n-- accelerator TLB (cache mode, 8 lanes) --\n");
+    const Prep &p = prep("gemm-ncubed");
+    for (unsigned entries : {2u, 4u, 8u, 16u}) {
+        SocConfig c = cacheConfig(8, 32 * 1024, 2);
+        c.tlbEntries = entries;
+        SocResults r = runDesign(c, p.trace, p.dddg);
+        std::printf("    entries=%2u  total %8.1f us  TLB hit rate "
+                    "%5.1f%%\n",
+                    entries, r.totalUs(), r.tlbHitRate * 100);
+    }
+    for (Tick lat : {100u, 200u, 400u}) {
+        SocConfig c = cacheConfig(8, 32 * 1024, 2);
+        c.tlbMissLatency = lat * tickPerNs;
+        SocResults r = runDesign(c, p.trace, p.dddg);
+        std::printf("    miss=%3lluns  total %8.1f us\n",
+                    (unsigned long long)lat, r.totalUs());
+    }
+}
+
+void
+dmaWindowAblation()
+{
+    std::printf("\n-- DMA outstanding-beat window (DMA mode, 4 "
+                "lanes) --\n");
+    const Prep &p = prep("stencil-stencil3d");
+    for (unsigned window : {1u, 2u, 4u, 8u, 16u}) {
+        SocConfig c = dmaAllOptsConfig(4, 4);
+        c.dma.maxOutstanding = window;
+        SocResults r = runDesign(c, p.trace, p.dddg);
+        std::printf("    window=%2u  total %8.1f us  bus util "
+                    "%5.1f%%\n",
+                    window, r.totalUs(), r.busUtilization * 100);
+    }
+    std::printf("  expected: a single outstanding beat exposes the "
+                "DRAM round trip per\n  line; a modest window "
+                "saturates the 32-bit bus.\n");
+}
+
+void
+readyBitGranularityNote()
+{
+    std::printf("\n-- full/empty bit granularity --\n");
+    const Prep &p = prep("stencil-stencil2d");
+    // Line-granularity ready bits vs no ready bits (the coarse
+    // extreme: wait for the whole transfer).
+    SocConfig fine = dmaAllOptsConfig(4, 4);
+    SocConfig coarse = dmaAllOptsConfig(4, 4);
+    coarse.dma.triggeredCompute = false;
+    SocResults rf = runDesign(fine, p.trace, p.dddg);
+    SocResults rc = runDesign(coarse, p.trace, p.dddg);
+    std::printf("    line-granularity bits: %8.1f us (overlap %4.1f "
+                "us)\n    whole-transfer wait:   %8.1f us\n",
+                rf.totalUs(),
+                static_cast<double>(rf.breakdown.computeDma) * 1e-6,
+                rc.totalUs());
+    std::printf("  the paper notes double-buffering falls out of the "
+                "same mechanism by\n  tracking at half-array "
+                "granularity (Section IV-B2).\n");
+}
+
+int
+run()
+{
+    banner("Ablations",
+           "one-at-a-time parameter studies behind the Figure 3 "
+           "design space");
+    cacheLineAblation();
+    mshrAblation();
+    prefetcherAblation();
+    tlbAblation();
+    dmaWindowAblation();
+    readyBitGranularityNote();
+    return 0;
+}
+
+} // namespace
+} // namespace genie::bench
+
+int
+main()
+{
+    return genie::bench::run();
+}

@@ -1,0 +1,176 @@
+#include "bench_util.hh"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+namespace genie::bench
+{
+
+const Prep &
+prep(const std::string &name)
+{
+    static std::map<std::string, std::unique_ptr<Prep>> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        auto out = makeWorkload(name)->build();
+        it = cache
+                 .emplace(name, std::make_unique<Prep>(
+                                    name, std::move(out.trace)))
+                 .first;
+    }
+    return *it->second;
+}
+
+bool
+fastMode()
+{
+    const char *env = std::getenv("GENIE_BENCH_FAST");
+    return env != nullptr && env[0] == '1';
+}
+
+void
+banner(const std::string &figure, const std::string &caption)
+{
+    std::printf("\n");
+    std::printf("=================================================="
+                "====================\n");
+    std::printf("%s\n", figure.c_str());
+    std::printf("%s\n", caption.c_str());
+    std::printf("=================================================="
+                "====================\n");
+}
+
+std::string
+bar(double fraction, unsigned width)
+{
+    if (fraction < 0)
+        fraction = 0;
+    if (fraction > 1)
+        fraction = 1;
+    auto filled = static_cast<unsigned>(fraction * width + 0.5);
+    std::string s(filled, '#');
+    s += std::string(width - filled, '.');
+    return s;
+}
+
+std::string
+stackedBar(const std::vector<std::pair<char, double>> &parts,
+           unsigned width)
+{
+    std::string s;
+    for (const auto &[c, frac] : parts) {
+        auto n = static_cast<unsigned>(frac * width + 0.5);
+        s += std::string(n, c);
+    }
+    if (s.size() > width)
+        s.resize(width);
+    while (s.size() < width)
+        s += '.';
+    return s;
+}
+
+double
+pct(double part, double whole)
+{
+    return whole > 0 ? 100.0 * part / whole : 0.0;
+}
+
+SocConfig
+dmaAllOptsConfig(unsigned lanes, unsigned partitions, unsigned busWidth)
+{
+    SocConfig c;
+    c.memType = MemInterface::ScratchpadDma;
+    c.lanes = lanes;
+    c.spadPartitions = partitions;
+    c.busWidthBits = busWidth;
+    c.dma.pipelined = true;
+    c.dma.triggeredCompute = true;
+    return c;
+}
+
+SocConfig
+cacheConfig(unsigned lanes, unsigned sizeBytes, unsigned ports,
+            unsigned busWidth, unsigned lineBytes, unsigned assoc)
+{
+    SocConfig c;
+    c.memType = MemInterface::Cache;
+    c.lanes = lanes;
+    c.busWidthBits = busWidth;
+    c.cache.sizeBytes = sizeBytes;
+    c.cache.ports = ports;
+    c.cache.lineBytes = lineBytes;
+    c.cache.assoc = assoc;
+    return c;
+}
+
+BreakdownPct
+breakdownPct(const SocResults &r)
+{
+    double total = static_cast<double>(r.breakdown.total());
+    return {pct(static_cast<double>(r.breakdown.flushOnly), total),
+            pct(static_cast<double>(r.breakdown.dmaFlush), total),
+            pct(static_cast<double>(r.breakdown.computeDma), total),
+            pct(static_cast<double>(r.breakdown.computeOnly), total),
+            pct(static_cast<double>(r.breakdown.other), total)};
+}
+
+void
+printBreakdownRow(const std::string &label, const SocResults &r)
+{
+    BreakdownPct b = breakdownPct(r);
+    std::string sb = stackedBar({{'F', b.flushOnly / 100.0},
+                                 {'D', b.dmaFlush / 100.0},
+                                 {'O', b.computeDma / 100.0},
+                                 {'C', b.computeOnly / 100.0},
+                                 {'.', b.other / 100.0}});
+    std::printf("  %-22s %8.1f us |%s| F=%4.1f%% D=%4.1f%% O=%4.1f%% "
+                "C=%4.1f%%\n",
+                label.c_str(), r.totalUs(), sb.c_str(), b.flushOnly,
+                b.dmaFlush, b.computeDma, b.computeOnly);
+}
+
+std::vector<SocConfig>
+dmaSweepConfigs(unsigned busWidth)
+{
+    SocConfig base;
+    base.busWidthBits = busWidth;
+    auto configs = DesignSpace::dma(base);
+    if (fastMode()) {
+        std::vector<SocConfig> trimmed;
+        for (const auto &c : configs) {
+            if ((c.lanes == 1 || c.lanes == 4 || c.lanes == 16) &&
+                (c.spadPartitions == 1 || c.spadPartitions == 16))
+                trimmed.push_back(c);
+        }
+        return trimmed;
+    }
+    return configs;
+}
+
+std::vector<SocConfig>
+cacheSweepConfigs(unsigned busWidth)
+{
+    SocConfig base;
+    base.busWidthBits = busWidth;
+    auto configs = DesignSpace::cache(base);
+    if (fastMode()) {
+        std::vector<SocConfig> trimmed;
+        for (const auto &c : configs) {
+            if ((c.lanes == 1 || c.lanes == 4 || c.lanes == 16) &&
+                c.cache.lineBytes == 64 && c.cache.assoc == 4 &&
+                (c.cache.ports == 1 || c.cache.ports == 4))
+                trimmed.push_back(c);
+        }
+        return trimmed;
+    }
+    return configs;
+}
+
+std::vector<SocConfig>
+isolatedSweepConfigs()
+{
+    return DesignSpace::isolated(SocConfig{});
+}
+
+} // namespace genie::bench

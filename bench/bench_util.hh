@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared support for the figure-reproduction benches: cached workload
+ * preparation, table/bar rendering, and the standard configuration
+ * factories used across experiments.
+ *
+ * Every bench prints the same rows/series as the corresponding paper
+ * figure; EXPERIMENTS.md records paper-vs-measured shape comparisons.
+ */
+
+#ifndef GENIE_BENCH_BENCH_UTIL_HH
+#define GENIE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "accel/dddg.hh"
+#include "core/soc.hh"
+#include "dse/pareto.hh"
+#include "dse/sweep.hh"
+#include "workloads/workload.hh"
+
+namespace genie::bench
+{
+
+/** A workload prepared for simulation (trace + DDDG built once). */
+struct Prep
+{
+    std::string name;
+    Trace trace;
+    Dddg dddg;
+
+    Prep(std::string n, Trace t)
+        : name(std::move(n)), trace(std::move(t)), dddg(trace)
+    {}
+};
+
+/** Build (and cache) a workload's trace and DDDG. */
+const Prep &prep(const std::string &name);
+
+/** Fast mode (GENIE_BENCH_FAST=1): trims sweeps for smoke runs. */
+bool fastMode();
+
+/** Print a figure banner. */
+void banner(const std::string &figure, const std::string &caption);
+
+/** Render @p fraction (0..1) as a fixed-width ASCII bar. */
+std::string bar(double fraction, unsigned width = 40);
+
+/** Render a stacked bar from category fractions using one letter per
+ * category (e.g. "F" flush, "D" dma, "O" overlap, "C" compute). */
+std::string stackedBar(const std::vector<std::pair<char, double>> &parts,
+                       unsigned width = 48);
+
+/** Percentage of @p part in @p whole (0 if whole is 0). */
+double pct(double part, double whole);
+
+/** Baseline-but-optimized DMA config (paper Figure 8 DMA space). */
+SocConfig dmaAllOptsConfig(unsigned lanes, unsigned partitions,
+                           unsigned busWidth = 32);
+
+/** Plain cache config. */
+SocConfig cacheConfig(unsigned lanes, unsigned sizeBytes,
+                      unsigned ports = 1, unsigned busWidth = 32,
+                      unsigned lineBytes = 64, unsigned assoc = 4);
+
+/** Breakdown of one run as fractions of total runtime. */
+struct BreakdownPct
+{
+    double flushOnly;
+    double dmaFlush;
+    double computeDma;
+    double computeOnly;
+    double other;
+};
+
+BreakdownPct breakdownPct(const SocResults &r);
+
+/** Print one breakdown row: name, total us, stacked bar, percents. */
+void printBreakdownRow(const std::string &label, const SocResults &r);
+
+/** The trimmed-but-faithful cache sweep used by the Figure 8/9/10
+ * benches (full Figure 3 values; trimmed under fast mode). */
+std::vector<SocConfig> cacheSweepConfigs(unsigned busWidth);
+
+/** The DMA sweep (all optimizations applied, Figure 8 space). */
+std::vector<SocConfig> dmaSweepConfigs(unsigned busWidth);
+
+/** The isolated sweep. */
+std::vector<SocConfig> isolatedSweepConfigs();
+
+} // namespace genie::bench
+
+#endif // GENIE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 1: design-space exploration for stencil3d, isolated vs
+ * co-designed.
+ *
+ * Reproduces the paper's motivating scatter: sweeping compute
+ * parallelism (datapath lanes) and scratchpad partitioning for (a) an
+ * accelerator designed in isolation (compute phase only) and (b) the
+ * same designs evaluated with system-level effects (flush, DMA, bus).
+ * The isolated space leans toward parallel, power-hungry designs; the
+ * co-designed space shifts toward less parallel, lower-power points,
+ * and the isolated EDP optimum lands far from the co-designed one.
+ */
+
+#include "bench_util.hh"
+
+namespace genie::bench
+{
+namespace
+{
+
+void
+printSpace(const char *label, const std::vector<DesignPoint> &pts)
+{
+    std::printf("\n%s (exec time vs. accelerator power):\n", label);
+    std::printf("  %-26s %12s %10s %14s\n", "design", "time (us)",
+                "power(mW)", "EDP (pJ*s)");
+    std::size_t star = edpOptimal(pts);
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const auto &p = pts[i];
+        std::printf("  %-26s %12.1f %10.2f %14.4g%s\n",
+                    p.config.describe().c_str(),
+                    p.results.totalUs(), p.results.avgPowerMw,
+                    p.results.energyPj * p.results.totalSeconds(),
+                    i == star ? "  <-- EDP optimal" : "");
+    }
+}
+
+int
+run()
+{
+    banner("Figure 1",
+           "stencil3d design space: isolated vs co-designed (lanes x "
+           "partitions sweep)");
+
+    const Prep &p = prep("stencil-stencil3d");
+
+    auto isolated = runSweep(isolatedSweepConfigs(), p.trace, p.dddg);
+    auto codesigned =
+        runSweep(dmaSweepConfigs(32), p.trace, p.dddg);
+
+    printSpace("Isolated designs (compute phase only)", isolated);
+    printSpace("Co-designed (full system: flush + DMA + compute)",
+               codesigned);
+
+    // The paper's key comparison: take the isolated EDP optimum and
+    // re-evaluate it under system effects.
+    const auto &isoOpt = isolated[edpOptimal(isolated)];
+    SocConfig isoUnderSystem = isoOpt.config;
+    isoUnderSystem.isolated = false;
+    isoUnderSystem.dma.pipelined = true;
+    isoUnderSystem.dma.triggeredCompute = true;
+    SocResults isoSys = runDesign(isoUnderSystem, p.trace, p.dddg);
+    const auto &coOpt = codesigned[edpOptimal(codesigned)];
+
+    std::printf("\nIsolated EDP-optimal design:    %s\n",
+                isoOpt.config.describe().c_str());
+    std::printf("Co-designed EDP-optimal design: %s\n",
+                coOpt.config.describe().c_str());
+    double edpIso = isoSys.energyPj * isoSys.totalSeconds();
+    double edpCo =
+        coOpt.results.energyPj * coOpt.results.totalSeconds();
+    std::printf("\nEDP (isolated design under system effects): %.4g\n",
+                edpIso);
+    std::printf("EDP (co-designed optimum):                  %.4g\n",
+                edpCo);
+    std::printf("Co-design EDP improvement: %.2fx\n",
+                edpCo > 0 ? edpIso / edpCo : 0.0);
+    return 0;
+}
+
+} // namespace
+} // namespace genie::bench
+
+int
+main()
+{
+    return genie::bench::run();
+}

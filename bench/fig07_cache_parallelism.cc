@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 7: effect of datapath parallelism on cache-based
+ * accelerators, decomposed Burger-style.
+ *
+ * For each benchmark we first sweep cache sizes to find the smallest
+ * cache at which performance saturates, then sweep lanes and split
+ * total time into
+ *   processing time: memory always hits in one cycle,
+ *   latency time:    real cache, unlimited bus bandwidth,
+ *   bandwidth time:  32-bit bus.
+ * Parallelism improves processing AND latency time (more lanes =>
+ * more memory-level parallelism) but not bandwidth time, which grows
+ * as a fraction of the total for bandwidth-hungry kernels
+ * (spmv-crs, md-knn).
+ */
+
+#include "bench_util.hh"
+
+namespace genie::bench
+{
+namespace
+{
+
+const char *const subset[] = {
+    "gemm-ncubed", "stencil-stencil2d", "stencil-stencil3d",
+    "md-knn",      "spmv-crs",          "fft-transpose",
+};
+
+unsigned
+saturatingCacheSize(const Prep &p)
+{
+    // Smallest size within 5% of the best observed runtime, evaluated
+    // at the highest parallelism in the sweep (16 lanes keep the
+    // largest number of iterations' working sets live at once).
+    std::vector<std::pair<unsigned, Tick>> results;
+    Tick best = maxTick;
+    for (unsigned size : DesignSpace::cacheSizeValues()) {
+        SocConfig c = cacheConfig(16, size, 2);
+        Tick t = runDesign(c, p.trace, p.dddg).totalTicks;
+        results.emplace_back(size, t);
+        best = std::min(best, t);
+    }
+    for (const auto &[size, t] : results) {
+        if (t <= best + best / 20)
+            return size;
+    }
+    return results.back().first;
+}
+
+int
+run()
+{
+    banner("Figure 7",
+           "cache-based accelerators: processing / latency / "
+           "bandwidth time vs datapath parallelism");
+
+    for (const char *name : subset) {
+        const Prep &p = prep(name);
+        unsigned size = saturatingCacheSize(p);
+        std::printf("\n%s (saturating cache: %u KB):\n", name,
+                    size / 1024);
+        std::printf("  %5s %10s %10s %10s %10s\n", "lanes",
+                    "proc(us)", "lat(us)", "bw(us)", "total(us)");
+        for (unsigned lanes : {1u, 2u, 4u, 8u, 16u}) {
+            SocConfig processing = cacheConfig(lanes, size, 2);
+            processing.perfectMemory = true;
+            SocConfig latency = cacheConfig(lanes, size, 2);
+            latency.infiniteBandwidth = true;
+            SocConfig bandwidth = cacheConfig(lanes, size, 2);
+
+            double tp =
+                runDesign(processing, p.trace, p.dddg).totalUs();
+            double tl = runDesign(latency, p.trace, p.dddg).totalUs();
+            double tb =
+                runDesign(bandwidth, p.trace, p.dddg).totalUs();
+            // Clamp: second-order effects (prefetch timing) can make
+            // a decomposition component slightly negative.
+            double latTime = std::max(0.0, tl - tp);
+            double bwTime = std::max(0.0, tb - tl);
+            std::printf("  %5u %10.1f %10.1f %10.1f %10.1f\n", lanes,
+                        tp, latTime, bwTime, tb);
+        }
+    }
+
+    std::printf("\nExpected shape (paper): processing and latency "
+                "time fall with lanes;\nbandwidth time does not and "
+                "dominates bandwidth-bound kernels at high "
+                "parallelism.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace genie::bench
+
+int
+main()
+{
+    return genie::bench::run();
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 8: power-performance Pareto curves for DMA- vs cache-based
+ * accelerators, with EDP-optimal stars.
+ *
+ * Full design sweep per benchmark (DMA: lanes x partitions with all
+ * DMA optimizations; cache: lanes x size x line x ports x assoc) on a
+ * 32-bit bus. Benchmarks print in the paper's order, left-to-right by
+ * preference for DMA vs cache:
+ *   aes, nw        -> DMA strictly better,
+ *   gemm           -> cache matches performance at more power,
+ *   stencil2d      -> cache matches at lower power,
+ *   stencil3d      -> cache faster at more power,
+ *   md-knn         -> curves largely overlap,
+ *   spmv, fft      -> cache better on both axes.
+ */
+
+#include "bench_util.hh"
+
+namespace genie::bench
+{
+namespace
+{
+
+void
+printFrontier(const char *label, const std::vector<DesignPoint> &pts)
+{
+    auto frontier = paretoFrontier(pts);
+    std::size_t star = edpOptimal(pts);
+    std::printf("  %s Pareto frontier (%zu of %zu designs):\n", label,
+                frontier.size(), pts.size());
+    for (std::size_t i : frontier) {
+        const auto &p = pts[i];
+        std::printf("    %10.1f us %8.2f mW   %s%s\n",
+                    p.results.totalUs(), p.results.avgPowerMw,
+                    p.config.describe().c_str(),
+                    i == star ? "  * EDP optimal" : "");
+    }
+    if (std::find(frontier.begin(), frontier.end(), star) ==
+        frontier.end()) {
+        const auto &p = pts[star];
+        std::printf("    %10.1f us %8.2f mW   %s  * EDP optimal\n",
+                    p.results.totalUs(), p.results.avgPowerMw,
+                    p.config.describe().c_str());
+    }
+}
+
+int
+run()
+{
+    banner("Figure 8",
+           "power-performance Pareto curves, DMA vs cache, 32-bit "
+           "bus (EDP optima starred)");
+
+    for (const auto &name : figure8Workloads()) {
+        const Prep &p = prep(name);
+        std::printf("\n%s:\n", name.c_str());
+
+        auto dmaPts = runSweep(dmaSweepConfigs(32), p.trace, p.dddg);
+        auto cachePts =
+            runSweep(cacheSweepConfigs(32), p.trace, p.dddg);
+
+        printFrontier("DMA", dmaPts);
+        printFrontier("cache", cachePts);
+
+        const auto &dmaOpt = dmaPts[edpOptimal(dmaPts)].results;
+        const auto &cacheOpt =
+            cachePts[edpOptimal(cachePts)].results;
+        double dmaEdp = dmaOpt.energyPj * dmaOpt.totalSeconds();
+        double cacheEdp =
+            cacheOpt.energyPj * cacheOpt.totalSeconds();
+        const char *verdict =
+            dmaEdp < cacheEdp * 0.8
+                ? "prefers DMA"
+                : (cacheEdp < dmaEdp * 0.8 ? "prefers cache"
+                                           : "either works");
+        std::printf("  EDP: dma %.4g  cache %.4g  -> %s\n", dmaEdp,
+                    cacheEdp, verdict);
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace genie::bench
+
+int
+main()
+{
+    return genie::bench::run();
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 10: EDP improvement of co-designed accelerators, normalized
+ * to the EDP of isolated designs evaluated under realistic system
+ * effects.
+ *
+ * Three scenarios per benchmark: DMA with a 32-bit bus, cache with a
+ * 32-bit bus, cache with a 64-bit bus. The isolated EDP optimum is
+ * re-evaluated inside each scenario (DMA scenarios reuse its
+ * lanes/partitions with the optimized DMA flow; cache scenarios map
+ * it to the cache an isolation-minded designer would size to hold the
+ * full working set). Paper headline: average improvements of 1.2x /
+ * 2.2x / 2.0x, up to 7.4x, and co-design matters more on the more
+ * contended (32-bit) bus.
+ */
+
+#include "bench_util.hh"
+
+namespace genie::bench
+{
+namespace
+{
+
+double
+edpOf(const SocResults &r)
+{
+    return r.energyPj * r.totalSeconds();
+}
+
+int
+run()
+{
+    banner("Figure 10",
+           "EDP improvement of co-designed vs isolated designs, "
+           "three scenarios");
+
+    std::printf("  %-20s %12s %14s %14s\n", "benchmark", "dma/32",
+                "cache/32", "cache/64");
+
+    double sums[3] = {0, 0, 0};
+    double maxImp = 0;
+    auto names = figure8Workloads();
+
+    for (const auto &name : names) {
+        const Prep &p = prep(name);
+        auto iso = runSweep(isolatedSweepConfigs(), p.trace, p.dddg);
+        const auto &isoOpt = iso[edpOptimal(iso)];
+        std::uint64_t workingSet = p.trace.totalArrayBytes();
+
+        double imps[3];
+        for (int s = 0; s < 3; ++s) {
+            unsigned bus = s == 2 ? 64 : 32;
+            std::vector<DesignPoint> sys;
+            SocConfig isoUnder;
+            if (s == 0) {
+                sys = runSweep(dmaSweepConfigs(bus), p.trace, p.dddg);
+                isoUnder = isoOpt.config;
+                isoUnder.isolated = false;
+                isoUnder.busWidthBits = bus;
+                isoUnder.dma.pipelined = true;
+                isoUnder.dma.triggeredCompute = true;
+            } else {
+                sys = runSweep(cacheSweepConfigs(bus), p.trace,
+                               p.dddg);
+                isoUnder = DesignSpace::isolatedAsCache(
+                    isoOpt.config, workingSet);
+                isoUnder.busWidthBits = bus;
+            }
+            SocResults isoRes =
+                runDesign(isoUnder, p.trace, p.dddg);
+            const auto &coOpt = sys[edpOptimal(sys)].results;
+            imps[s] = edpOf(coOpt) > 0
+                          ? edpOf(isoRes) / edpOf(coOpt)
+                          : 0.0;
+            sums[s] += imps[s];
+            maxImp = std::max(maxImp, imps[s]);
+        }
+        std::printf("  %-20s %11.2fx %13.2fx %13.2fx\n", name.c_str(),
+                    imps[0], imps[1], imps[2]);
+    }
+
+    auto n = static_cast<double>(names.size());
+    std::printf("\n  %-20s %11.2fx %13.2fx %13.2fx   (paper: 1.2x / "
+                "2.2x / 2.0x)\n",
+                "average", sums[0] / n, sums[1] / n, sums[2] / n);
+    std::printf("  maximum improvement: %.1fx  (paper: up to 7.4x)\n",
+                maxImp);
+    std::printf("\nExpected shape (paper): cache scenarios gain more "
+                "than DMA (an overly\naggressive cache design is a "
+                "large multi-ported cache); the contended 32-bit\nbus "
+                "gains more than the 64-bit bus.\n");
+    return 0;
+}
+
+} // namespace
+} // namespace genie::bench
+
+int
+main()
+{
+    return genie::bench::run();
+}

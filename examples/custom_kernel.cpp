@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Example: bring your own kernel.
+ *
+ * Genie workloads are ordinary C++ functions that execute the kernel
+ * while emitting its dynamic trace through the TraceBuilder DSL —
+ * the same role LLVM instrumentation plays for Aladdin. This example
+ * writes a small dot-product-with-bias kernel from scratch, builds
+ * its DDDG, and sweeps datapath lanes under the full SoC model.
+ *
+ * The pattern to copy:
+ *   - addArray() for every array the accelerator touches
+ *     (isInput/isOutput control what gets flushed and DMA'd),
+ *   - beginIteration() per unrollable work unit (lanes map to
+ *     iterations),
+ *   - load()/store()/op() with explicit dependences; memory
+ *     (store->load) dependences are inferred automatically.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/soc.hh"
+#include "sim/random.hh"
+
+int
+main()
+{
+    using namespace genie;
+
+    constexpr unsigned n = 1024;
+    constexpr unsigned chunk = 16; // work unit per iteration
+
+    // Input data, deterministic.
+    Rng rng(1234);
+    std::vector<double> a(n), b(n);
+    for (unsigned i = 0; i < n; ++i) {
+        a[i] = rng.range(-1.0, 1.0);
+        b[i] = rng.range(-1.0, 1.0);
+    }
+    double bias = 0.5;
+
+    // Execute functionally while emitting the trace.
+    TraceBuilder tb;
+    int arrA = tb.addArray("a", n * 8, 8, true, false);
+    int arrB = tb.addArray("b", n * 8, 8, true, false);
+    int arrOut = tb.addArray("out", (n / chunk) * 8, 8, false, true);
+
+    double checksum = 0.0;
+    for (unsigned base = 0; base < n; base += chunk) {
+        tb.beginIteration();
+        NodeId acc = invalidNode;
+        double sum = bias;
+        for (unsigned i = base; i < base + chunk; ++i) {
+            NodeId la = tb.load(arrA, i * 8, 8);
+            NodeId lb = tb.load(arrB, i * 8, 8);
+            NodeId mul = tb.op(Opcode::FpMul, {la, lb});
+            acc = acc == invalidNode ? mul
+                                     : tb.op(Opcode::FpAdd, {acc, mul});
+            sum += a[i] * b[i];
+        }
+        NodeId biased = tb.op(Opcode::FpAdd, {acc});
+        tb.store(arrOut, (base / chunk) * 8, 8, {biased});
+        checksum += sum;
+    }
+    Trace trace = tb.take();
+    Dddg dddg(trace);
+
+    std::printf("custom kernel: %zu trace ops, %u iterations, "
+                "checksum %.4f\n\n",
+                trace.ops.size(), trace.numIterations, checksum);
+
+    // Sweep lanes under the full system model.
+    std::printf("  %5s %12s %10s %12s\n", "lanes", "latency(us)",
+                "power(mW)", "EDP(pJ*s)");
+    for (unsigned lanes : {1u, 2u, 4u, 8u, 16u}) {
+        SocConfig cfg;
+        cfg.memType = MemInterface::ScratchpadDma;
+        cfg.lanes = lanes;
+        cfg.spadPartitions = lanes;
+        cfg.dma.pipelined = true;
+        cfg.dma.triggeredCompute = true;
+        SocResults r = runDesign(cfg, trace, dddg);
+        std::printf("  %5u %12.1f %10.2f %12.4g\n", lanes,
+                    r.totalUs(), r.avgPowerMw,
+                    r.energyPj * r.totalSeconds());
+    }
+    std::printf("\nNote how performance saturates once the transfer "
+                "time dominates — the\nserial-data-arrival bound from "
+                "the paper's Section IV-C2.\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: when should an accelerator use scratchpads+DMA, and when a
+ * coherent cache?
+ *
+ * Runs the same kernel under both memory interfaces at matched
+ * parallelism and prints a side-by-side comparison: runtime, power,
+ * EDP, and the microarchitectural signals behind the difference
+ * (flush time, DMA serialization, cache miss rate, TLB behavior,
+ * cache-to-cache coherence transfers). Mirrors the Section V-A
+ * discussion: try `spmv-crs` (indirect accesses -> cache-friendly)
+ * vs `nw-nw` (tiny inputs, serial -> DMA-friendly).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/soc.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+void
+report(const char *label, const genie::SocResults &r)
+{
+    std::printf("  %-24s %10.1f us %8.2f mW %12.4g pJ*s\n", label,
+                r.totalUs(), r.avgPowerMw,
+                r.energyPj * r.totalSeconds());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace genie;
+
+    std::string name = argc > 1 ? argv[1] : "spmv-crs";
+    auto workload = makeWorkload(name);
+    auto out = workload->build();
+    Dddg dddg(out.trace);
+
+    std::printf("%s: %s\n\n", name.c_str(),
+                workload->description().c_str());
+    std::printf("  %-24s %13s %11s %13s\n", "design", "latency",
+                "power", "EDP");
+
+    // Scratchpad + DMA, with the paper's two DMA optimizations.
+    SocConfig dmaCfg;
+    dmaCfg.memType = MemInterface::ScratchpadDma;
+    dmaCfg.lanes = 4;
+    dmaCfg.spadPartitions = 4;
+    dmaCfg.dma.pipelined = true;
+    dmaCfg.dma.triggeredCompute = true;
+    SocResults dmaRes = runDesign(dmaCfg, out.trace, dddg);
+    report("scratchpad + DMA", dmaRes);
+
+    // Coherent cache + TLB.
+    SocConfig cacheCfg;
+    cacheCfg.memType = MemInterface::Cache;
+    cacheCfg.lanes = 4;
+    cacheCfg.cache.sizeBytes = 16 * 1024;
+    cacheCfg.cache.ports = 2;
+    Soc cacheSoc(cacheCfg, out.trace, dddg);
+    SocResults cacheRes = cacheSoc.run();
+    report("coherent cache (16 KB)", cacheRes);
+
+    std::printf("\nwhy:\n");
+    std::printf("  DMA flow spent %.1f us flushing CPU caches and "
+                "%.1f us on DMA without\n  overlapping compute; "
+                "ready-bit stalls: %llu.\n",
+                dmaRes.breakdown.flushOnly * 1e-6,
+                dmaRes.breakdown.dmaFlush * 1e-6,
+                (unsigned long long)dmaRes.readyBitStalls);
+    std::printf("  Cache flow missed %.1f%% of accesses (TLB hit "
+                "rate %.1f%%) and pulled\n  %llu lines directly from "
+                "the dirty CPU cache via MOESI.\n",
+                cacheRes.cacheMissRate * 100.0,
+                cacheRes.tlbHitRate * 100.0,
+                (unsigned long long)cacheRes.cacheToCacheTransfers);
+
+    double dmaEdp = dmaRes.energyPj * dmaRes.totalSeconds();
+    double cacheEdp = cacheRes.energyPj * cacheRes.totalSeconds();
+    std::printf("\nverdict: %s has the better EDP here (%.4g vs "
+                "%.4g).\n",
+                dmaEdp < cacheEdp ? "scratchpad+DMA" : "the cache",
+                std::min(dmaEdp, cacheEdp),
+                std::max(dmaEdp, cacheEdp));
+    return 0;
+}

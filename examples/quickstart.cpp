@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Quickstart: simulate one accelerator design end to end.
+ *
+ * This example walks through the whole public API in ~50 lines:
+ *   1. pick a workload (a MachSuite-style kernel) and build its
+ *      dynamic trace + DDDG,
+ *   2. describe a design point (memory interface, lanes, partitions,
+ *      DMA optimizations, bus width),
+ *   3. run the full SoC simulation (flush -> DMA -> compute -> DMA
+ *      back -> CPU notices completion),
+ *   4. read out runtime, the flush/DMA/compute breakdown, energy,
+ *      power, and EDP.
+ *
+ * Build: part of the default CMake build; run ./quickstart [workload].
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/soc.hh"
+#include "workloads/workload.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace genie;
+
+    // 1. Prepare a workload: executes the kernel functionally while
+    //    recording its dynamic trace, then builds the dependence graph.
+    std::string name = argc > 1 ? argv[1] : "stencil-stencil2d";
+    WorkloadPtr workload = makeWorkload(name);
+    std::printf("workload: %s\n  %s\n", workload->name().c_str(),
+                workload->description().c_str());
+
+    WorkloadOutput out = workload->build();
+    Dddg dddg(out.trace);
+    std::printf("  trace: %zu ops, %u iterations, %zu arrays, "
+                "%llu B in / %llu B out\n",
+                out.trace.ops.size(), out.trace.numIterations,
+                out.trace.arrays.size(),
+                (unsigned long long)out.trace.totalInputBytes(),
+                (unsigned long long)out.trace.totalOutputBytes());
+
+    // 2. Describe a design point (see core/soc_config.hh for every
+    //    knob -- this is the paper's Figure 3 parameter table).
+    SocConfig cfg;
+    cfg.memType = MemInterface::ScratchpadDma;
+    cfg.lanes = 4;
+    cfg.spadPartitions = 4;
+    cfg.busWidthBits = 32;
+    cfg.dma.pipelined = true;        // overlap flush with DMA
+    cfg.dma.triggeredCompute = true; // full/empty ready bits
+
+    // 3. Run the full offload flow.
+    SocResults r = runDesign(cfg, out.trace, dddg);
+
+    // 4. Results.
+    std::printf("\ndesign: %s\n", cfg.describe().c_str());
+    std::printf("  end-to-end latency : %.1f us\n", r.totalUs());
+    std::printf("  accelerator cycles : %llu\n",
+                (unsigned long long)r.accelCycles);
+    std::printf("  breakdown          : flush-only %.1f us, DMA %.1f "
+                "us,\n                       compute+DMA %.1f us, "
+                "compute-only %.1f us\n",
+                r.breakdown.flushOnly * 1e-6,
+                r.breakdown.dmaFlush * 1e-6,
+                r.breakdown.computeDma * 1e-6,
+                r.breakdown.computeOnly * 1e-6);
+    std::printf("  energy             : %.2f nJ (dynamic %.2f, "
+                "leakage %.2f)\n",
+                r.energyPj * 1e-3, r.dynamicPj * 1e-3,
+                r.leakagePj * 1e-3);
+    std::printf("  average power      : %.2f mW\n", r.avgPowerMw);
+    std::printf("  EDP                : %.4g pJ*s\n",
+                r.energyPj * r.totalSeconds());
+    return 0;
+}

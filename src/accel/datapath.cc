@@ -1,0 +1,440 @@
+#include "datapath.hh"
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+Datapath::Datapath(std::string name, EventQueue &eq, ClockDomain domain,
+                   const Trace &trace_, const Dddg &dddg_, Params p,
+                   MemMode mode_)
+    : SimObject(std::move(name)), Clocked(eq, domain), trace(trace_),
+      dddg(dddg_), params(p), mode(mode_),
+      statNodes(stats().add("nodes", "DDDG nodes executed")),
+      statCycles(stats().add("cycles", "accelerator cycles to finish")),
+      statMemStallCycles(stats().add("memStallCycles",
+                                     "lane-cycles blocked on memory")),
+      statReadyBitStalls(stats().add("readyBitStalls",
+                                     "loads stalled on full/empty bits")),
+      statBankConflicts(stats().add("bankConflicts",
+                                    "scratchpad bank conflict retries")),
+      statCacheRejects(stats().add("cacheRejects",
+                                   "cache port/MSHR rejections"))
+{
+    if (params.lanes == 0)
+        fatal("datapath needs at least one lane");
+}
+
+void
+Datapath::attachScratchpad(Scratchpad *spad_, std::vector<int> spadIds_,
+                           FullEmptyBits *fe, std::vector<int> feIds_)
+{
+    GENIE_ASSERT(mode == MemMode::ScratchpadDma,
+                 "attachScratchpad in cache mode");
+    spad = spad_;
+    spadIds = std::move(spadIds_);
+    feBits = fe;
+    feIds = std::move(feIds_);
+}
+
+void
+Datapath::attachCache(Cache *cache_, AladdinTlb *tlb_,
+                      std::vector<Addr> vbase, Scratchpad *spad_,
+                      std::vector<int> spadIds_)
+{
+    GENIE_ASSERT(mode == MemMode::Cache, "attachCache in DMA mode");
+    cache = cache_;
+    tlb = tlb_;
+    arrayVBase = std::move(vbase);
+    spad = spad_;
+    spadIds = std::move(spadIds_);
+    if (cache) {
+        cache->setCallback([this](std::uint64_t reqId, bool hit) {
+            auto n = static_cast<NodeId>(reqId);
+            if (!hit) {
+                // The miss kept its lane stalled until now; hits were
+                // uncounted at accept time.
+                LaneState &lane = lanes[laneOf(n)];
+                GENIE_ASSERT(lane.pendingMem > 0,
+                             "miss completion with no pending access");
+                --lane.pendingMem;
+            }
+            onNodeComplete(n);
+            scheduleTick();
+        });
+    }
+}
+
+void
+Datapath::start(DoneCallback done)
+{
+    GENIE_ASSERT(!active, "datapath already running");
+    const std::size_t n = trace.ops.size();
+    GENIE_ASSERT(n > 0, "empty trace");
+
+    active = true;
+    onDone = std::move(done);
+    completedNodes = 0;
+    inFlightOps = 0;
+    currentWave = 0;
+    startCycle = curCycle();
+    lastTickAt = maxTick;
+
+    pendingParents.assign(n, 0);
+    for (NodeId i = 0; i < n; ++i)
+        pendingParents[i] = dddg.parents(i);
+
+    numWaves = (trace.numIterations + params.lanes - 1) / params.lanes;
+    if (numWaves == 0)
+        numWaves = 1;
+    waveRemaining.assign(numWaves, 0);
+    earlyReady.assign(numWaves, {});
+    for (NodeId i = 0; i < n; ++i)
+        ++waveRemaining[waveOf(i)];
+
+    lanes.assign(params.lanes, LaneState{});
+    issued.assign(params.lanes, IssueCounters{});
+    cycleStamp = curCycle();
+
+    for (NodeId i = 0; i < n; ++i) {
+        if (pendingParents[i] == 0)
+            enqueueReady(i);
+    }
+    scheduleTick();
+}
+
+void
+Datapath::enqueueReady(NodeId n)
+{
+    std::uint32_t w = waveOf(n);
+    if (w == currentWave) {
+        lanes[laneOf(n)].ready.push_back(n);
+        scheduleTick();
+    } else {
+        GENIE_ASSERT(w > currentWave, "ready node in a finished wave");
+        earlyReady[w].push_back(n);
+    }
+}
+
+void
+Datapath::scheduleTick()
+{
+    if (!active || tickScheduled)
+        return;
+    tickScheduled = true;
+    Tick at = clockEdge(0);
+    if (lastTickAt != maxTick && at <= lastTickAt)
+        at = lastTickAt + clockPeriod();
+    eventq.schedule(at, [this] {
+        tickScheduled = false;
+        tick();
+    });
+}
+
+void
+Datapath::resetCycleCounters()
+{
+    Cycles now = curCycle();
+    if (now != cycleStamp) {
+        cycleStamp = now;
+        std::fill(issued.begin(), issued.end(), IssueCounters{});
+    }
+}
+
+void
+Datapath::tick()
+{
+    if (!active)
+        return;
+    lastTickAt = eventq.curTick();
+    resetCycleCounters();
+
+    bool anyReadyLeft = false;
+    for (unsigned l = 0; l < params.lanes; ++l) {
+        LaneState &lane = lanes[l];
+        if (lane.blocked()) {
+            if (!lane.ready.empty())
+                ++statMemStallCycles;
+            continue;
+        }
+        // Dataflow issue with a bounded scheduling window: hazarded
+        // ops are skipped so younger independent ops may still go.
+        unsigned scanned = 0;
+        for (auto it = lane.ready.begin();
+             it != lane.ready.end() && scanned < issueScanWindow;) {
+            ++scanned;
+            IssueResult res = tryIssue(*it, l);
+            if (res == IssueResult::Issued) {
+                it = lane.ready.erase(it);
+                if (lane.blocked())
+                    break;
+            } else if (res == IssueResult::Skip) {
+                ++it;
+            } else {
+                break; // lane-stalling condition
+            }
+        }
+        if (!lane.ready.empty() && !lane.blocked())
+            anyReadyLeft = true;
+    }
+
+    // Structural hazards resolve by aging one cycle; memory blocks
+    // resolve via callbacks which re-schedule the tick. scheduleTick
+    // respects the one-tick-per-cycle guard even if a synchronous
+    // callback already scheduled the next edge during the issue loop.
+    if (anyReadyLeft)
+        scheduleTick();
+}
+
+Datapath::IssueResult
+Datapath::tryIssue(NodeId n, unsigned lane)
+{
+    const TraceOp &op = trace.ops[n];
+    if (!isMemoryOp(op.op))
+        return tryIssueCompute(n, lane, op);
+
+    if (params.perfectMemory) {
+        if (issued[lane].mem >= params.memOpsPerLane)
+            return IssueResult::Skip;
+        ++issued[lane].mem;
+        ++inFlightOps;
+        Tick now = clockEdge(0);
+        busy.add(now, now + clockPeriod());
+        scheduleCompletion(1, n);
+        return IssueResult::Issued;
+    }
+
+    // In cache mode, arrays wired to the scratchpad (private
+    // intermediates and register-promoted small constant tables)
+    // bypass the cache.
+    bool isScratchArray =
+        mode == MemMode::ScratchpadDma ||
+        (static_cast<std::size_t>(op.arrayId) < spadIds.size() &&
+         spadIds[static_cast<std::size_t>(op.arrayId)] >= 0);
+    if (isScratchArray)
+        return tryIssueSpadAccess(n, lane, op);
+    return tryIssueCacheAccess(n, lane, op);
+}
+
+Datapath::IssueResult
+Datapath::tryIssueCompute(NodeId n, unsigned lane, const TraceOp &op)
+{
+    IssueCounters &c = issued[lane];
+    FuKind kind = fuKindOf(op.op);
+    switch (kind) {
+      case FuKind::IntAlu:
+        if (c.intAlu >= params.intAluPerLane)
+            return IssueResult::Skip;
+        ++c.intAlu;
+        break;
+      case FuKind::IntMul:
+        if (c.intMul >= params.intMulPerLane)
+            return IssueResult::Skip;
+        ++c.intMul;
+        break;
+      case FuKind::FpAdd:
+        if (c.fpAdd >= params.fpAddPerLane)
+            return IssueResult::Skip;
+        ++c.fpAdd;
+        break;
+      case FuKind::FpMul:
+        if (c.fpMul >= params.fpMulPerLane)
+            return IssueResult::Skip;
+        ++c.fpMul;
+        break;
+      case FuKind::FpDiv:
+        // The divider is unpipelined.
+        if (lanes[lane].divBusyUntil > curCycle())
+            return IssueResult::Skip;
+        lanes[lane].divBusyUntil =
+            curCycle() + latencyOf(Opcode::FpDiv);
+        break;
+      case FuKind::Other:
+        if (c.other >= params.otherPerLane)
+            return IssueResult::Skip;
+        ++c.other;
+        break;
+    }
+
+    ++fuOps[static_cast<std::size_t>(kind)];
+    ++inFlightOps;
+    Cycles lat = latencyOf(op.op);
+    Tick now = clockEdge(0);
+    busy.add(now, now + cyclesToTicks(lat));
+    scheduleCompletion(lat, n);
+    return IssueResult::Issued;
+}
+
+void
+Datapath::scheduleCompletion(Cycles lat, NodeId n)
+{
+    // Results are available *at* the clock edge `lat` cycles after
+    // issue: complete one tick before that edge so dependents can
+    // issue on the edge itself (otherwise every dependence level
+    // would silently cost an extra cycle).
+    Tick when = clockEdge(lat);
+    GENIE_ASSERT(when > 0, "completion before time begins");
+    eventq.schedule(when - 1, [this, n] { onNodeComplete(n); });
+}
+
+Datapath::IssueResult
+Datapath::tryIssueSpadAccess(NodeId n, unsigned lane, const TraceOp &op)
+{
+    auto arr = static_cast<std::size_t>(op.arrayId);
+
+    // DMA-triggered compute: a load must find its line's ready bit
+    // set, or the lane stalls until the DMA engine fills it
+    // (Section IV-B2: the control logic stalls the whole lane).
+    if (op.op == Opcode::Load && feBits && arr < feIds.size() &&
+        feIds[arr] >= 0) {
+        if (!feBits->isFull(feIds[arr], op.offset)) {
+            ++statReadyBitStalls;
+            lanes[lane].blockedOnReadyBit = true;
+            feBits->wait(feIds[arr], op.offset, [this, lane] {
+                lanes[lane].blockedOnReadyBit = false;
+                scheduleTick();
+            });
+            return IssueResult::StopLane;
+        }
+    }
+
+    if (issued[lane].mem >= params.memOpsPerLane)
+        return IssueResult::Skip;
+
+    GENIE_ASSERT(spad && arr < spadIds.size() && spadIds[arr] >= 0,
+                 "array '%s' not mapped to a scratchpad",
+                 trace.arrays[arr].name.c_str());
+    if (!spad->tryAccess(spadIds[arr], op.offset,
+                         op.op == Opcode::Store)) {
+        ++statBankConflicts;
+        return IssueResult::Skip;
+    }
+
+    ++issued[lane].mem;
+    ++inFlightOps;
+    Tick now = clockEdge(0);
+    busy.add(now, now + clockPeriod());
+    scheduleCompletion(1, n);
+    return IssueResult::Issued;
+}
+
+Datapath::IssueResult
+Datapath::tryIssueCacheAccess(NodeId n, unsigned lane, const TraceOp &op)
+{
+    if (issued[lane].mem >= params.memOpsPerLane)
+        return IssueResult::Skip;
+    if (!cache->portAvailable())
+        return IssueResult::Skip;
+
+    ++issued[lane].mem;
+    ++inFlightOps;
+    Tick now = clockEdge(0);
+    busy.add(now, now + clockPeriod());
+
+    // The lane blocks until the access is known to hit (decremented
+    // synchronously below for TLB-hit + cache-hit) or until the miss
+    // resolves (decremented in the cache callback).
+    ++lanes[lane].pendingMem;
+
+    Addr vaddr = arrayVBase[static_cast<std::size_t>(op.arrayId)] +
+                 op.offset;
+    tlb->translate(vaddr, [this, n, lane](Addr paddr) {
+        sendCacheAccess(n, lane, paddr);
+    });
+    return IssueResult::Issued;
+}
+
+void
+Datapath::sendCacheAccess(NodeId n, unsigned lane, Addr paddr)
+{
+    const TraceOp &op = trace.ops[n];
+    auto outcome = cache->access(paddr, op.size,
+                                 op.op == Opcode::Store, n,
+                                 /*streamId=*/op.arrayId);
+    if (outcome.reject != Cache::Reject::None) {
+        ++statCacheRejects;
+        scheduleCycles(1, [this, n, lane, paddr] {
+            sendCacheAccess(n, lane, paddr);
+        });
+        return;
+    }
+    if (outcome.hit) {
+        // Hits are pipelined: the lane keeps issuing; the completion
+        // callback will arrive after hitLatency.
+        GENIE_ASSERT(lanes[lane].pendingMem > 0,
+                     "hit with no pending access");
+        --lanes[lane].pendingMem;
+        scheduleTick();
+    }
+}
+
+void
+Datapath::onNodeComplete(NodeId n)
+{
+    GENIE_ASSERT(inFlightOps > 0, "completion with nothing in flight");
+    --inFlightOps;
+    ++completedNodes;
+    ++statNodes;
+
+    std::uint32_t w = waveOf(n);
+    GENIE_ASSERT(waveRemaining[w] > 0, "wave count underflow");
+    --waveRemaining[w];
+
+    for (NodeId c : dddg.children(n)) {
+        GENIE_ASSERT(pendingParents[c] > 0, "parent count underflow");
+        if (--pendingParents[c] == 0)
+            enqueueReady(c);
+    }
+
+    if (w == currentWave && waveRemaining[w] == 0)
+        advanceWave();
+
+    if (completedNodes == trace.ops.size())
+        finishIfDrained();
+}
+
+void
+Datapath::advanceWave()
+{
+    while (currentWave + 1 < numWaves &&
+           waveRemaining[currentWave] == 0) {
+        ++currentWave;
+        for (NodeId n : earlyReady[currentWave]) {
+            lanes[laneOf(n)].ready.push_back(n);
+        }
+        earlyReady[currentWave].clear();
+        if (waveRemaining[currentWave] != 0)
+            break;
+    }
+    scheduleTick();
+}
+
+void
+Datapath::finishIfDrained()
+{
+    // In cache mode, wait for outstanding writebacks to retire (the
+    // mfence before signaling the CPU, Section III-E).
+    if (cache && cache->hasOutstanding()) {
+        if (!drainCheckScheduled) {
+            drainCheckScheduled = true;
+            scheduleCycles(1, [this] {
+                drainCheckScheduled = false;
+                finishIfDrained();
+            });
+        }
+        return;
+    }
+
+    active = false;
+    // The last completion fires one tick before its clock edge; the
+    // accelerator is architecturally done *at* that edge.
+    endCycle = ticksToCycles(eventq.curTick());
+    statCycles = static_cast<double>(endCycle - startCycle);
+    if (onDone) {
+        DoneCallback done = std::move(onDone);
+        onDone = nullptr;
+        eventq.schedule(clockEdge(0), std::move(done));
+    }
+}
+
+} // namespace genie

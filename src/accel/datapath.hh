@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The accelerator datapath: a resource-constrained dataflow scheduler
+ * over the DDDG, following Aladdin's execution model plus the paper's
+ * system-level extensions:
+ *
+ *  - N datapath lanes; loop iteration i runs on lane (i mod N); a
+ *    wave of N consecutive iterations executes concurrently and lanes
+ *    synchronize at a barrier before the next wave (Section IV-D).
+ *  - per-lane functional units (pipelined except the divider) with
+ *    per-cycle issue limits,
+ *  - scratchpad mode: partitioned banks with per-cycle port limits,
+ *    optional full/empty ready bits that stall a lane until DMA fills
+ *    the accessed line (DMA-triggered compute, Section IV-B2),
+ *  - cache mode: accesses translate through the Aladdin TLB and issue
+ *    to the accelerator cache; a miss stalls only the issuing lane
+ *    (hit-under-miss via MSHRs); other lanes keep running,
+ *  - a `perfectMemory` switch (all memory ops single-cycle) for the
+ *    Figure-7 processing-time decomposition.
+ */
+
+#ifndef GENIE_ACCEL_DATAPATH_HH
+#define GENIE_ACCEL_DATAPATH_HH
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "accel/dddg.hh"
+#include "accel/trace.hh"
+#include "mem/cache.hh"
+#include "mem/full_empty.hh"
+#include "mem/scratchpad.hh"
+#include "mem/tlb.hh"
+#include "sim/clocked.hh"
+#include "sim/interval_set.hh"
+#include "sim/sim_object.hh"
+
+namespace genie
+{
+
+class Datapath : public SimObject, public Clocked
+{
+  public:
+    struct Params
+    {
+        unsigned lanes = 1;
+        /** Per-lane, per-cycle issue limits by FU class. */
+        unsigned intAluPerLane = 2;
+        unsigned intMulPerLane = 1;
+        unsigned fpAddPerLane = 1;
+        unsigned fpMulPerLane = 1;
+        unsigned otherPerLane = 2;
+        /** Per-lane memory ops issued per cycle (bank/cache port
+         * limits apply on top of this). */
+        unsigned memOpsPerLane = 2;
+        /** Figure-7 processing-time mode. */
+        bool perfectMemory = false;
+    };
+
+    enum class MemMode : std::uint8_t
+    {
+        ScratchpadDma,
+        Cache,
+    };
+
+    using DoneCallback = std::function<void()>;
+
+    Datapath(std::string name, EventQueue &eq, ClockDomain domain,
+             const Trace &trace, const Dddg &dddg, Params params,
+             MemMode mode);
+
+    /**
+     * Scratchpad mode wiring. @p spadIds maps trace array ids to
+     * scratchpad array ids; @p feIds maps trace array ids to
+     * full/empty array ids (or empty to disable ready bits).
+     */
+    void attachScratchpad(Scratchpad *spad, std::vector<int> spadIds,
+                          FullEmptyBits *fe, std::vector<int> feIds);
+
+    /**
+     * Cache mode wiring. @p arrayVBase gives each trace array's
+     * simulated-virtual base address; private-scratch arrays instead
+     * use the scratchpad (pass @p spad non-null if any exist).
+     */
+    void attachCache(Cache *cache, AladdinTlb *tlb,
+                     std::vector<Addr> arrayVBase, Scratchpad *spad,
+                     std::vector<int> spadIds);
+
+    /** Begin executing the trace now. */
+    void start(DoneCallback onDone);
+
+    bool running() const { return active; }
+
+    /** Cycles from start() to completion. */
+    Cycles executedCycles() const { return endCycle - startCycle; }
+
+    /** Intervals where at least one op was executing (the "compute"
+     * activity for the paper's runtime breakdowns). */
+    const IntervalSet &computeBusy() const { return busy; }
+
+    /** Issued op counts per FU class (power model input). */
+    const std::array<std::uint64_t, 6> &fuOpCounts() const
+    {
+        return fuOps;
+    }
+
+    double memStallCycles() const { return statMemStallCycles.value(); }
+
+  private:
+    struct LaneState
+    {
+        std::deque<NodeId> ready;
+        /** Unresolved cache work (TLB walks in progress + outstanding
+         * misses). The lane stalls while this is non-zero; hits do
+         * not contribute (hit-under-miss is across lanes). */
+        unsigned pendingMem = 0;
+        /** Waiting on a full/empty ready bit. */
+        bool blockedOnReadyBit = false;
+        /** Divider is unpipelined: busy until this cycle. */
+        Cycles divBusyUntil = 0;
+
+        bool blocked() const { return pendingMem > 0 || blockedOnReadyBit; }
+    };
+
+    void tick();
+    void scheduleTick();
+
+    /** Outcome of an issue attempt. */
+    enum class IssueResult : std::uint8_t
+    {
+        Issued,   ///< dispatched (or handed to the memory system)
+        Skip,     ///< structural hazard; younger ready ops may issue
+        StopLane, ///< lane-stalling condition (empty ready bit)
+    };
+
+    /** Number of ready-queue entries each lane may examine per cycle
+     * (the dataflow scheduling window). */
+    static constexpr unsigned issueScanWindow = 64;
+
+    IssueResult tryIssue(NodeId n, unsigned lane);
+
+    /** Schedule node completion just before the edge @p lat cycles
+     * out, so dependents issue on that edge. */
+    void scheduleCompletion(Cycles lat, NodeId n);
+
+    IssueResult tryIssueCompute(NodeId n, unsigned lane,
+                                const TraceOp &op);
+    IssueResult tryIssueSpadAccess(NodeId n, unsigned lane,
+                                   const TraceOp &op);
+    IssueResult tryIssueCacheAccess(NodeId n, unsigned lane,
+                                    const TraceOp &op);
+
+    /** Issue the translated cache access (retries on port/MSHR
+     * rejection). */
+    void sendCacheAccess(NodeId n, unsigned lane, Addr paddr);
+
+    void onNodeComplete(NodeId n);
+    void enqueueReady(NodeId n);
+    void advanceWave();
+    void finishIfDrained();
+
+    unsigned laneOf(NodeId n) const
+    {
+        return trace.ops[n].iteration % params.lanes;
+    }
+    std::uint32_t waveOf(NodeId n) const
+    {
+        return trace.ops[n].iteration / params.lanes;
+    }
+
+    /** Per-cycle issue counter reset. */
+    void resetCycleCounters();
+
+    const Trace &trace;
+    const Dddg &dddg;
+    Params params;
+    MemMode mode;
+
+    // Wiring.
+    Scratchpad *spad = nullptr;
+    std::vector<int> spadIds;
+    FullEmptyBits *feBits = nullptr;
+    std::vector<int> feIds;
+    Cache *cache = nullptr;
+    AladdinTlb *tlb = nullptr;
+    std::vector<Addr> arrayVBase;
+
+    // Execution state.
+    bool active = false;
+    DoneCallback onDone;
+    std::vector<std::uint32_t> pendingParents;
+    std::vector<LaneState> lanes;
+    std::uint32_t currentWave = 0;
+    std::uint32_t numWaves = 0;
+    std::vector<std::uint32_t> waveRemaining;
+    /** Nodes that became ready before their wave started. */
+    std::vector<std::vector<NodeId>> earlyReady;
+    std::size_t completedNodes = 0;
+    std::size_t inFlightOps = 0;
+
+    Cycles startCycle = 0;
+    Cycles endCycle = 0;
+    bool tickScheduled = false;
+    bool drainCheckScheduled = false;
+    /** Last tick at which tick() ran; issue happens at most once per
+     * clock edge (completions arriving mid-cycle wake the next
+     * edge). */
+    Tick lastTickAt = maxTick;
+
+    // Per-cycle issue budgets.
+    Cycles cycleStamp = 0;
+    struct IssueCounters
+    {
+        unsigned intAlu = 0;
+        unsigned intMul = 0;
+        unsigned fpAdd = 0;
+        unsigned fpMul = 0;
+        unsigned other = 0;
+        unsigned mem = 0;
+    };
+    std::vector<IssueCounters> issued;
+
+    IntervalSet busy;
+    std::array<std::uint64_t, 6> fuOps{};
+
+    Stat &statNodes;
+    Stat &statCycles;
+    Stat &statMemStallCycles;
+    Stat &statReadyBitStalls;
+    Stat &statBankConflicts;
+    Stat &statCacheRejects;
+};
+
+} // namespace genie
+
+#endif // GENIE_ACCEL_DATAPATH_HH

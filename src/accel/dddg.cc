@@ -1,0 +1,104 @@
+#include "dddg.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+/** Key for the last-writer map: array id + byte offset word. */
+constexpr std::uint64_t
+memKey(int arrayId, Addr byteAddr)
+{
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint16_t>(arrayId))
+            << 48) |
+           (byteAddr & 0xffffffffffffull);
+}
+
+} // namespace
+
+Dddg::Dddg(const Trace &trace)
+{
+    const std::size_t n = trace.ops.size();
+    childLists.resize(n);
+    parentCount.assign(n, 0);
+
+    // Last store covering each (array, word) location. Word
+    // granularity (4 bytes) bounds map size; accesses are word
+    // aligned in all workloads.
+    std::unordered_map<std::uint64_t, NodeId> lastWriter;
+    lastWriter.reserve(n / 4 + 16);
+
+    auto addEdge = [&](NodeId from, NodeId to) {
+        GENIE_ASSERT(from < to, "DDDG edge must go forward");
+        childLists[from].push_back(to);
+        ++parentCount[to];
+        ++edgeCount;
+    };
+
+    constexpr unsigned wordGran = 4;
+
+    for (NodeId i = 0; i < n; ++i) {
+        const TraceOp &op = trace.ops[i];
+        for (NodeId d : op.deps)
+            addEdge(d, i);
+
+        if (op.op == Opcode::Load) {
+            // True (RAW) memory dependences.
+            NodeId lastDep = invalidNode;
+            for (Addr a = alignDown(op.offset, wordGran);
+                 a < op.offset + op.size; a += wordGran) {
+                auto it = lastWriter.find(memKey(op.arrayId, a));
+                if (it != lastWriter.end() && it->second != lastDep) {
+                    addEdge(it->second, i);
+                    ++memEdges;
+                    lastDep = it->second;
+                }
+            }
+        } else if (op.op == Opcode::Store) {
+            for (Addr a = alignDown(op.offset, wordGran);
+                 a < op.offset + op.size; a += wordGran) {
+                lastWriter[memKey(op.arrayId, a)] = i;
+            }
+        }
+    }
+
+    // Deduplicate child lists (an op may depend on the same producer
+    // through several inputs, e.g. x*x). Duplicate counting must
+    // happen before std::unique, whose discarded tail holds
+    // unspecified values.
+    for (auto &list : childLists) {
+        std::sort(list.begin(), list.end());
+        for (std::size_t i = 1; i < list.size(); ++i) {
+            if (list[i] == list[i - 1]) {
+                --parentCount[list[i]];
+                --edgeCount;
+            }
+        }
+        list.erase(std::unique(list.begin(), list.end()),
+                   list.end());
+    }
+}
+
+std::uint64_t
+Dddg::criticalPathCycles(const Trace &trace) const
+{
+    std::vector<std::uint64_t> depth(numNodes(), 0);
+    std::uint64_t best = 0;
+    for (NodeId i = 0; i < numNodes(); ++i) {
+        std::uint64_t finish =
+            depth[i] + latencyOf(trace.ops[i].op);
+        best = std::max(best, finish);
+        for (NodeId c : children(i))
+            depth[c] = std::max(depth[c], finish);
+    }
+    return best;
+}
+
+} // namespace genie

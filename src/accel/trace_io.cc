@@ -1,0 +1,142 @@
+#include "trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+constexpr const char *magic = "genie-trace v1";
+
+} // namespace
+
+Opcode
+opcodeFromName(const std::string &name)
+{
+    for (int i = 0; i <= static_cast<int>(Opcode::Nop); ++i) {
+        auto op = static_cast<Opcode>(i);
+        if (name == opcodeName(op))
+            return op;
+    }
+    fatal("unknown opcode '%s' in trace", name.c_str());
+}
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os << magic << '\n';
+    for (const auto &a : trace.arrays) {
+        os << "array " << a.name << ' ' << a.sizeBytes << ' '
+           << a.wordBytes << ' ' << (a.isInput ? 1 : 0) << ' '
+           << (a.isOutput ? 1 : 0) << ' '
+           << (a.privateScratch ? 1 : 0) << '\n';
+    }
+    std::uint32_t nextIter = 0;
+    for (const auto &op : trace.ops) {
+        while (nextIter <= op.iteration) {
+            os << "iter\n";
+            ++nextIter;
+        }
+        if (isMemoryOp(op.op)) {
+            os << (op.op == Opcode::Load ? "ld " : "st ")
+               << op.arrayId << ' ' << op.offset << ' '
+               << static_cast<unsigned>(op.size);
+        } else {
+            os << "op " << opcodeName(op.op);
+        }
+        for (NodeId d : op.deps)
+            os << ' ' << d;
+        os << '\n';
+    }
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != magic)
+        fatal("not a genie trace (bad magic '%s')", line.c_str());
+
+    TraceBuilder tb;
+    bool sawIter = false;
+    std::size_t lineNo = 1;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string kind;
+        ss >> kind;
+        if (kind == "array") {
+            std::string name;
+            std::uint64_t size = 0;
+            unsigned word = 0;
+            int in = 0, outFlag = 0, priv = 0;
+            ss >> name >> size >> word >> in >> outFlag >> priv;
+            if (ss.fail())
+                fatal("trace line %zu: malformed array", lineNo);
+            tb.addArray(name, size, word, in != 0, outFlag != 0,
+                        priv != 0);
+        } else if (kind == "iter") {
+            tb.beginIteration();
+            sawIter = true;
+        } else if (kind == "op") {
+            if (!sawIter)
+                fatal("trace line %zu: op before first iter", lineNo);
+            std::string mnemonic;
+            ss >> mnemonic;
+            std::vector<NodeId> deps;
+            NodeId d;
+            while (ss >> d)
+                deps.push_back(d);
+            tb.op(opcodeFromName(mnemonic), deps);
+        } else if (kind == "ld" || kind == "st") {
+            if (!sawIter)
+                fatal("trace line %zu: access before first iter",
+                      lineNo);
+            int arrayId = -1;
+            Addr offset = 0;
+            unsigned size = 0;
+            ss >> arrayId >> offset >> size;
+            if (ss.fail())
+                fatal("trace line %zu: malformed access", lineNo);
+            std::vector<NodeId> deps;
+            NodeId d;
+            while (ss >> d)
+                deps.push_back(d);
+            if (kind == "ld")
+                tb.load(arrayId, offset, size, deps);
+            else
+                tb.store(arrayId, offset, size, deps);
+        } else {
+            fatal("trace line %zu: unknown record '%s'", lineNo,
+                  kind.c_str());
+        }
+    }
+    return tb.take();
+}
+
+void
+saveTrace(const std::string &path, const Trace &trace)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writeTrace(os, trace);
+}
+
+Trace
+loadTrace(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '%s'", path.c_str());
+    return readTrace(is);
+}
+
+} // namespace genie

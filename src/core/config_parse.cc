@@ -1,0 +1,127 @@
+#include "config_parse.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "1" || value == "true" || value == "on")
+        return true;
+    if (value == "0" || value == "false" || value == "off")
+        return false;
+    fatal("option %s: expected a boolean, got '%s'", key.c_str(),
+          value.c_str());
+}
+
+unsigned
+parseUnsigned(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("option %s: expected a number, got '%s'", key.c_str(),
+              value.c_str());
+    return static_cast<unsigned>(v);
+}
+
+} // namespace
+
+void
+applyConfigOption(SocConfig &config, const std::string &option)
+{
+    auto eq = option.find('=');
+    if (eq == std::string::npos)
+        fatal("malformed option '%s' (expected key=value)",
+              option.c_str());
+    std::string key = option.substr(0, eq);
+    std::string value = option.substr(eq + 1);
+
+    if (key == "mem") {
+        if (value == "dma")
+            config.memType = MemInterface::ScratchpadDma;
+        else if (value == "cache")
+            config.memType = MemInterface::Cache;
+        else
+            fatal("option mem: expected dma|cache, got '%s'",
+                  value.c_str());
+    } else if (key == "lanes") {
+        config.lanes = parseUnsigned(key, value);
+    } else if (key == "partitions") {
+        config.spadPartitions = parseUnsigned(key, value);
+    } else if (key == "bus") {
+        config.busWidthBits = parseUnsigned(key, value);
+    } else if (key == "pipelined") {
+        config.dma.pipelined = parseBool(key, value);
+    } else if (key == "triggered") {
+        config.dma.triggeredCompute = parseBool(key, value);
+    } else if (key == "cache_kb") {
+        config.cache.sizeBytes = parseUnsigned(key, value) * 1024;
+    } else if (key == "cache_line") {
+        config.cache.lineBytes = parseUnsigned(key, value);
+    } else if (key == "cache_assoc") {
+        config.cache.assoc = parseUnsigned(key, value);
+    } else if (key == "cache_ports") {
+        config.cache.ports = parseUnsigned(key, value);
+    } else if (key == "cache_mshrs") {
+        config.cache.mshrs = parseUnsigned(key, value);
+    } else if (key == "prefetch") {
+        config.cache.prefetch = parseBool(key, value);
+    } else if (key == "tlb_entries") {
+        config.tlbEntries = parseUnsigned(key, value);
+    } else if (key == "isolated") {
+        config.isolated = parseBool(key, value);
+    } else if (key == "perfect_mem") {
+        config.perfectMemory = parseBool(key, value);
+    } else if (key == "inf_bw") {
+        config.infiniteBandwidth = parseBool(key, value);
+    } else if (key == "accel_mhz") {
+        config.accelMhz = parseUnsigned(key, value);
+    } else if (key == "cpu_mhz") {
+        config.cpuMhz = parseUnsigned(key, value);
+    } else if (key == "bus_mhz") {
+        config.busMhz = parseUnsigned(key, value);
+    } else {
+        fatal("unknown option '%s'", key.c_str());
+    }
+}
+
+SocConfig
+parseConfig(const std::vector<std::string> &options)
+{
+    SocConfig config;
+    for (const auto &opt : options)
+        applyConfigOption(config, opt);
+    return config;
+}
+
+std::string
+configToOptions(const SocConfig &c)
+{
+    std::string s = format(
+        "mem=%s lanes=%u partitions=%u bus=%u pipelined=%d "
+        "triggered=%d cache_kb=%u cache_line=%u cache_assoc=%u "
+        "cache_ports=%u cache_mshrs=%u prefetch=%d tlb_entries=%u "
+        "isolated=%d perfect_mem=%d inf_bw=%d accel_mhz=%u "
+        "cpu_mhz=%u bus_mhz=%u",
+        memInterfaceName(c.memType), c.lanes, c.spadPartitions,
+        c.busWidthBits, c.dma.pipelined ? 1 : 0,
+        c.dma.triggeredCompute ? 1 : 0, c.cache.sizeBytes / 1024,
+        c.cache.lineBytes, c.cache.assoc, c.cache.ports,
+        c.cache.mshrs, c.cache.prefetch ? 1 : 0, c.tlbEntries,
+        c.isolated ? 1 : 0, c.perfectMemory ? 1 : 0,
+        c.infiniteBandwidth ? 1 : 0,
+        static_cast<unsigned>(c.accelMhz),
+        static_cast<unsigned>(c.cpuMhz),
+        static_cast<unsigned>(c.busMhz));
+    return s;
+}
+
+} // namespace genie

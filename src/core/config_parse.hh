@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Textual SocConfig parsing: build a design point from `key=value`
+ * option strings, the way gem5 configs and the genie-run CLI drive
+ * simulations without recompiling.
+ *
+ * Supported keys (see core/soc_config.hh for semantics):
+ *   mem=dma|cache            lanes=N           partitions=N
+ *   bus=32|64                pipelined=0|1     triggered=0|1
+ *   cache_kb=N  cache_line=N cache_assoc=N     cache_ports=N
+ *   cache_mshrs=N            prefetch=0|1      tlb_entries=N
+ *   isolated=0|1             perfect_mem=0|1   inf_bw=0|1
+ *   accel_mhz=N  cpu_mhz=N   bus_mhz=N
+ */
+
+#ifndef GENIE_CORE_CONFIG_PARSE_HH
+#define GENIE_CORE_CONFIG_PARSE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/soc_config.hh"
+
+namespace genie
+{
+
+/** Apply one `key=value` option; fatal() on unknown keys/values. */
+void applyConfigOption(SocConfig &config, const std::string &option);
+
+/** Apply a list of options to a default config. */
+SocConfig parseConfig(const std::vector<std::string> &options);
+
+/** Render the machine-readable option list for @p config
+ * (round-trips through parseConfig). */
+std::string configToOptions(const SocConfig &config);
+
+} // namespace genie
+
+#endif // GENIE_CORE_CONFIG_PARSE_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Multi-accelerator systems.
+ *
+ * The paper's example SoC (Figure 3) carries two accelerators — one
+ * cache-based, one scratchpad/DMA-based — on the same system bus, and
+ * names behavior under shared-resource contention as one of the three
+ * system-level considerations. MultiSoc instantiates N accelerator
+ * complexes over one shared bus + DRAM + DMA engine and runs them
+ * concurrently, so the contention between accelerators (not just
+ * between one accelerator's own traffic streams) is measurable.
+ *
+ * Each accelerator gets its own datapath, local memory system
+ * (scratchpad + ready bits, or cache + TLB), address-space slice, and
+ * flush/DMA schedule; the bus, DRAM controller, DMA engine, and flush
+ * engine (the CPU) are shared, which is exactly where the contention
+ * appears.
+ */
+
+#ifndef GENIE_CORE_MULTI_SOC_HH
+#define GENIE_CORE_MULTI_SOC_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/soc_config.hh"
+#include "core/results.hh"
+#include "accel/datapath.hh"
+#include "dma/dma_engine.hh"
+#include "dma/flush_model.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/full_empty.hh"
+#include "mem/scratchpad.hh"
+#include "mem/tlb.hh"
+
+namespace genie
+{
+
+/** One accelerator's workload + design inside a MultiSoc. */
+struct AcceleratorSpec
+{
+    const Trace *trace = nullptr;
+    const Dddg *dddg = nullptr;
+    /** Per-accelerator knobs (memType, lanes, partitions, cache);
+     * platform-level fields (bus width, clocks) are taken from the
+     * MultiSoc's platform config. */
+    SocConfig design;
+};
+
+/** Per-accelerator outcome. */
+struct AcceleratorResult
+{
+    /** Offload start (t=0) to this accelerator's completion. */
+    Tick finishTick = 0;
+    Cycles accelCycles = 0;
+};
+
+struct MultiSocResults
+{
+    std::vector<AcceleratorResult> accelerators;
+    /** All accelerators complete. */
+    Tick totalTicks = 0;
+    double busUtilization = 0.0;
+};
+
+class MultiSoc
+{
+  public:
+    /** @p platform supplies the shared-system parameters (bus width
+     * and clocks); @p specs one entry per accelerator. */
+    MultiSoc(SocConfig platform, std::vector<AcceleratorSpec> specs);
+    ~MultiSoc();
+
+    MultiSoc(const MultiSoc &) = delete;
+    MultiSoc &operator=(const MultiSoc &) = delete;
+
+    /** Launch every accelerator's offload flow at t=0 and run until
+     * all complete. */
+    MultiSocResults run();
+
+    EventQueue &eventQueue() { return eventq; }
+    SystemBus &bus() { return *systemBus; }
+
+  private:
+    struct Complex; // one accelerator's private components
+
+    void buildComplex(std::size_t index);
+    void startComplex(std::size_t index);
+    void onComplexInputDone(std::size_t index);
+    void onComplexDatapathDone(std::size_t index);
+    void finishComplex(std::size_t index);
+
+    SocConfig platform;
+    std::vector<AcceleratorSpec> specs;
+
+    EventQueue eventq;
+    std::unique_ptr<SystemBus> systemBus;
+    std::unique_ptr<DramCtrl> dramCtrl;
+    std::unique_ptr<FlushEngine> flush;
+    std::unique_ptr<DmaEngine> dma;
+
+    std::vector<std::unique_ptr<Complex>> complexes;
+    std::size_t remaining = 0;
+    bool ran = false;
+};
+
+} // namespace genie
+
+#endif // GENIE_CORE_MULTI_SOC_HH

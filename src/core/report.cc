@@ -1,0 +1,90 @@
+#include "report.hh"
+
+#include <iomanip>
+
+#include "core/config_parse.hh"
+
+namespace genie
+{
+
+void
+printSummary(std::ostream &os, const SocConfig &config,
+             const SocResults &r)
+{
+    os << "design: " << config.describe() << '\n';
+    os << std::fixed << std::setprecision(2);
+    os << "  latency       " << r.totalUs() << " us ("
+       << r.accelCycles << " accelerator cycles)\n";
+    os << "  breakdown     flush-only "
+       << static_cast<double>(r.breakdown.flushOnly) * 1e-6
+       << " us, dma "
+       << static_cast<double>(r.breakdown.dmaFlush) * 1e-6
+       << " us, overlap "
+       << static_cast<double>(r.breakdown.computeDma) * 1e-6
+       << " us, compute "
+       << static_cast<double>(r.breakdown.computeOnly) * 1e-6
+       << " us\n";
+    os << "  energy        " << r.energyPj * 1e-3 << " nJ (dynamic "
+       << r.dynamicPj * 1e-3 << ", leakage " << r.leakagePj * 1e-3
+       << ")\n";
+    os << "  power         " << r.avgPowerMw << " mW\n";
+    os << "  EDP           " << std::scientific << r.edp
+       << " J*s\n"
+       << std::defaultfloat;
+    if (r.cacheMissRate > 0 || r.tlbHitRate > 0) {
+        os << std::fixed << std::setprecision(1);
+        os << "  cache         miss rate "
+           << r.cacheMissRate * 100 << "%, TLB hit rate "
+           << r.tlbHitRate * 100 << "%, " << r.cacheToCacheTransfers
+           << " cache-to-cache transfers\n"
+           << std::defaultfloat;
+    }
+    if (r.dmaBytes > 0) {
+        os << "  dma           " << r.dmaBytes << " bytes moved, "
+           << r.readyBitStalls << " ready-bit stalls\n";
+    }
+    os << std::setprecision(1) << std::fixed;
+    os << "  bus           " << r.busUtilization * 100
+       << "% utilized, DRAM row hit rate " << r.dramRowHitRate * 100
+       << "%\n"
+       << std::defaultfloat;
+}
+
+void
+dumpAllStats(std::ostream &os, Soc &soc)
+{
+    soc.bus().stats().dump(os);
+    soc.dram().stats().dump(os);
+    soc.flushEngine().stats().dump(os);
+    soc.dmaEngine().stats().dump(os);
+    soc.cpu().stats().dump(os);
+    soc.datapath().stats().dump(os);
+    if (soc.scratchpad())
+        soc.scratchpad()->stats().dump(os);
+    if (soc.accelCache())
+        soc.accelCache()->stats().dump(os);
+    if (soc.cpuCache())
+        soc.cpuCache()->stats().dump(os);
+    if (soc.tlb())
+        soc.tlb()->stats().dump(os);
+}
+
+void
+printRecord(std::ostream &os, const SocConfig &config,
+            const SocResults &r)
+{
+    os << configToOptions(config) << " total_us=" << r.totalUs()
+       << " accel_cycles=" << r.accelCycles
+       << " energy_pj=" << r.energyPj << " power_mw=" << r.avgPowerMw
+       << " edp=" << r.edp << " flush_us="
+       << static_cast<double>(r.breakdown.flushOnly) * 1e-6
+       << " dma_us="
+       << static_cast<double>(r.breakdown.dmaFlush) * 1e-6
+       << " overlap_us="
+       << static_cast<double>(r.breakdown.computeDma) * 1e-6
+       << " compute_us="
+       << static_cast<double>(r.breakdown.computeOnly) * 1e-6
+       << " miss_rate=" << r.cacheMissRate << '\n';
+}
+
+} // namespace genie

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Human-readable and machine-readable reporting of simulation
+ * results: a summary block, the full per-component statistics dump
+ * (gem5's stats.txt equivalent), and a flat key=value record for
+ * scripting.
+ */
+
+#ifndef GENIE_CORE_REPORT_HH
+#define GENIE_CORE_REPORT_HH
+
+#include <ostream>
+
+#include "core/results.hh"
+#include "core/soc.hh"
+
+namespace genie
+{
+
+/** Print the headline results block. */
+void printSummary(std::ostream &os, const SocConfig &config,
+                  const SocResults &results);
+
+/** Dump every component's statistics (gem5-style stats.txt). */
+void dumpAllStats(std::ostream &os, Soc &soc);
+
+/** One-line key=value record (for sweep post-processing scripts). */
+void printRecord(std::ostream &os, const SocConfig &config,
+                 const SocResults &results);
+
+} // namespace genie
+
+#endif // GENIE_CORE_REPORT_HH

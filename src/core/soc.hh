@@ -1,0 +1,150 @@
+/**
+ * @file
+ * The Soc: gem5-Aladdin's integration layer, and this repository's
+ * primary contribution module.
+ *
+ * A Soc instance assembles one complete simulated system for one
+ * design point — driver CPU, flush engine, DMA engine, system bus,
+ * DRAM controller, and an Aladdin-style accelerator with either a
+ * partitioned-scratchpad/DMA memory interface or a coherent cache +
+ * TLB — then executes the full software offload flow over a workload
+ * trace and reports runtime, the flush/DMA/compute breakdown, energy,
+ * power, and EDP.
+ *
+ * Each Soc owns a private EventQueue, so arbitrarily many design
+ * points can be simulated concurrently on different threads.
+ */
+
+#ifndef GENIE_CORE_SOC_HH
+#define GENIE_CORE_SOC_HH
+
+#include <memory>
+#include <vector>
+
+#include "accel/datapath.hh"
+#include "core/results.hh"
+#include "core/soc_config.hh"
+#include "cpu/driver_cpu.hh"
+#include "dma/dma_engine.hh"
+#include "dma/flush_model.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/full_empty.hh"
+#include "mem/scratchpad.hh"
+#include "mem/tlb.hh"
+
+namespace genie
+{
+
+class Soc
+{
+  public:
+    /**
+     * Build a system for @p config around @p trace/@p dddg. The trace
+     * and DDDG must outlive the Soc (they are shared across many
+     * design points in sweeps).
+     */
+    Soc(SocConfig config, const Trace &trace, const Dddg &dddg);
+    ~Soc();
+
+    Soc(const Soc &) = delete;
+    Soc &operator=(const Soc &) = delete;
+
+    /** Execute the offload flow to completion and collect results. */
+    SocResults run();
+
+    // Component access for tests and detailed studies.
+    EventQueue &eventQueue() { return eventq; }
+    SystemBus &bus() { return *systemBus; }
+    DramCtrl &dram() { return *dramCtrl; }
+    Datapath &datapath() { return *accel; }
+    Cache *accelCache() { return cacheMem.get(); }
+    Cache *cpuCache() { return cpuL1.get(); }
+    AladdinTlb *tlb() { return accelTlb.get(); }
+    Scratchpad *scratchpad() { return spad.get(); }
+    DmaEngine &dmaEngine() { return *dma; }
+    FlushEngine &flushEngine() { return *flush; }
+    DriverCpu &cpu() { return *driver; }
+
+    const SocConfig &config() const { return cfg; }
+
+  private:
+    class AccelDevice;
+
+    void build();
+    void buildScratchpadSide();
+    void buildCacheSide();
+
+    /** Start flush + input DMA (called from the driver program). */
+    void beginInputPhase();
+    void onInputPhaseDone();
+
+    /** ioctl target: run the datapath per the configured flow. */
+    void startAccelerator(std::function<void()> onFinish);
+    void onDatapathDone();
+
+    /** Assemble results after the event queue drains. */
+    SocResults collect(Tick endTick);
+    void computeEnergy(SocResults &r) const;
+    RuntimeBreakdown computeBreakdown(Tick endTick) const;
+
+    SocConfig cfg;
+    const Trace &trace;
+    const Dddg &dddg;
+
+    EventQueue eventq;
+
+    // Platform components.
+    std::unique_ptr<SystemBus> systemBus;
+    std::unique_ptr<DramCtrl> dramCtrl;
+    std::unique_ptr<FlushEngine> flush;
+    std::unique_ptr<DmaEngine> dma;
+    std::unique_ptr<IoctlRegistry> ioctlRegistry;
+    std::unique_ptr<DriverCpu> driver;
+    std::unique_ptr<AccelDevice> device;
+
+    // Accelerator-local memory system.
+    std::unique_ptr<Scratchpad> spad;
+    std::unique_ptr<FullEmptyBits> feBits;
+    std::unique_ptr<Cache> cacheMem;
+    std::unique_ptr<Cache> cpuL1;
+    std::unique_ptr<AladdinTlb> accelTlb;
+    std::unique_ptr<Datapath> accel;
+
+    // Address layout.
+    std::vector<Addr> arrayDramBase; ///< DMA-side physical homes
+    std::vector<Addr> arrayVBase;    ///< cache-side virtual bases
+    std::vector<int> spadIds;        ///< trace array -> spad array
+    std::vector<int> feIds;          ///< trace array -> ready-bit array
+
+    // Pipelined-DMA page plan.
+    std::vector<DmaEngine::Segment> inputPages;
+    std::size_t pagesDone = 0;
+
+    // Cache-mode transfer of register-promoted shared arrays: pulled
+    // through the cache before compute, pushed back after.
+    std::uint64_t cacheWarmupBytes = 0;
+    std::uint64_t cacheDrainBytes = 0;
+
+    /** Latency of moving @p bytes line-by-line through the cache. */
+    Tick lineCopyLatency(std::uint64_t bytes) const;
+
+    // Flow state.
+    std::vector<std::size_t> inputOrder;
+    bool inputDone = false;
+    bool accelStartRequested = false;
+    bool outputInvalidated = false;
+    std::function<void()> pendingOutputDma;
+    std::function<void()> pendingFinish;
+    bool ran = false;
+    Tick flowEndTick = 0;
+};
+
+/** One-call convenience API: build, run, and tear down a design. */
+SocResults runDesign(const SocConfig &config, const Trace &trace,
+                     const Dddg &dddg);
+
+} // namespace genie
+
+#endif // GENIE_CORE_SOC_HH

@@ -1,0 +1,174 @@
+#include "validation.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "accel/datapath.hh"
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+Cycles
+ValidationModel::barrierCriticalPathCycles(const Trace &trace,
+                                           const Dddg &dddg,
+                                           unsigned lanes)
+{
+    std::vector<std::uint64_t> depth(dddg.numNodes(), 0);
+    std::uint64_t waveStart = 0;
+    std::uint64_t waveEnd = 0;
+    std::uint32_t currentWave = 0;
+    for (NodeId i = 0; i < dddg.numNodes(); ++i) {
+        std::uint32_t w = trace.ops[i].iteration / lanes;
+        if (w != currentWave) {
+            // All of the previous wave completes before this starts.
+            currentWave = w;
+            waveStart = waveEnd;
+        }
+        std::uint64_t begin = std::max(depth[i], waveStart);
+        std::uint64_t finish = begin + latencyOf(trace.ops[i].op);
+        waveEnd = std::max(waveEnd, finish);
+        for (NodeId c : dddg.children(i))
+            depth[c] = std::max(depth[c], finish);
+    }
+    return waveEnd;
+}
+
+Cycles
+ValidationModel::computeBound(const SocConfig &cfg, const Trace &trace,
+                              const Dddg &dddg)
+{
+    // Per-wave schedule bound: each wave of `lanes` iterations runs
+    // to the *larger* of its internal critical path (dependences) and
+    // its resource requirement (FU issue widths, scratchpad partition
+    // bandwidth), then the barrier releases the next wave.
+    Datapath::Params dp; // default per-lane issue widths
+    const std::array<std::uint64_t, 6> perLane = {
+        dp.intAluPerLane, dp.intMulPerLane, dp.fpAddPerLane,
+        dp.fpMulPerLane, 1 /*div issues once per latency*/,
+        dp.otherPerLane};
+
+    std::vector<std::uint64_t> partitions(trace.arrays.size(), 1);
+    for (std::size_t i = 0; i < trace.arrays.size(); ++i) {
+        partitions[i] = effectiveSpadPartitions(
+            trace.arrays[i].sizeBytes, trace.arrays[i].wordBytes,
+            cfg.spadPartitions);
+    }
+
+    std::vector<std::uint64_t> depth(dddg.numNodes(), 0);
+    // Per-lane FU/memory-issue counts: an iteration's work binds its
+    // own lane's units (e.g. a chain of divides), not the aggregate.
+    std::vector<std::array<std::uint64_t, 6>> laneClassOps(cfg.lanes);
+    std::vector<std::uint64_t> laneMemOps(cfg.lanes, 0);
+    std::vector<std::uint64_t> arrayOps(trace.arrays.size(), 0);
+
+    std::uint64_t waveStart = 0;
+    std::uint64_t waveCritEnd = 0;
+    std::uint32_t currentWave = 0;
+
+    auto waveResource = [&] {
+        std::uint64_t r = 0;
+        for (unsigned l = 0; l < cfg.lanes; ++l) {
+            for (std::size_t k = 0; k < 6; ++k) {
+                std::uint64_t need = laneClassOps[l][k];
+                if (k == static_cast<std::size_t>(FuKind::FpDiv))
+                    need *= latencyOf(Opcode::FpDiv);
+                r = std::max(r, divCeil(need, perLane[k]));
+            }
+            r = std::max(r, divCeil(laneMemOps[l],
+                                    dp.memOpsPerLane));
+        }
+        for (std::size_t i = 0; i < trace.arrays.size(); ++i)
+            r = std::max(r, divCeil(arrayOps[i], partitions[i]));
+        return r;
+    };
+
+    auto closeWave = [&] {
+        std::uint64_t span =
+            std::max(waveCritEnd - waveStart, waveResource());
+        waveStart += span;
+        waveCritEnd = waveStart;
+        for (auto &c : laneClassOps)
+            c = {};
+        std::fill(laneMemOps.begin(), laneMemOps.end(), 0);
+        std::fill(arrayOps.begin(), arrayOps.end(), 0);
+    };
+
+    for (NodeId i = 0; i < dddg.numNodes(); ++i) {
+        const TraceOp &op = trace.ops[i];
+        std::uint32_t w = op.iteration / cfg.lanes;
+        unsigned lane = op.iteration % cfg.lanes;
+        if (w != currentWave) {
+            closeWave();
+            currentWave = w;
+        }
+        if (isMemoryOp(op.op)) {
+            ++arrayOps[static_cast<std::size_t>(op.arrayId)];
+            ++laneMemOps[lane];
+        } else {
+            ++laneClassOps[lane][static_cast<std::size_t>(
+                fuKindOf(op.op))];
+        }
+        std::uint64_t begin = std::max(depth[i], waveStart);
+        std::uint64_t finish = begin + latencyOf(op.op);
+        waveCritEnd = std::max(waveCritEnd, finish);
+        for (NodeId c : dddg.children(i))
+            depth[c] = std::max(depth[c], finish);
+    }
+    closeWave();
+    return waveStart;
+}
+
+Tick
+ValidationModel::dmaTransferTime(const SocConfig &cfg,
+                                 std::uint64_t bytes, unsigned segments)
+{
+    if (bytes == 0)
+        return 0;
+    Tick busPeriod = periodFromMhz(cfg.busMhz);
+    std::uint64_t bytesPerCycle = cfg.busWidthBits / 8;
+
+    // Each beat pays a one-cycle bus header on top of its data cycles.
+    std::uint64_t beats = divCeil(bytes, 64);
+    Tick transfer = (divCeil(bytes, bytesPerCycle) + beats) * busPeriod;
+
+    // Per-transaction setup plus per-descriptor fetch round trips.
+    Tick accelPeriod = periodFromMhz(cfg.accelMhz);
+    Tick setup = cfg.dma.setupCycles * accelPeriod;
+    Tick descriptor = segments * (200 * tickPerNs);
+
+    // Pipeline ramp: first beat's DRAM access is exposed.
+    Tick ramp = 70 * tickPerNs;
+
+    return setup + descriptor + transfer + ramp;
+}
+
+ValidationPrediction
+ValidationModel::predictDmaBaseline(const SocConfig &cfg,
+                                    const Trace &trace,
+                                    const Dddg &dddg)
+{
+    ValidationPrediction p;
+    std::uint64_t inBytes = trace.totalInputBytes();
+    std::uint64_t outBytes = trace.totalOutputBytes();
+
+    unsigned inSegs = 0, outSegs = 0;
+    for (const auto &a : trace.arrays) {
+        if (a.isInput)
+            ++inSegs;
+        if (a.isOutput)
+            ++outSegs;
+    }
+
+    p.invalidate =
+        divCeil(outBytes, cfg.cpuLineBytes) * cfg.invalidatePerLine;
+    p.flush = divCeil(inBytes, cfg.cpuLineBytes) * cfg.flushPerLine;
+    p.dmaIn = dmaTransferTime(cfg, inBytes, inSegs);
+    p.compute = computeBound(cfg, trace, dddg) *
+                periodFromMhz(cfg.accelMhz);
+    p.dmaOut = dmaTransferTime(cfg, outBytes, outSegs);
+    p.sync = 350 * tickPerNs; // ioctl entry + spin-notice latency
+    return p;
+}
+
+} // namespace genie

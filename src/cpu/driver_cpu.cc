@@ -1,0 +1,104 @@
+#include "driver_cpu.hh"
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+DriverCpu::DriverCpu(std::string name, EventQueue &eq, ClockDomain domain,
+                     FlushEngine &flushEngine_, IoctlRegistry &registry_,
+                     Params p)
+    : SimObject(std::move(name)), Clocked(eq, domain), params(p),
+      flushEngine(flushEngine_), registry(registry_),
+      statOps(stats().add("ops", "driver ops executed")),
+      statSpinTicks(stats().add("spinTicks",
+                                "ticks spent spin-waiting"))
+{}
+
+void
+DriverCpu::run(std::vector<DriverOp> prog, std::function<void()> done)
+{
+    GENIE_ASSERT(!running, "driver CPU already running a program");
+    program = std::move(prog);
+    onDone = std::move(done);
+    pc = 0;
+    running = true;
+    flagSet = false;
+    waitingOnFlag = false;
+    eventq.scheduleIn(0, [this] { step(); });
+}
+
+void
+DriverCpu::signalFlag()
+{
+    flagSet = true;
+    if (waitingOnFlag) {
+        waitingOnFlag = false;
+        statSpinTicks += static_cast<double>(
+            eventq.curTick() - spinStart + params.spinNoticeLatency);
+        // The flag was consumed by the pending SpinWait.
+        flagSet = false;
+        eventq.scheduleIn(params.spinNoticeLatency, [this] { step(); });
+    }
+}
+
+void
+DriverCpu::step()
+{
+    if (pc >= program.size()) {
+        running = false;
+        if (onDone)
+            onDone();
+        return;
+    }
+
+    DriverOp &op = program[pc++];
+    ++statOps;
+    auto next = [this] { step(); };
+
+    switch (op.kind) {
+      case DriverOp::Kind::FlushRange:
+        // Whole-program flushes are not chunked here; pipelined DMA
+        // drives the flush engine directly with page-sized chunks.
+        flushEngine.startFlush(op.bytes, op.bytes ? op.bytes : 1,
+                               nullptr, next);
+        break;
+      case DriverOp::Kind::InvalidateRange:
+        flushEngine.startInvalidate(op.bytes, next);
+        break;
+      case DriverOp::Kind::Compute:
+        scheduleCycles(op.cycles, next);
+        break;
+      case DriverOp::Kind::Ioctl: {
+        std::uint32_t command = op.command;
+        scheduleCycles(params.ioctlCycles, [this, command] {
+            // The device runs concurrently with the CPU; the driver
+            // returns from ioctl immediately after starting it.
+            registry.ioctl(aladdinFd, command, [this] {
+                signalFlag();
+            });
+            step();
+        });
+        break;
+      }
+      case DriverOp::Kind::SpinWait:
+        if (flagSet) {
+            flagSet = false;
+            eventq.scheduleIn(0, next);
+        } else {
+            spinStart = eventq.curTick();
+            waitingOnFlag = true;
+        }
+        break;
+      case DriverOp::Kind::Mfence:
+        scheduleCycles(params.mfenceCycles, next);
+        break;
+      case DriverOp::Kind::Call:
+        if (op.callback)
+            op.callback();
+        eventq.scheduleIn(0, next);
+        break;
+    }
+}
+
+} // namespace genie

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The ioctl-style CPU-accelerator invocation interface (Section III-E).
+ *
+ * gem5-Aladdin invokes accelerators through the ioctl system call: a
+ * special file descriptor selects Aladdin, and command numbers select
+ * individual accelerators. We model the same registry: accelerators
+ * register under a command number; the driver CPU "calls ioctl" with a
+ * command number, which starts the accelerator; completion is signaled
+ * through a shared status flag that the spinning CPU observes via
+ * cache coherence (modeled as a fixed notice latency).
+ */
+
+#ifndef GENIE_CPU_IOCTL_HH
+#define GENIE_CPU_IOCTL_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+/** Genie's reserved "device file descriptor" for Aladdin devices. */
+constexpr int aladdinFd = 0x414c; // 'AL'
+
+/** A start-able accelerator device. */
+class IoctlDevice
+{
+  public:
+    virtual ~IoctlDevice() = default;
+    /** Begin execution; call @p onFinish when the device completes. */
+    virtual void start(std::function<void()> onFinish) = 0;
+};
+
+/** Maps ioctl command numbers to accelerator devices. */
+class IoctlRegistry
+{
+  public:
+    void
+    registerDevice(std::uint32_t command, IoctlDevice *device)
+    {
+        auto [it, inserted] = devices.emplace(command, device);
+        (void)it;
+        if (!inserted)
+            fatal("ioctl command %u already registered", command);
+    }
+
+    /** Emulates ioctl(aladdinFd, command): starts the device. */
+    void
+    ioctl(int fd, std::uint32_t command, std::function<void()> onFinish)
+    {
+        if (fd != aladdinFd)
+            fatal("ioctl on unknown fd %d", fd);
+        auto it = devices.find(command);
+        if (it == devices.end())
+            fatal("ioctl: no device for command %u", command);
+        it->second->start(std::move(onFinish));
+    }
+
+    bool
+    hasDevice(std::uint32_t command) const
+    {
+        return devices.count(command) != 0;
+    }
+
+  private:
+    std::unordered_map<std::uint32_t, IoctlDevice *> devices;
+};
+
+} // namespace genie
+
+#endif // GENIE_CPU_IOCTL_HH

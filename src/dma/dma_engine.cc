@@ -1,0 +1,161 @@
+#include "dma_engine.hh"
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+DmaEngine::DmaEngine(std::string name, EventQueue &eq, ClockDomain domain,
+                     SystemBus &bus_, Params p)
+    : SimObject(std::move(name)), Clocked(eq, domain), params(p),
+      bus(bus_),
+      statTransactions(stats().add("transactions",
+                                   "DMA transactions serviced")),
+      statSegments(stats().add("segments", "descriptors serviced")),
+      statBeats(stats().add("beats", "bus beats issued")),
+      statBytes(stats().add("bytes", "payload bytes transferred")),
+      statDescriptorFetches(stats().add("descriptorFetches",
+                                        "descriptor fetch reads"))
+{
+    if (params.beatBytes == 0 || params.maxOutstanding == 0)
+        fatal("DMA beat size and window must be non-zero");
+    busPort = bus.attachClient(this, /*snooper=*/false);
+}
+
+void
+DmaEngine::startTransaction(Direction dir, std::vector<Segment> segments,
+                            BeatCallback onBeat, DoneCallback onDone)
+{
+    // Drop empty segments up front.
+    std::vector<Segment> live;
+    for (auto &s : segments) {
+        if (s.len > 0)
+            live.push_back(s);
+    }
+    pending.push_back({dir, std::move(live), std::move(onBeat),
+                       std::move(onDone)});
+    if (!active)
+        startNext();
+}
+
+void
+DmaEngine::startNext()
+{
+    GENIE_ASSERT(!active, "startNext while a transaction is active");
+    if (pending.empty())
+        return;
+    active = true;
+    current = std::move(pending.front());
+    pending.pop_front();
+    segIndex = 0;
+    txnStart = eventq.curTick();
+    ++statTransactions;
+
+    // Fixed setup: metadata reads, CPU initiation, housekeeping.
+    scheduleCycles(params.setupCycles, [this] {
+        if (current.segments.empty())
+            finishTransaction();
+        else
+            beginSegment();
+    });
+}
+
+void
+DmaEngine::beginSegment()
+{
+    ++statSegments;
+    segIssued = 0;
+    segCompleted = 0;
+
+    if (params.fetchDescriptors) {
+        // The descriptor itself is fetched from main memory.
+        ++statDescriptorFetches;
+        std::uint64_t id = nextReqId++;
+        inFlight.emplace(id, BeatInfo{0, 0, 0, /*isDescriptor=*/true});
+        Packet pkt;
+        pkt.cmd = MemCmd::ReadShared;
+        pkt.addr = current.segments[segIndex].busAddr; // descriptor home
+        pkt.size = 16;
+        pkt.reqId = id;
+        ++outstanding;
+        bus.sendRequest(busPort, pkt);
+    } else {
+        pump();
+    }
+}
+
+void
+DmaEngine::pump()
+{
+    const Segment &seg = current.segments[segIndex];
+    while (outstanding < params.maxOutstanding && segIssued < seg.len) {
+        auto len = static_cast<unsigned>(std::min<std::uint64_t>(
+            params.beatBytes, seg.len - segIssued));
+        std::uint64_t id = nextReqId++;
+        inFlight.emplace(id, BeatInfo{seg.arrayId,
+                                      seg.arrayOffset + segIssued, len,
+                                      /*isDescriptor=*/false});
+        Packet pkt;
+        pkt.addr = seg.busAddr + segIssued;
+        pkt.size = len;
+        pkt.reqId = id;
+        pkt.cmd = current.dir == Direction::MemToAccel
+                      ? MemCmd::ReadShared
+                      : MemCmd::WriteReq;
+        ++outstanding;
+        ++statBeats;
+        segIssued += len;
+        bus.sendRequest(busPort, pkt);
+    }
+}
+
+void
+DmaEngine::recvResponse(const Packet &pkt)
+{
+    auto it = inFlight.find(pkt.reqId);
+    GENIE_ASSERT(it != inFlight.end(), "DMA response with unknown reqId");
+    BeatInfo info = it->second;
+    inFlight.erase(it);
+    GENIE_ASSERT(outstanding > 0, "DMA outstanding underflow");
+    --outstanding;
+
+    if (info.isDescriptor) {
+        pump();
+        return;
+    }
+
+    segCompleted += info.len;
+    statBytes += info.len;
+    if (current.onBeat)
+        current.onBeat(info.arrayId, info.arrayOffset, info.len);
+
+    const Segment &seg = current.segments[segIndex];
+    if (segCompleted == seg.len)
+        finishSegment();
+    else
+        pump();
+}
+
+void
+DmaEngine::finishSegment()
+{
+    ++segIndex;
+    if (segIndex < current.segments.size())
+        beginSegment();
+    else
+        finishTransaction();
+}
+
+void
+DmaEngine::finishTransaction()
+{
+    busy.add(txnStart, eventq.curTick());
+    active = false;
+    DoneCallback done = std::move(current.onDone);
+    current = Transaction{};
+    if (done)
+        done();
+    startNext();
+}
+
+} // namespace genie

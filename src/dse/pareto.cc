@@ -1,0 +1,88 @@
+#include "pareto.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<DesignPoint> &points)
+{
+    std::vector<std::size_t> order(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  const auto &ra = points[a].results;
+                  const auto &rb = points[b].results;
+                  if (ra.totalTicks != rb.totalTicks)
+                      return ra.totalTicks < rb.totalTicks;
+                  return ra.avgPowerMw < rb.avgPowerMw;
+              });
+
+    std::vector<std::size_t> frontier;
+    double bestPower = std::numeric_limits<double>::infinity();
+    for (std::size_t i : order) {
+        double p = points[i].results.avgPowerMw;
+        if (p < bestPower) {
+            frontier.push_back(i);
+            bestPower = p;
+        }
+    }
+    return frontier;
+}
+
+std::size_t
+edpOptimal(const std::vector<DesignPoint> &points)
+{
+    GENIE_ASSERT(!points.empty(), "EDP optimum of empty set");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        if (points[i].results.edp < points[best].results.edp)
+            best = i;
+    }
+    return best;
+}
+
+KiviatAxes
+kiviatAxes(const DesignPoint &point, const DesignPoint &reference)
+{
+    KiviatAxes k;
+    const auto &r = point.results;
+    const auto &ref = reference.results;
+    k.lanes = ref.lanes > 0 ? static_cast<double>(r.lanes) /
+                                  static_cast<double>(ref.lanes)
+                            : 0.0;
+    k.sramSize =
+        ref.localSramBytes > 0
+            ? static_cast<double>(r.localSramBytes) /
+                  static_cast<double>(ref.localSramBytes)
+            : 0.0;
+    k.memBandwidth =
+        ref.localMemBandwidthBytesPerCycle > 0
+            ? r.localMemBandwidthBytesPerCycle /
+                  ref.localMemBandwidthBytesPerCycle
+            : 0.0;
+    return k;
+}
+
+CodesignComparison
+compareCodesign(
+    const std::vector<DesignPoint> &isolatedPoints,
+    const std::vector<DesignPoint> &systemPoints,
+    const std::function<DesignPoint(const SocConfig &)> &evalIsolated)
+{
+    CodesignComparison cmp;
+    cmp.isolatedOptimal = isolatedPoints[edpOptimal(isolatedPoints)];
+    cmp.isolatedUnderSystem =
+        evalIsolated(cmp.isolatedOptimal.config);
+    cmp.codesignedOptimal = systemPoints[edpOptimal(systemPoints)];
+    double denom = cmp.codesignedOptimal.results.edp;
+    cmp.edpImprovement =
+        denom > 0 ? cmp.isolatedUnderSystem.results.edp / denom : 0.0;
+    return cmp;
+}
+
+} // namespace genie

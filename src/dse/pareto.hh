@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pareto-frontier extraction, EDP-optimal selection, and the
+ * isolated-vs-co-designed analysis behind Figures 1, 9, and 10.
+ */
+
+#ifndef GENIE_DSE_PARETO_HH
+#define GENIE_DSE_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dse/sweep.hh"
+
+namespace genie
+{
+
+/**
+ * Indices of the Pareto-optimal points minimizing (delay, power),
+ * sorted by increasing delay.
+ */
+std::vector<std::size_t> paretoFrontier(
+    const std::vector<DesignPoint> &points);
+
+/** Index of the minimum-EDP point. */
+std::size_t edpOptimal(const std::vector<DesignPoint> &points);
+
+/** The Figure 9 Kiviat axes for one design point, normalized to a
+ * reference design. */
+struct KiviatAxes
+{
+    double lanes = 0.0;
+    double sramSize = 0.0;
+    double memBandwidth = 0.0;
+};
+
+KiviatAxes kiviatAxes(const DesignPoint &point,
+                      const DesignPoint &reference);
+
+/**
+ * The Figure 1/10 co-design comparison for one scenario:
+ *  - pick the EDP-optimal isolated design,
+ *  - re-evaluate its parameters under full system effects,
+ *  - compare against the EDP-optimal co-designed point.
+ */
+struct CodesignComparison
+{
+    DesignPoint isolatedOptimal;      ///< compute-only metrics
+    DesignPoint isolatedUnderSystem;  ///< same design, system effects
+    DesignPoint codesignedOptimal;    ///< best full-system design
+    /** EDP(isolated under system) / EDP(co-designed optimal). */
+    double edpImprovement = 0.0;
+};
+
+/**
+ * Run the comparison. @p isolatedPoints must be the isolated sweep;
+ * @p systemPoints the full-system sweep for the scenario;
+ * @p evalIsolated maps the isolated-optimal config into the scenario
+ * and simulates it (caller-provided because the mapping depends on
+ * the scenario's memory interface).
+ */
+CodesignComparison compareCodesign(
+    const std::vector<DesignPoint> &isolatedPoints,
+    const std::vector<DesignPoint> &systemPoints,
+    const std::function<DesignPoint(const SocConfig &)> &evalIsolated);
+
+} // namespace genie
+
+#endif // GENIE_DSE_PARETO_HH

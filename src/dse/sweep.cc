@@ -1,0 +1,203 @@
+#include "sweep.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+const std::vector<unsigned> &
+DesignSpace::laneValues()
+{
+    static const std::vector<unsigned> v = {1, 2, 4, 8, 16};
+    return v;
+}
+
+const std::vector<unsigned> &
+DesignSpace::partitionValues()
+{
+    static const std::vector<unsigned> v = {1, 2, 4, 8, 16};
+    return v;
+}
+
+const std::vector<unsigned> &
+DesignSpace::cacheSizeValues()
+{
+    static const std::vector<unsigned> v = {
+        2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024,
+        64 * 1024};
+    return v;
+}
+
+const std::vector<unsigned> &
+DesignSpace::cacheLineValues()
+{
+    static const std::vector<unsigned> v = {16, 32, 64};
+    return v;
+}
+
+const std::vector<unsigned> &
+DesignSpace::cachePortValues()
+{
+    static const std::vector<unsigned> v = {1, 2, 4, 8};
+    return v;
+}
+
+const std::vector<unsigned> &
+DesignSpace::cacheAssocValues()
+{
+    static const std::vector<unsigned> v = {4, 8};
+    return v;
+}
+
+std::vector<SocConfig>
+DesignSpace::isolated(const SocConfig &base)
+{
+    std::vector<SocConfig> configs;
+    for (unsigned lanes : laneValues()) {
+        for (unsigned parts : partitionValues()) {
+            SocConfig c = base;
+            c.memType = MemInterface::ScratchpadDma;
+            c.lanes = lanes;
+            c.spadPartitions = parts;
+            c.isolated = true;
+            configs.push_back(std::move(c));
+        }
+    }
+    return configs;
+}
+
+std::vector<SocConfig>
+DesignSpace::dma(const SocConfig &base)
+{
+    std::vector<SocConfig> configs;
+    for (unsigned lanes : laneValues()) {
+        for (unsigned parts : partitionValues()) {
+            SocConfig c = base;
+            c.memType = MemInterface::ScratchpadDma;
+            c.lanes = lanes;
+            c.spadPartitions = parts;
+            c.isolated = false;
+            c.dma.pipelined = true;
+            c.dma.triggeredCompute = true;
+            configs.push_back(std::move(c));
+        }
+    }
+    return configs;
+}
+
+std::vector<SocConfig>
+DesignSpace::dmaOptions(const SocConfig &base)
+{
+    std::vector<SocConfig> configs;
+    for (unsigned lanes : laneValues()) {
+        for (unsigned parts : partitionValues()) {
+            for (int pipe = 0; pipe <= 1; ++pipe) {
+                for (int trig = 0; trig <= 1; ++trig) {
+                    SocConfig c = base;
+                    c.memType = MemInterface::ScratchpadDma;
+                    c.lanes = lanes;
+                    c.spadPartitions = parts;
+                    c.isolated = false;
+                    c.dma.pipelined = pipe != 0;
+                    c.dma.triggeredCompute = trig != 0;
+                    configs.push_back(std::move(c));
+                }
+            }
+        }
+    }
+    return configs;
+}
+
+std::vector<SocConfig>
+DesignSpace::cache(const SocConfig &base)
+{
+    std::vector<SocConfig> configs;
+    for (unsigned lanes : laneValues()) {
+        for (unsigned size : cacheSizeValues()) {
+            for (unsigned line : cacheLineValues()) {
+                for (unsigned ports : cachePortValues()) {
+                    for (unsigned assoc : cacheAssocValues()) {
+                        SocConfig c = base;
+                        c.memType = MemInterface::Cache;
+                        c.lanes = lanes;
+                        // Private scratchpads (intermediate data)
+                        // are co-designed with the datapath: match
+                        // their banking to the lane count.
+                        c.spadPartitions = lanes;
+                        c.isolated = false;
+                        c.cache.sizeBytes = size;
+                        c.cache.lineBytes = line;
+                        c.cache.ports = ports;
+                        c.cache.assoc = assoc;
+                        configs.push_back(std::move(c));
+                    }
+                }
+            }
+        }
+    }
+    return configs;
+}
+
+SocConfig
+DesignSpace::isolatedAsCache(const SocConfig &isolated,
+                             std::uint64_t workingSetBytes)
+{
+    SocConfig c = isolated;
+    c.memType = MemInterface::Cache;
+    c.isolated = false;
+    unsigned size = cacheSizeValues().front();
+    for (unsigned s : cacheSizeValues()) {
+        size = s;
+        if (s >= workingSetBytes)
+            break;
+    }
+    c.cache.sizeBytes = size;
+    c.cache.lineBytes = 64;
+    c.cache.assoc = 4;
+    c.cache.ports = std::min(8u, isolated.spadPartitions);
+    return c;
+}
+
+std::vector<DesignPoint>
+runSweep(const std::vector<SocConfig> &configs, const Trace &trace,
+         const Dddg &dddg, unsigned threads)
+{
+    std::vector<DesignPoint> points(configs.size());
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 4;
+    }
+    threads = std::min<unsigned>(
+        threads, static_cast<unsigned>(configs.size()));
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            points[i].config = configs[i];
+            points[i].results = runDesign(configs[i], trace, dddg);
+        }
+        return points;
+    }
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        while (true) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= configs.size())
+                return;
+            points[i].config = configs[i];
+            points[i].results = runDesign(configs[i], trace, dddg);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    return points;
+}
+
+} // namespace genie

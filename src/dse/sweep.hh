@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Design-space enumeration and the multithreaded sweep runner.
+ *
+ * The sweeps mirror the paper's Figure 3 parameter table: datapath
+ * lanes {1,2,4,8,16}, scratchpad partitioning {1,2,4,8,16}, transfer
+ * mechanism {DMA, cache}, pipelined DMA and DMA-triggered compute
+ * {on, off}, cache size {2..64 KB}, line size {16,32,64 B}, ports
+ * {1,2,4,8}, associativity {4,8}, bus width {32,64 b}.
+ *
+ * Every Soc owns its own event queue, so design points are simulated
+ * concurrently across hardware threads.
+ */
+
+#ifndef GENIE_DSE_SWEEP_HH
+#define GENIE_DSE_SWEEP_HH
+
+#include <vector>
+
+#include "core/soc.hh"
+
+namespace genie
+{
+
+struct DesignPoint
+{
+    SocConfig config;
+    SocResults results;
+};
+
+class DesignSpace
+{
+  public:
+    /** Standard sweep values from Figure 3. */
+    static const std::vector<unsigned> &laneValues();
+    static const std::vector<unsigned> &partitionValues();
+    static const std::vector<unsigned> &cacheSizeValues();
+    static const std::vector<unsigned> &cacheLineValues();
+    static const std::vector<unsigned> &cachePortValues();
+    static const std::vector<unsigned> &cacheAssocValues();
+
+    /** Isolated accelerator designs: lanes x partitions, compute
+     * phase only (the paper's "designed in isolation" space). */
+    static std::vector<SocConfig> isolated(const SocConfig &base);
+
+    /** Full-system DMA designs with all DMA optimizations applied
+     * (the Figure 8 DMA space): lanes x partitions. */
+    static std::vector<SocConfig> dma(const SocConfig &base);
+
+    /** DMA designs across optimization settings (Figure 6 studies):
+     * lanes x partitions x pipelined x triggered. */
+    static std::vector<SocConfig> dmaOptions(const SocConfig &base);
+
+    /** Full-system cache designs (the Figure 8 cache space):
+     * lanes x size x line x ports x assoc. */
+    static std::vector<SocConfig> cache(const SocConfig &base);
+
+    /**
+     * Map an isolated scratchpad design onto cache parameters the way
+     * an isolation-minded designer would: a cache big enough to hold
+     * the whole working set (@p workingSetBytes rounded up to a power
+     * of two within the sweepable range) with ports matching the
+     * scratchpad bandwidth.
+     */
+    static SocConfig isolatedAsCache(const SocConfig &isolated,
+                                     std::uint64_t workingSetBytes);
+};
+
+/**
+ * Simulate every configuration (in parallel when @p threads > 1).
+ * Results are returned in the order of @p configs.
+ */
+std::vector<DesignPoint> runSweep(const std::vector<SocConfig> &configs,
+                                  const Trace &trace, const Dddg &dddg,
+                                  unsigned threads = 0);
+
+} // namespace genie
+
+#endif // GENIE_DSE_SWEEP_HH

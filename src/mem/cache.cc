@@ -1,0 +1,466 @@
+#include "cache.hh"
+
+#include "mem/prefetcher.hh"
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+Cache::Cache(std::string name, EventQueue &eq, ClockDomain domain,
+             SystemBus &bus_, Params p)
+    : SimObject(std::move(name)), Clocked(eq, domain), params(p),
+      bus(bus_),
+      statHits(stats().add("hits", "demand hits")),
+      statMisses(stats().add("misses", "demand misses")),
+      statReads(stats().add("reads", "demand read accesses")),
+      statWrites(stats().add("writes", "demand write accesses")),
+      statEvictions(stats().add("evictions", "lines evicted")),
+      statWritebacks(stats().add("writebacks", "dirty lines written back")),
+      statUpgrades(stats().add("upgrades", "S/O -> M upgrade requests")),
+      statMshrCoalesced(stats().add("mshrCoalesced",
+                                    "misses merged into an existing MSHR")),
+      statPrefetches(stats().add("prefetches", "prefetch requests issued")),
+      statPrefetchHits(stats().add("prefetchHits",
+                                   "demand hits on prefetched lines")),
+      statSnoopsServiced(stats().add("snoopsServiced",
+                                     "snoops answered with data")),
+      statSnoopInvalidations(stats().add("snoopInvalidations",
+                                         "lines invalidated by snoops")),
+      statTagAccesses(stats().add("tagAccesses", "tag array accesses")),
+      statDataAccesses(stats().add("dataAccesses", "data array accesses"))
+{
+    if (!isPowerOf2(params.lineBytes))
+        fatal("cache line size must be a power of two");
+    if (params.sizeBytes % (params.lineBytes * params.assoc) != 0)
+        fatal("cache size must be divisible by line size * assoc");
+    numSets = params.sizeBytes / (params.lineBytes * params.assoc);
+    if (!isPowerOf2(numSets))
+        fatal("cache set count must be a power of two");
+    sets.assign(numSets, std::vector<Line>(params.assoc));
+    busPort = bus.attachClient(this, /*snooper=*/true);
+    if (params.prefetchEnabled) {
+        prefetcher = std::make_unique<StridePrefetcher>(
+            *this, params.prefetchDegree);
+    }
+}
+
+Cache::~Cache() = default;
+
+std::size_t
+Cache::setIndex(Addr line_addr) const
+{
+    return static_cast<std::size_t>(line_addr / params.lineBytes) %
+           numSets;
+}
+
+Cache::Line *
+Cache::findLine(Addr line_addr)
+{
+    auto &set = sets[setIndex(line_addr)];
+    for (auto &line : set) {
+        if (stateValid(line.state) && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::findLine(Addr line_addr) const
+{
+    return const_cast<Cache *>(this)->findLine(line_addr);
+}
+
+void
+Cache::touch(Line &line)
+{
+    line.lastUse = ++useCounter;
+}
+
+bool
+Cache::portAvailable() const
+{
+    Cycles now = curCycle();
+    if (now != portCycleStamp)
+        return params.ports > 0;
+    return portsUsedThisCycle < params.ports;
+}
+
+Cache::AccessOutcome
+Cache::access(Addr addr, unsigned size, bool isWrite,
+              std::uint64_t reqId, int streamId)
+{
+    GENIE_ASSERT(size <= params.lineBytes &&
+                     lineAddr(addr) == lineAddr(addr + size - 1),
+                 "access crosses a line boundary");
+
+    Cycles now = curCycle();
+    if (now != portCycleStamp) {
+        portCycleStamp = now;
+        portsUsedThisCycle = 0;
+    }
+    if (portsUsedThisCycle >= params.ports)
+        return {Reject::Ports, false};
+
+    Addr la = lineAddr(addr);
+    ++statTagAccesses;
+
+    if (params.perfect) {
+        ++portsUsedThisCycle;
+        ++statDataAccesses;
+        if (isWrite) ++statWrites; else ++statReads;
+        ++statHits;
+        scheduleCycles(params.hitLatency,
+                       [this, reqId] { callback(reqId, true); });
+        return {Reject::None, true};
+    }
+
+    Line *line = findLine(la);
+    bool hit = line != nullptr &&
+               (!isWrite || stateWritable(line->state));
+
+    // A line with a pending MSHR is not yet present; route through the
+    // MSHR as a coalesced target.
+    if (line && line->hasPendingMshr)
+        hit = false;
+
+    if (hit) {
+        ++portsUsedThisCycle;
+        ++statDataAccesses;
+        ++statHits;
+        if (line->wasPrefetched) {
+            ++statPrefetchHits;
+            line->wasPrefetched = false;
+        }
+        if (isWrite) {
+            ++statWrites;
+            line->state = CoherenceState::Modified;
+        } else {
+            ++statReads;
+        }
+        touch(*line);
+        if (prefetcher)
+            prefetcher->notify(streamId, addr);
+        scheduleCycles(params.hitLatency,
+                       [this, reqId] { callback(reqId, true); });
+        return {Reject::None, true};
+    }
+
+    // Miss (or write to a non-writable line -> upgrade).
+    if (!handleMiss(la, isWrite, reqId, /*isPrefetch=*/false))
+        return {Reject::Mshrs, false};
+
+    ++portsUsedThisCycle;
+    ++statMisses;
+    if (isWrite) ++statWrites; else ++statReads;
+    if (prefetcher)
+        prefetcher->notify(streamId, addr);
+    return {Reject::None, false};
+}
+
+bool
+Cache::handleMiss(Addr line_addr, bool isWrite, std::uint64_t reqId,
+                  bool isPrefetch)
+{
+    auto it = mshrByLine.find(line_addr);
+    if (it != mshrByLine.end()) {
+        // Coalesce into the existing MSHR.
+        Mshr &mshr = mshrTable.at(it->second);
+        if (!isPrefetch) {
+            mshr.targets.push_back({reqId, isWrite});
+            mshr.wantExclusive = mshr.wantExclusive || isWrite;
+            mshr.isPrefetch = false;
+            ++statMshrCoalesced;
+        }
+        return true;
+    }
+
+    if (mshrTable.size() >= params.mshrs)
+        return false;
+
+    Mshr mshr;
+    mshr.lineAddr = line_addr;
+    mshr.wantExclusive = isWrite;
+    mshr.isPrefetch = isPrefetch;
+    if (!isPrefetch)
+        mshr.targets.push_back({reqId, isWrite});
+
+    // A write to a line we already hold in S or O needs only an
+    // ownership upgrade, not a data fetch.
+    Line *line = findLine(line_addr);
+    if (line && !line->hasPendingMshr && isWrite &&
+        stateValid(line->state) && !stateWritable(line->state)) {
+        mshr.isUpgrade = true;
+        line->hasPendingMshr = true;
+        ++statUpgrades;
+    }
+
+    std::uint64_t busReqId = nextBusReqId++;
+    auto [mit, ok] = mshrTable.emplace(busReqId, std::move(mshr));
+    GENIE_ASSERT(ok, "duplicate bus reqId");
+    mshrByLine.emplace(line_addr, busReqId);
+    issueMshr(busReqId, mit->second);
+    return true;
+}
+
+void
+Cache::issueMshr(std::uint64_t mshrId, const Mshr &mshr)
+{
+    Packet pkt;
+    pkt.addr = mshr.lineAddr;
+    pkt.size = params.lineBytes;
+    pkt.reqId = mshrId;
+    pkt.isPrefetch = mshr.isPrefetch;
+    if (mshr.isUpgrade)
+        pkt.cmd = MemCmd::Upgrade;
+    else if (mshr.wantExclusive)
+        pkt.cmd = MemCmd::ReadExclusive;
+    else
+        pkt.cmd = MemCmd::ReadShared;
+    bus.sendRequest(busPort, pkt);
+}
+
+Cache::Line &
+Cache::allocateLine(Addr line_addr)
+{
+    auto &set = sets[setIndex(line_addr)];
+    Line *victim = nullptr;
+    for (auto &line : set) {
+        if (!stateValid(line.state) && !line.hasPendingMshr)
+            return line;
+        if (line.hasPendingMshr)
+            continue; // never evict a line with an MSHR in flight
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    GENIE_ASSERT(victim != nullptr, "no evictable way in set");
+    evict(*victim, victim->tag);
+    return *victim;
+}
+
+void
+Cache::evict(Line &line, Addr line_addr)
+{
+    ++statEvictions;
+    if (stateDirty(line.state)) {
+        ++statWritebacks;
+        Packet pkt;
+        pkt.cmd = MemCmd::Writeback;
+        pkt.addr = line_addr;
+        pkt.size = params.lineBytes;
+        pkt.reqId = nextBusReqId++;
+        ++outstandingWritebacks;
+        bus.sendRequest(busPort, pkt);
+    }
+    line.state = CoherenceState::Invalid;
+}
+
+void
+Cache::recvResponse(const Packet &pkt)
+{
+    auto it = mshrTable.find(pkt.reqId);
+    if (it == mshrTable.end()) {
+        // Writeback acknowledgment.
+        GENIE_ASSERT(pkt.cmd == MemCmd::WriteResp,
+                     "unexpected response with no MSHR");
+        GENIE_ASSERT(outstandingWritebacks > 0,
+                     "writeback ack with none outstanding");
+        --outstandingWritebacks;
+        return;
+    }
+
+    Mshr mshr = std::move(it->second);
+    mshrTable.erase(it);
+    mshrByLine.erase(mshr.lineAddr);
+
+    Line *line = nullptr;
+    if (mshr.isUpgrade) {
+        line = findLine(mshr.lineAddr);
+        GENIE_ASSERT(line != nullptr, "upgrade response for absent line");
+        line->hasPendingMshr = false;
+        line->state = CoherenceState::Modified;
+    } else {
+        Line &l = allocateLine(mshr.lineAddr);
+        l.tag = mshr.lineAddr;
+        l.hasPendingMshr = false;
+        l.wasPrefetched = mshr.isPrefetch;
+        if (mshr.wantExclusive) {
+            l.state = CoherenceState::Modified;
+        } else if (pkt.cacheToCache) {
+            // Supplied by an owner: we get a shared, clean copy; the
+            // owner retains responsibility for the dirty data (O).
+            l.state = CoherenceState::Shared;
+        } else {
+            l.state = pkt.sharerPresent ? CoherenceState::Shared
+                                        : CoherenceState::Exclusive;
+        }
+        line = &l;
+        ++statDataAccesses; // line fill writes the data array
+    }
+    touch(*line);
+
+    if (mshr.isPrefetch && mshr.targets.empty())
+        return;
+
+    for (const auto &t : mshr.targets) {
+        scheduleCycles(params.responseLatency, [this, t] {
+            respondToTarget(t, false);
+        });
+    }
+}
+
+void
+Cache::respondToTarget(const MshrTarget &t, bool hit)
+{
+    ++statDataAccesses;
+    callback(t.reqId, hit);
+}
+
+SnoopResult
+Cache::recvSnoop(const Packet &pkt)
+{
+    SnoopResult result;
+    Line *line = findLine(lineAddr(pkt.addr));
+    if (!line || line->hasPendingMshr)
+        return result;
+
+    ++statTagAccesses;
+    result.sharerPresent = true;
+
+    switch (pkt.cmd) {
+      case MemCmd::ReadShared:
+        if (stateDirty(line->state)) {
+            // M/O owner supplies the data and (re)enters Owned.
+            result.ownerSupplies = true;
+            result.supplyLatency = cyclesToTicks(params.hitLatency);
+            ++statSnoopsServiced;
+            ++statDataAccesses;
+            line->state = CoherenceState::Owned;
+        } else if (line->state == CoherenceState::Exclusive) {
+            line->state = CoherenceState::Shared;
+        }
+        break;
+      case MemCmd::ReadExclusive:
+        if (stateDirty(line->state)) {
+            result.ownerSupplies = true;
+            result.supplyLatency = cyclesToTicks(params.hitLatency);
+            ++statSnoopsServiced;
+            ++statDataAccesses;
+        }
+        line->state = CoherenceState::Invalid;
+        ++statSnoopInvalidations;
+        break;
+      case MemCmd::Upgrade:
+        line->state = CoherenceState::Invalid;
+        ++statSnoopInvalidations;
+        break;
+      default:
+        break;
+    }
+    return result;
+}
+
+void
+Cache::prefill(Addr base, std::uint64_t len, bool dirty)
+{
+    // Functional state setup only (models data the CPU produced before
+    // the offload window): victims are silently dropped so no bus
+    // traffic predates the measured run.
+    for (Addr a = alignDown(base, params.lineBytes); a < base + len;
+         a += params.lineBytes) {
+        Line *line = findLine(a);
+        if (!line) {
+            auto &set = sets[setIndex(a)];
+            Line *victim = &set[0];
+            for (auto &cand : set) {
+                if (!stateValid(cand.state)) {
+                    victim = &cand;
+                    break;
+                }
+                if (cand.lastUse < victim->lastUse)
+                    victim = &cand;
+            }
+            victim->tag = a;
+            victim->hasPendingMshr = false;
+            victim->wasPrefetched = false;
+            line = victim;
+        }
+        line->state = dirty ? CoherenceState::Modified
+                            : CoherenceState::Exclusive;
+        touch(*line);
+    }
+}
+
+unsigned
+Cache::flushRange(Addr base, std::uint64_t len)
+{
+    unsigned dirty = 0;
+    for (Addr a = alignDown(base, params.lineBytes); a < base + len;
+         a += params.lineBytes) {
+        Line *line = findLine(a);
+        if (!line)
+            continue;
+        if (stateDirty(line->state)) {
+            ++dirty;
+            ++statWritebacks;
+        }
+        line->state = CoherenceState::Invalid;
+    }
+    return dirty;
+}
+
+unsigned
+Cache::invalidateRange(Addr base, std::uint64_t len)
+{
+    unsigned count = 0;
+    for (Addr a = alignDown(base, params.lineBytes); a < base + len;
+         a += params.lineBytes) {
+        Line *line = findLine(a);
+        if (!line)
+            continue;
+        line->state = CoherenceState::Invalid;
+        ++count;
+    }
+    return count;
+}
+
+CoherenceState
+Cache::lineState(Addr addr) const
+{
+    const Line *line = findLine(lineAddr(addr));
+    return line ? line->state : CoherenceState::Invalid;
+}
+
+bool
+Cache::hasOutstanding() const
+{
+    return !mshrTable.empty() || outstandingWritebacks > 0;
+}
+
+double
+Cache::missRate() const
+{
+    double total = statHits.value() + statMisses.value();
+    return total > 0 ? statMisses.value() / total : 0.0;
+}
+
+void
+Cache::tryPrefetch(Addr line_addr)
+{
+    if (params.perfect)
+        return;
+    Line *line = findLine(line_addr);
+    if (line)
+        return; // already present
+    if (mshrByLine.count(line_addr))
+        return; // already being fetched
+    // Throttle: keep a reserve of MSHRs for demand misses so
+    // prefetch streams never starve the datapath.
+    constexpr unsigned demandReserve = 4;
+    if (mshrTable.size() + demandReserve >= params.mshrs)
+        return;
+    ++statPrefetches;
+    handleMiss(line_addr, /*isWrite=*/false, /*reqId=*/0,
+               /*isPrefetch=*/true);
+}
+
+} // namespace genie

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * A non-blocking, write-back, write-allocate, set-associative cache
+ * with MOESI coherence, MSHRs (hit-under-miss and miss-under-miss),
+ * LRU replacement, an optional strided prefetcher, and explicit
+ * flush/invalidate maintenance operations.
+ *
+ * This is the "hardware-managed cache" accelerator memory interface of
+ * the paper (Section III-D / IV-D): the accelerator datapath issues
+ * accesses through a limited number of cache ports; hits complete in
+ * hitLatency cycles; misses allocate an MSHR and fetch the line over
+ * the snooping system bus, possibly supplied cache-to-cache by a MOESI
+ * owner (e.g. the CPU's cache holding freshly produced input data).
+ */
+
+#ifndef GENIE_MEM_CACHE_HH
+#define GENIE_MEM_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/bus.hh"
+#include "mem/packet.hh"
+#include "sim/clocked.hh"
+#include "sim/sim_object.hh"
+
+namespace genie
+{
+
+class StridePrefetcher;
+
+/** MOESI line states. */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Owned,
+    Modified,
+};
+
+constexpr bool
+stateDirty(CoherenceState s)
+{
+    return s == CoherenceState::Modified || s == CoherenceState::Owned;
+}
+
+constexpr bool
+stateValid(CoherenceState s)
+{
+    return s != CoherenceState::Invalid;
+}
+
+constexpr bool
+stateWritable(CoherenceState s)
+{
+    return s == CoherenceState::Modified ||
+           s == CoherenceState::Exclusive;
+}
+
+/** The cache model. */
+class Cache : public SimObject, public BusClient, public Clocked
+{
+  public:
+    struct Params
+    {
+        unsigned sizeBytes = 16 * 1024;
+        unsigned lineBytes = 64;
+        unsigned assoc = 4;
+        /** Accelerator-side accesses accepted per cycle. */
+        unsigned ports = 1;
+        unsigned mshrs = 16;
+        Cycles hitLatency = 1;
+        /** Extra cycles from line fill to target response. */
+        Cycles responseLatency = 1;
+        bool prefetchEnabled = false;
+        /** Lines ahead a prefetch stream runs. */
+        unsigned prefetchDegree = 2;
+        /** Figure-7 "processing time" mode: every access hits. */
+        bool perfect = false;
+    };
+
+    /** Completion callback: (reqId, wasHit). */
+    using AccessCallback =
+        std::function<void(std::uint64_t reqId, bool hit)>;
+
+    Cache(std::string name, EventQueue &eq, ClockDomain domain,
+          SystemBus &bus, Params params);
+    ~Cache() override;
+
+    /** Install the demand-access completion callback. */
+    void setCallback(AccessCallback cb) { callback = std::move(cb); }
+
+    /** Why an access could not be accepted this cycle. */
+    enum class Reject : std::uint8_t
+    {
+        None,       ///< accepted
+        Ports,      ///< per-cycle port budget exhausted
+        Mshrs,      ///< no MSHR available for a new miss
+    };
+
+    struct AccessOutcome
+    {
+        Reject reject = Reject::None;
+        /** Valid when accepted: whether the access hit. */
+        bool hit = false;
+    };
+
+    /**
+     * Accelerator-side timing access. When accepted, the callback fires
+     * once the access completes. @p streamId feeds the prefetcher
+     * (use the accessed array's id).
+     */
+    AccessOutcome access(Addr addr, unsigned size, bool isWrite,
+                         std::uint64_t reqId, int streamId);
+
+    /** True if a new access could be accepted this cycle (port check
+     * only; an actual miss may still be rejected for MSHRs). */
+    bool portAvailable() const;
+
+    // BusClient interface.
+    void recvResponse(const Packet &pkt) override;
+    SnoopResult recvSnoop(const Packet &pkt) override;
+
+    /**
+     * Functionally install lines covering [base, base+len) (used to
+     * model data the CPU produced before offload). No bus traffic.
+     */
+    void prefill(Addr base, std::uint64_t len, bool dirty);
+
+    /** Functionally write back + invalidate a range.
+     * @return number of dirty lines that required writeback. */
+    unsigned flushRange(Addr base, std::uint64_t len);
+
+    /** Functionally invalidate a range.
+     * @return number of lines invalidated. */
+    unsigned invalidateRange(Addr base, std::uint64_t len);
+
+    /** Look up the coherence state of the line containing @p addr. */
+    CoherenceState lineState(Addr addr) const;
+
+    /** Any misses or writebacks still in flight? */
+    bool hasOutstanding() const;
+
+    unsigned lineBytes() const { return params.lineBytes; }
+    unsigned sizeBytes() const { return params.sizeBytes; }
+    unsigned numPorts() const { return params.ports; }
+    unsigned assoc() const { return params.assoc; }
+
+    double missRate() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        CoherenceState state = CoherenceState::Invalid;
+        std::uint64_t lastUse = 0;
+        bool hasPendingMshr = false;
+        bool wasPrefetched = false;
+    };
+
+    struct MshrTarget
+    {
+        std::uint64_t reqId;
+        bool isWrite;
+    };
+
+    struct Mshr
+    {
+        Addr lineAddr = 0;
+        bool wantExclusive = false;
+        bool isUpgrade = false;
+        bool isPrefetch = false;
+        std::vector<MshrTarget> targets;
+    };
+
+    Addr lineAddr(Addr addr) const { return alignDown(addr, params.lineBytes); }
+    std::size_t setIndex(Addr line_addr) const;
+
+    Line *findLine(Addr line_addr);
+    const Line *findLine(Addr line_addr) const;
+
+    /** Choose a victim way in the set of @p line_addr; may write back. */
+    Line &allocateLine(Addr line_addr);
+
+    /** Account a tag+data array access and bump LRU state. */
+    void touch(Line &line);
+
+    /** Handle a demand miss: allocate/append MSHR, issue bus request.
+     * @return false if no MSHR was available. */
+    bool handleMiss(Addr line_addr, bool isWrite, std::uint64_t reqId,
+                    bool isPrefetch);
+
+    /** Send the bus request for a fresh MSHR. */
+    void issueMshr(std::uint64_t mshrId, const Mshr &mshr);
+
+    /** Evict (and possibly write back) @p line. */
+    void evict(Line &line, Addr line_addr);
+
+    void respondToTarget(const MshrTarget &t, bool hit);
+
+    friend class StridePrefetcher;
+    /** Prefetcher hook: try to fetch @p line_addr into the cache. */
+    void tryPrefetch(Addr line_addr);
+
+    Params params;
+    SystemBus &bus;
+    BusPortId busPort = invalidBusPort;
+    AccessCallback callback;
+
+    std::size_t numSets = 0;
+    std::vector<std::vector<Line>> sets;
+    std::uint64_t useCounter = 0;
+
+    // Outstanding transactions, keyed by our own bus reqIds.
+    std::uint64_t nextBusReqId = 1;
+    std::unordered_map<std::uint64_t, Mshr> mshrTable;   // reqId -> MSHR
+    std::unordered_map<Addr, std::uint64_t> mshrByLine;  // line -> reqId
+    unsigned outstandingWritebacks = 0;
+
+    // Per-cycle port accounting.
+    mutable Cycles portCycleStamp = 0;
+    mutable unsigned portsUsedThisCycle = 0;
+
+    std::unique_ptr<StridePrefetcher> prefetcher;
+
+    Stat &statHits;
+    Stat &statMisses;
+    Stat &statReads;
+    Stat &statWrites;
+    Stat &statEvictions;
+    Stat &statWritebacks;
+    Stat &statUpgrades;
+    Stat &statMshrCoalesced;
+    Stat &statPrefetches;
+    Stat &statPrefetchHits;
+    Stat &statSnoopsServiced;
+    Stat &statSnoopInvalidations;
+    Stat &statTagAccesses;
+    Stat &statDataAccesses;
+};
+
+} // namespace genie
+
+#endif // GENIE_MEM_CACHE_HH

@@ -1,0 +1,99 @@
+#include "scratchpad.hh"
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+Scratchpad::Scratchpad(std::string name, EventQueue &eq,
+                       ClockDomain domain)
+    : SimObject(std::move(name)), Clocked(eq, domain),
+      statReads(stats().add("reads", "scratchpad word reads")),
+      statWrites(stats().add("writes", "scratchpad word writes")),
+      statConflicts(stats().add("conflicts",
+                                "accesses retried due to bank conflicts"))
+{}
+
+int
+Scratchpad::addArray(const ArrayConfig &cfg)
+{
+    if (cfg.partitions == 0 || cfg.portsPerPartition == 0)
+        fatal("scratchpad array '%s' needs >=1 partition and port",
+              cfg.name.c_str());
+    ArrayState st;
+    st.cfg = cfg;
+    st.used.assign(cfg.partitions, 0);
+    arrays.push_back(std::move(st));
+    return static_cast<int>(arrays.size() - 1);
+}
+
+bool
+Scratchpad::tryAccess(int arrayId, Addr offset, bool isWrite)
+{
+    GENIE_ASSERT(arrayId >= 0 &&
+                     static_cast<std::size_t>(arrayId) < arrays.size(),
+                 "bad scratchpad array id %d", arrayId);
+    ArrayState &st = arrays[static_cast<std::size_t>(arrayId)];
+
+    Cycles now = curCycle();
+    if (st.stamp != now) {
+        st.stamp = now;
+        std::fill(st.used.begin(), st.used.end(), 0);
+    }
+
+    std::size_t bank = (offset / st.cfg.wordBytes) % st.cfg.partitions;
+    if (st.used[bank] >= st.cfg.portsPerPartition) {
+        ++statConflicts;
+        return false;
+    }
+    ++st.used[bank];
+    if (isWrite) {
+        ++statWrites;
+        ++st.writes;
+    } else {
+        ++statReads;
+        ++st.reads;
+    }
+    return true;
+}
+
+std::uint64_t
+Scratchpad::arrayReads(int arrayId) const
+{
+    return arrays[static_cast<std::size_t>(arrayId)].reads;
+}
+
+std::uint64_t
+Scratchpad::arrayWrites(int arrayId) const
+{
+    return arrays[static_cast<std::size_t>(arrayId)].writes;
+}
+
+const Scratchpad::ArrayConfig &
+Scratchpad::arrayConfig(int arrayId) const
+{
+    GENIE_ASSERT(arrayId >= 0 &&
+                     static_cast<std::size_t>(arrayId) < arrays.size(),
+                 "bad scratchpad array id %d", arrayId);
+    return arrays[static_cast<std::size_t>(arrayId)].cfg;
+}
+
+std::uint64_t
+Scratchpad::totalBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &a : arrays)
+        total += a.cfg.sizeBytes;
+    return total;
+}
+
+unsigned
+Scratchpad::peakAccessesPerCycle() const
+{
+    unsigned total = 0;
+    for (const auto &a : arrays)
+        total += a.cfg.partitions * a.cfg.portsPerPartition;
+    return total;
+}
+
+} // namespace genie

@@ -1,0 +1,100 @@
+#include "energy_model.hh"
+
+#include <cmath>
+
+namespace genie
+{
+
+double
+EnergyModel::opEnergy(FuKind kind)
+{
+    switch (kind) {
+      case FuKind::IntAlu: return 0.35;
+      case FuKind::IntMul: return 3.2;
+      case FuKind::FpAdd:  return 6.0;
+      case FuKind::FpMul:  return 14.0;
+      case FuKind::FpDiv:  return 55.0;
+      case FuKind::Other:  return 0.2;
+    }
+    return 0.2;
+}
+
+double
+EnergyModel::laneLeakage()
+{
+    // One adder, one multiplier, one FP add, one FP mul, one divider
+    // and control per lane; 40 nm-class leakage.
+    return 0.22; // mW
+}
+
+double
+EnergyModel::sramAccessEnergy(double bankKb, bool write)
+{
+    double read = 1.6 + 1.7 * std::sqrt(bankKb);
+    return write ? read * 1.2 : read;
+}
+
+double
+EnergyModel::spadCrossbarEnergy(unsigned banks)
+{
+    return 0.25 * std::sqrt(static_cast<double>(banks));
+}
+
+double
+EnergyModel::sramLeakage(double totalKb, unsigned banks)
+{
+    // Each bank is its own macro: decoder/sense-amp periphery leaks
+    // regardless of capacity, plus capacity-proportional leakage.
+    return 0.05 * banks + 0.075 * totalKb;
+}
+
+double
+EnergyModel::cacheAccessEnergy(double sizeKb, unsigned assoc,
+                               unsigned ports, bool write)
+{
+    double tag = 0.35 * assoc;                    // parallel tag compare
+    double data = 1.2 + 1.8 * std::sqrt(sizeKb); // data array
+    double portFactor = 1.0 + 0.55 * (ports - 1); // bitline replication
+    double e = (tag + data) * portFactor;
+    return write ? e * 1.2 : e;
+}
+
+double
+EnergyModel::cacheLeakage(double sizeKb, unsigned assoc, unsigned ports)
+{
+    double base = 0.05 + 0.09 * sizeKb + 0.01 * assoc;
+    double portFactor = 1.0 + 0.65 * (ports - 1);
+    return base * portFactor;
+}
+
+double
+EnergyModel::tlbAccessEnergy(unsigned entries)
+{
+    return 0.5 + 0.05 * entries;
+}
+
+double
+EnergyModel::tlbLeakage(unsigned entries)
+{
+    return 0.01 + 0.004 * entries;
+}
+
+double
+EnergyModel::readyBitAccessEnergy()
+{
+    return 0.08;
+}
+
+double
+EnergyModel::readyBitLeakage(std::uint64_t bits)
+{
+    return 0.005 + 1e-5 * static_cast<double>(bits);
+}
+
+double
+EnergyModel::dmaPerByteEnergy()
+{
+    return 0.9; // pJ/B: engine control + local memory write
+}
+
+} // namespace genie

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The accelerator energy model.
+ *
+ * Aladdin characterizes datapath and SRAM power from TSMC 40 nm
+ * standard cells and memory compilers; we cannot access those, so this
+ * model uses literature-calibrated 40 nm-class constants with
+ * CACTI-like analytical scaling:
+ *
+ *  - per-operation functional-unit energies (integer ALU ops well
+ *    under a pJ; FP multiply in the ~10 pJ range; division expensive),
+ *  - SRAM access energy growing ~ sqrt(capacity) (bitline/wordline
+ *    lengths grow with the square root of the array),
+ *  - cache accesses additionally pay tag reads, comparators, and
+ *    multi-porting overheads (multi-ported arrays replicate bitlines;
+ *    cost grows superlinearly with ports),
+ *  - leakage proportional to capacity and port count, plus a fixed
+ *    per-lane datapath leakage.
+ *
+ * Absolute numbers are synthetic; the paper's conclusions depend on
+ * the *relative* trends (caches cost more per access than same-sized
+ * scratchpad partitions; high port counts are much more expensive for
+ * caches than partitioning is for scratchpads; more lanes add leakage
+ * and dynamic FU energy), which this model preserves. See DESIGN.md
+ * substitution #5.
+ */
+
+#ifndef GENIE_POWER_ENERGY_MODEL_HH
+#define GENIE_POWER_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+namespace genie
+{
+
+/** Functional unit classes for energy/latency lookup. */
+enum class FuKind : std::uint8_t
+{
+    IntAlu,  ///< add/sub/compare/logic/shift
+    IntMul,
+    FpAdd,   ///< FP add/sub/convert
+    FpMul,
+    FpDiv,   ///< FP divide / sqrt
+    Other,   ///< address generation, moves, control
+};
+
+/** All energies in picojoules, all leakage in milliwatts. */
+class EnergyModel
+{
+  public:
+    /** Dynamic energy of one operation on a functional unit. */
+    static double opEnergy(FuKind kind);
+
+    /** Leakage of one datapath lane's worth of functional units. */
+    static double laneLeakage();
+
+    /** Scratchpad/SRAM access energy for a bank of @p bankKb KB. */
+    static double sramAccessEnergy(double bankKb, bool write);
+
+    /** Per-access cost of the bank-to-lane crossbar a partitioned
+     * scratchpad needs (grows with partition count). */
+    static double spadCrossbarEnergy(unsigned banks);
+
+    /** Scratchpad/SRAM leakage for total capacity split into banks
+     * (each bank pays its own periphery). */
+    static double sramLeakage(double totalKb, unsigned banks);
+
+    /** Cache access energy: tags (assoc comparators) + data array +
+     * multi-port replication overhead. */
+    static double cacheAccessEnergy(double sizeKb, unsigned assoc,
+                                    unsigned ports, bool write);
+
+    /** Cache leakage, including port replication overhead. */
+    static double cacheLeakage(double sizeKb, unsigned assoc,
+                               unsigned ports);
+
+    /** Accelerator TLB access energy / leakage. */
+    static double tlbAccessEnergy(unsigned entries);
+    static double tlbLeakage(unsigned entries);
+
+    /** Full/empty ready-bit SRAM: per-check energy and leakage. */
+    static double readyBitAccessEnergy();
+    static double readyBitLeakage(std::uint64_t bits);
+
+    /** Energy of moving one byte through the DMA path into local
+     * memory (engine + local write amortized). */
+    static double dmaPerByteEnergy();
+};
+
+} // namespace genie
+
+#endif // GENIE_POWER_ENERGY_MODEL_HH

@@ -1,0 +1,94 @@
+#include "event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+EventQueue::~EventQueue()
+{
+    while (!heap.empty()) {
+        Entry *e = heap.top();
+        heap.pop();
+        delete e;
+    }
+}
+
+EventId
+EventQueue::schedule(Tick when, std::function<void()> action)
+{
+    if (when < _curTick)
+        panic("scheduling event in the past (%llu < %llu)",
+              (unsigned long long)when, (unsigned long long)_curTick);
+    auto *e = new Entry{when, nextSeq++, nextId++, std::move(action),
+                        false};
+    heap.push(e);
+    liveIndex.emplace(e->id, e);
+    ++liveEvents;
+    return e->id;
+}
+
+void
+EventQueue::deschedule(EventId id)
+{
+    auto it = liveIndex.find(id);
+    if (it == liveIndex.end())
+        return; // already fired or cancelled
+    it->second->cancelled = true;
+    liveIndex.erase(it);
+    --liveEvents;
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap.empty() && heap.top()->cancelled) {
+        Entry *e = heap.top();
+        heap.pop();
+        delete e;
+    }
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    skipCancelled();
+    return heap.empty() ? maxTick : heap.top()->when;
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (heap.empty())
+        return false;
+    Entry *e = heap.top();
+    heap.pop();
+    GENIE_ASSERT(e->when >= _curTick, "event heap time went backwards");
+    _curTick = e->when;
+    liveIndex.erase(e->id);
+    --liveEvents;
+    ++executed;
+    // Move the action out so the entry can be deleted before the action
+    // runs: the action may reschedule and grow the heap.
+    std::function<void()> action = std::move(e->action);
+    delete e;
+    action();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick until)
+{
+    while (true) {
+        Tick next = nextTick();
+        if (next == maxTick || next > until)
+            break;
+        step();
+    }
+    if (until != maxTick && _curTick < until)
+        _curTick = until;
+    return _curTick;
+}
+
+} // namespace genie

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * An EventQueue owns the global tick counter for one simulated system.
+ * There is deliberately no global/singleton queue: each Soc instance
+ * owns its own EventQueue so that design-space sweeps can run thousands
+ * of independent simulations concurrently on different threads.
+ *
+ * Events with equal ticks fire in FIFO order of scheduling (a strict
+ * total order keeps simulations deterministic and reproducible).
+ */
+
+#ifndef GENIE_SIM_EVENT_QUEUE_HH
+#define GENIE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace genie
+{
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/** Sentinel returned for "no event". */
+constexpr EventId invalidEventId = 0;
+
+/**
+ * A min-heap driven discrete event queue with deterministic tie
+ * breaking and O(1) amortized cancellation (lazy deletion).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in ticks. */
+    Tick curTick() const { return _curTick; }
+
+    /**
+     * Schedule @p action to run at absolute time @p when.
+     * @return a handle usable with deschedule().
+     */
+    EventId schedule(Tick when, std::function<void()> action);
+
+    /** Schedule @p action @p delta ticks in the future. */
+    EventId
+    scheduleIn(Tick delta, std::function<void()> action)
+    {
+        return schedule(_curTick + delta, std::move(action));
+    }
+
+    /** Cancel a previously scheduled event. Safe on fired events. */
+    void deschedule(EventId id);
+
+    /** True if no live events remain. */
+    bool empty() const { return liveEvents == 0; }
+
+    /** Number of live (scheduled, uncancelled, unfired) events. */
+    std::size_t size() const { return liveEvents; }
+
+    /** Tick of the next live event, or maxTick if none. */
+    Tick nextTick() const;
+
+    /**
+     * Run events until the queue is empty or @p until is reached
+     * (events at exactly @p until are executed).
+     * @return the final current tick.
+     */
+    Tick run(Tick until = maxTick);
+
+    /** Execute at most one event. @return false if queue was empty. */
+    bool step();
+
+    /** Total number of events executed since construction. */
+    std::uint64_t numExecuted() const { return executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventId id;
+        std::function<void()> action;
+        bool cancelled = false;
+    };
+
+    struct EntryCompare
+    {
+        bool
+        operator()(const Entry *a, const Entry *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    /** Pop cancelled entries off the top of the heap. */
+    void skipCancelled() const;
+
+    Tick _curTick = 0;
+    std::uint64_t nextSeq = 0;
+    EventId nextId = 1;
+    std::uint64_t executed = 0;
+    std::size_t liveEvents = 0;
+
+    // Heap of owning pointers; cancellation marks the entry and the heap
+    // lazily discards it when it reaches the top.
+    mutable std::priority_queue<Entry *, std::vector<Entry *>,
+                                EntryCompare> heap;
+    // Map from live EventId to entry, for cancellation.
+    std::unordered_map<EventId, Entry *> liveIndex;
+};
+
+} // namespace genie
+
+#endif // GENIE_SIM_EVENT_QUEUE_HH

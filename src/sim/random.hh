@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload input
+ * data. A fixed default seed keeps every simulation bit-reproducible;
+ * std::mt19937_64 would also work but xoshiro is faster and needs no
+ * <random> machinery at call sites.
+ */
+
+#ifndef GENIE_SIM_RANDOM_HH
+#define GENIE_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace genie
+{
+
+/** splitmix64/xorshift-based deterministic RNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    range(double lo, double hi)
+    {
+        return lo + (hi - lo) * real();
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+} // namespace genie
+
+#endif // GENIE_SIM_RANDOM_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SimObject: the common base for named, stat-bearing model components.
+ */
+
+#ifndef GENIE_SIM_SIM_OBJECT_HH
+#define GENIE_SIM_SIM_OBJECT_HH
+
+#include <string>
+#include <utility>
+
+#include "sim/stats.hh"
+
+namespace genie
+{
+
+/**
+ * Base class for all simulated hardware components. Provides a
+ * hierarchical name and a statistics group.
+ */
+class SimObject
+{
+  public:
+    explicit SimObject(std::string name)
+        : _name(std::move(name)), _stats(_name)
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    StatGroup &stats() { return _stats; }
+    const StatGroup &stats() const { return _stats; }
+
+  private:
+    std::string _name;
+    StatGroup _stats;
+};
+
+} // namespace genie
+
+#endif // GENIE_SIM_SIM_OBJECT_HH

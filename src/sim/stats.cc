@@ -1,0 +1,52 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+Stat &
+StatGroup::add(const std::string &name, const std::string &desc)
+{
+    auto [it, inserted] =
+        stats.emplace(name, Stat(_prefix + "." + name, desc));
+    if (!inserted)
+        panic("duplicate stat '%s' in group '%s'", name.c_str(),
+              _prefix.c_str());
+    order.push_back(&it->second);
+    return it->second;
+}
+
+const Stat *
+StatGroup::find(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? nullptr : &it->second;
+}
+
+double
+StatGroup::get(const std::string &name) const
+{
+    const Stat *s = find(name);
+    return s ? s->value() : 0.0;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const Stat *s : order) {
+        os << std::left << std::setw(44) << s->name() << ' '
+           << std::setw(16) << s->value() << " # " << s->desc() << '\n';
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (Stat *s : order)
+        s->reset();
+}
+
+} // namespace genie

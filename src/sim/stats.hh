@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A light-weight statistics package in the spirit of gem5's Stats.
+ *
+ * Stats are plain counters owned by their SimObject; a StatGroup keeps
+ * name/description metadata so reports can be dumped uniformly. Values
+ * are intentionally simple (no binning) — the paper's results are all
+ * scalar aggregates per simulation run.
+ */
+
+#ifndef GENIE_SIM_STATS_HH
+#define GENIE_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace genie
+{
+
+/** A named scalar statistic. */
+class Stat
+{
+  public:
+    Stat() = default;
+    Stat(std::string name, std::string desc)
+        : _name(std::move(name)), _desc(std::move(desc))
+    {}
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    double value() const { return _value; }
+
+    Stat &operator++() { _value += 1.0; return *this; }
+    Stat &operator+=(double v) { _value += v; return *this; }
+    Stat &operator=(double v) { _value = v; return *this; }
+
+    void reset() { _value = 0.0; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _value = 0.0;
+};
+
+/**
+ * A collection of named stats belonging to one component.
+ * Registration returns references that stay valid for the group's
+ * lifetime (stats are stored in a deque-like stable container).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string prefix)
+        : _prefix(std::move(prefix))
+    {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    /** Create and register a stat named "<prefix>.<name>". */
+    Stat &add(const std::string &name, const std::string &desc);
+
+    /** Look up a stat by its short (unprefixed) name; null if absent. */
+    const Stat *find(const std::string &name) const;
+
+    /** Value of a stat by short name; 0 if absent. */
+    double get(const std::string &name) const;
+
+    /** All stats in registration order. */
+    const std::vector<Stat *> &all() const { return order; }
+
+    const std::string &prefix() const { return _prefix; }
+
+    /** Dump "name value  # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every stat to zero. */
+    void resetAll();
+
+  private:
+    std::string _prefix;
+    std::map<std::string, Stat> stats;
+    std::vector<Stat *> order;
+};
+
+} // namespace genie
+
+#endif // GENIE_SIM_STATS_HH

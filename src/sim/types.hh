@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fundamental simulator-wide type definitions.
+ *
+ * Genie follows gem5's convention of a picosecond-granularity global
+ * tick counter. All latencies in the model are ultimately expressed in
+ * ticks; clocked objects convert between their local cycles and ticks
+ * through their ClockDomain.
+ */
+
+#ifndef GENIE_SIM_TYPES_HH
+#define GENIE_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace genie
+{
+
+/** Absolute simulated time, in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A relative count of clock cycles in some clock domain. */
+using Cycles = std::uint64_t;
+
+/** A (simulated physical or trace) memory address. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no tick" / "never". */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** Ticks per common time units. */
+constexpr Tick tickPerPs = 1;
+constexpr Tick tickPerNs = 1000;
+constexpr Tick tickPerUs = 1000 * 1000;
+constexpr Tick tickPerMs = 1000ull * 1000 * 1000;
+constexpr Tick tickPerSec = 1000ull * 1000 * 1000 * 1000;
+
+/** Convert a frequency in MHz to a clock period in ticks. */
+constexpr Tick
+periodFromMhz(std::uint64_t mhz)
+{
+    return tickPerSec / (mhz * 1000 * 1000);
+}
+
+/** Round @p addr down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr addr, Addr align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Round @p addr up to a multiple of @p align (power of two). */
+constexpr Addr
+alignUp(Addr addr, Addr align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Integer ceiling division. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** True if @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2 for a power-of-two value. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v > 1) { v >>= 1; ++l; }
+    return l;
+}
+
+} // namespace genie
+
+#endif // GENIE_SIM_TYPES_HH

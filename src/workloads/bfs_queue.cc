@@ -1,0 +1,161 @@
+/**
+ * @file
+ * bfs-queue: breadth-first search with an explicit work queue
+ * (MachSuite bfs/queue).
+ *
+ * Memory behavior: data-dependent, pointer-chasing-like traversal —
+ * edge lists are walked from node offsets and level updates are
+ * scattered. Parallelism is limited to the frontier; mostly
+ * data-movement bound under DMA.
+ */
+
+#include "workloads/workload_impl.hh"
+
+#include <deque>
+
+namespace genie
+{
+
+namespace
+{
+
+constexpr unsigned numNodes = 256;
+constexpr unsigned degree = 4;
+constexpr unsigned numEdges = numNodes * degree;
+
+struct Graph
+{
+    std::vector<std::int32_t> edgeBegin; // numNodes + 1
+    std::vector<std::int32_t> edges;     // numEdges
+};
+
+Graph
+makeGraph()
+{
+    Rng rng(0xbf5);
+    Graph g;
+    g.edgeBegin.resize(numNodes + 1);
+    g.edges.resize(numEdges);
+    for (unsigned i = 0; i <= numNodes; ++i)
+        g.edgeBegin[i] = static_cast<std::int32_t>(i * degree);
+    for (unsigned e = 0; e < numEdges; ++e)
+        g.edges[e] = static_cast<std::int32_t>(rng.below(numNodes));
+    // Make connectivity likely: node i always links to i+1.
+    for (unsigned i = 0; i + 1 < numNodes; ++i)
+        g.edges[i * degree] = static_cast<std::int32_t>(i + 1);
+    return g;
+}
+
+constexpr std::int32_t unvisited = 127;
+
+} // namespace
+
+class BfsQueueWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "bfs-queue"; }
+
+    std::string
+    description() const override
+    {
+        return "queue-based BFS over a 256-node graph; "
+               "data-dependent gathers and scatters";
+    }
+
+    WorkloadOutput
+    build() const override
+    {
+        Graph g = makeGraph();
+        std::vector<std::int32_t> level(numNodes, unvisited);
+
+        TraceBuilder tb;
+        int abeg = tb.addArray("nodes", (numNodes + 1) * 4, 4, true,
+                               false);
+        int aedg = tb.addArray("edges", numEdges * 4, 4, true, false);
+        int alvl = tb.addArray("level", numNodes * 4, 4, true, true);
+        // The work queue is private intermediate storage.
+        int aq = tb.addArray("queue", numNodes * 4, 4, false, false,
+                             /*privateScratch=*/true);
+
+        std::deque<std::int32_t> queue;
+        level[0] = 0;
+        queue.push_back(0);
+        // Trace: enqueue the root.
+        tb.beginIteration();
+        {
+            NodeId zero = tb.op(Opcode::Mov, {});
+            tb.store(aq, 0, 4, {zero});
+            tb.store(alvl, 0, 4, {zero});
+        }
+
+        unsigned qHead = 0, qTail = 1;
+        while (!queue.empty()) {
+            std::int32_t n = queue.front();
+            queue.pop_front();
+            tb.beginIteration();
+            NodeId ln = tb.load(aq, (qHead % numNodes) * 4, 4);
+            ++qHead;
+            auto un = static_cast<unsigned>(n);
+            NodeId lb = tb.load(abeg, un * 4, 4, {ln});
+            NodeId le = tb.load(abeg, (un + 1) * 4, 4, {ln});
+            for (std::int32_t e = g.edgeBegin[un];
+                 e < g.edgeBegin[un + 1]; ++e) {
+                NodeId ledge = tb.load(
+                    aedg, static_cast<Addr>(e) * 4, 4, {lb, le});
+                auto dst = static_cast<unsigned>(
+                    g.edges[static_cast<std::size_t>(e)]);
+                NodeId llvl = tb.load(alvl, dst * 4, 4, {ledge});
+                NodeId cmp = tb.op(Opcode::IntCmp, {llvl});
+                if (level[dst] == unvisited) {
+                    level[dst] = level[un] + 1;
+                    queue.push_back(static_cast<std::int32_t>(dst));
+                    NodeId nl = tb.op(Opcode::IntAdd, {cmp});
+                    tb.store(alvl, dst * 4, 4, {nl});
+                    tb.store(aq, (qTail % numNodes) * 4, 4, {nl});
+                    ++qTail;
+                }
+            }
+        }
+
+        WorkloadOutput result;
+        result.trace = tb.take();
+        for (std::int32_t v : level)
+            result.checksum += static_cast<double>(v);
+        return result;
+    }
+
+    double
+    reference() const override
+    {
+        Graph g = makeGraph();
+        std::vector<std::int32_t> level(numNodes, unvisited);
+        std::deque<std::int32_t> queue;
+        level[0] = 0;
+        queue.push_back(0);
+        while (!queue.empty()) {
+            auto n = static_cast<unsigned>(queue.front());
+            queue.pop_front();
+            for (std::int32_t e = g.edgeBegin[n];
+                 e < g.edgeBegin[n + 1]; ++e) {
+                auto dst = static_cast<unsigned>(
+                    g.edges[static_cast<std::size_t>(e)]);
+                if (level[dst] == unvisited) {
+                    level[dst] = level[n] + 1;
+                    queue.push_back(static_cast<std::int32_t>(dst));
+                }
+            }
+        }
+        double checksum = 0.0;
+        for (std::int32_t v : level)
+            checksum += static_cast<double>(v);
+        return checksum;
+    }
+};
+
+WorkloadPtr
+makeBfsQueue()
+{
+    return std::make_unique<BfsQueueWorkload>();
+}
+
+} // namespace genie

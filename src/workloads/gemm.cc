@@ -1,0 +1,108 @@
+/**
+ * @file
+ * gemm-ncubed: dense matrix-matrix multiply, the classic O(n^3)
+ * triply-nested loop (MachSuite gemm/ncubed).
+ *
+ * Memory behavior: perfectly regular streaming reads of A and B with
+ * high compute-to-memory ratio. The paper finds cache-based designs
+ * can match DMA performance here but pay extra power for tag/TLB
+ * overheads (Figure 8c).
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+constexpr unsigned dim = 24; // N x N matrices of doubles
+
+std::vector<double>
+makeMatrix(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> m(dim * dim);
+    for (auto &v : m)
+        v = rng.range(-1.0, 1.0);
+    return m;
+}
+
+} // namespace
+
+class GemmWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "gemm-ncubed"; }
+
+    std::string
+    description() const override
+    {
+        return "dense 24x24 double GEMM; regular streaming, "
+               "compute-dominant";
+    }
+
+    WorkloadOutput
+    build() const override
+    {
+        auto matA = makeMatrix(0xa);
+        auto matB = makeMatrix(0xb);
+        std::vector<double> matC(dim * dim, 0.0);
+
+        TraceBuilder tb;
+        int a = tb.addArray("A", dim * dim * 8, 8, true, false);
+        int b = tb.addArray("B", dim * dim * 8, 8, true, false);
+        int c = tb.addArray("C", dim * dim * 8, 8, false, true);
+
+        for (unsigned i = 0; i < dim; ++i) {
+            for (unsigned j = 0; j < dim; ++j) {
+                tb.beginIteration();
+                NodeId acc = invalidNode;
+                double sum = 0.0;
+                for (unsigned k = 0; k < dim; ++k) {
+                    NodeId la = tb.load(a, (i * dim + k) * 8, 8);
+                    NodeId lb = tb.load(b, (k * dim + j) * 8, 8);
+                    NodeId mul = tb.op(Opcode::FpMul, {la, lb});
+                    acc = acc == invalidNode
+                              ? mul
+                              : tb.op(Opcode::FpAdd, {acc, mul});
+                    sum += matA[i * dim + k] * matB[k * dim + j];
+                }
+                tb.store(c, (i * dim + j) * 8, 8, {acc});
+                matC[i * dim + j] = sum;
+            }
+        }
+
+        WorkloadOutput out;
+        out.trace = tb.take();
+        for (double v : matC)
+            out.checksum += v;
+        return out;
+    }
+
+    double
+    reference() const override
+    {
+        auto matA = makeMatrix(0xa);
+        auto matB = makeMatrix(0xb);
+        double checksum = 0.0;
+        for (unsigned i = 0; i < dim; ++i) {
+            for (unsigned j = 0; j < dim; ++j) {
+                double sum = 0.0;
+                for (unsigned k = 0; k < dim; ++k)
+                    sum += matA[i * dim + k] * matB[k * dim + j];
+                checksum += sum;
+            }
+        }
+        return checksum;
+    }
+};
+
+WorkloadPtr
+makeGemm()
+{
+    return std::make_unique<GemmWorkload>();
+}
+
+} // namespace genie

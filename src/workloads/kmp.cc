@@ -1,0 +1,155 @@
+/**
+ * @file
+ * kmp: Knuth-Morris-Pratt substring search (MachSuite kmp/kmp).
+ *
+ * Memory behavior: a single streaming pass over a large text with a
+ * tiny pattern and failure table — very low compute per byte, the
+ * canonical data-movement-bound kernel (high DMA share in Figure 2b).
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+constexpr unsigned patternLen = 4;
+constexpr unsigned textLen = 4096;
+
+std::vector<std::int32_t>
+makeText()
+{
+    Rng rng(0x6b3a);
+    std::vector<std::int32_t> t(textLen);
+    for (auto &c : t)
+        c = static_cast<std::int32_t>(rng.below(4)); // small alphabet
+    return t;
+}
+
+std::vector<std::int32_t>
+makePattern()
+{
+    return {0, 1, 0, 2};
+}
+
+std::vector<std::int32_t>
+buildFailureTable(const std::vector<std::int32_t> &pattern)
+{
+    std::vector<std::int32_t> kmpNext(patternLen, 0);
+    std::int32_t k = 0;
+    for (unsigned q = 1; q < patternLen; ++q) {
+        while (k > 0 &&
+               pattern[static_cast<std::size_t>(k)] != pattern[q])
+            k = kmpNext[static_cast<std::size_t>(k - 1)];
+        if (pattern[static_cast<std::size_t>(k)] == pattern[q])
+            ++k;
+        kmpNext[q] = k;
+    }
+    return kmpNext;
+}
+
+} // namespace
+
+class KmpWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "kmp-kmp"; }
+
+    std::string
+    description() const override
+    {
+        return "KMP search of a 4-char pattern in 16 KB of text; "
+               "streaming, compute-light";
+    }
+
+    WorkloadOutput
+    build() const override
+    {
+        auto text = makeText();
+        auto pattern = makePattern();
+        auto kmpNext = buildFailureTable(pattern);
+
+        TraceBuilder tb;
+        int apat = tb.addArray("pattern", patternLen * 4, 4, true,
+                               false);
+        int anext = tb.addArray("kmpNext", patternLen * 4, 4, true,
+                                false);
+        int atxt = tb.addArray("input", textLen * 4, 4, true, false);
+        int amat = tb.addArray("nMatches", 4, 4, false, true);
+
+        std::int32_t matches = 0;
+        std::int32_t q = 0;
+        NodeId lastMatchStore = invalidNode;
+        // One iteration per text chunk keeps lane work units coarse
+        // enough to matter (the inner chars are sequential anyway).
+        constexpr unsigned chunk = 32;
+        for (unsigned base = 0; base < textLen; base += chunk) {
+            tb.beginIteration();
+            for (unsigned i = base; i < base + chunk; ++i) {
+                NodeId lc = tb.load(atxt, i * 4, 4);
+                while (q > 0 &&
+                       pattern[static_cast<std::size_t>(q)] !=
+                           text[i]) {
+                    NodeId ln = tb.load(
+                        anext,
+                        static_cast<Addr>(q - 1) * 4, 4, {lc});
+                    NodeId lp2 = tb.load(
+                        apat, static_cast<Addr>(q) * 4, 4, {ln});
+                    tb.op(Opcode::IntCmp, {lp2, lc});
+                    q = kmpNext[static_cast<std::size_t>(q - 1)];
+                }
+                NodeId lp = tb.load(
+                    apat, static_cast<Addr>(q) * 4, 4);
+                NodeId cmp = tb.op(Opcode::IntCmp, {lp, lc});
+                if (pattern[static_cast<std::size_t>(q)] == text[i])
+                    ++q;
+                if (q >= static_cast<std::int32_t>(patternLen)) {
+                    ++matches;
+                    q = kmpNext[patternLen - 1];
+                    std::vector<NodeId> deps = {cmp};
+                    if (lastMatchStore != invalidNode)
+                        deps.push_back(lastMatchStore);
+                    NodeId inc = tb.op(Opcode::IntAdd, deps);
+                    lastMatchStore = tb.store(amat, 0, 4, {inc});
+                }
+            }
+        }
+
+        WorkloadOutput result;
+        result.trace = tb.take();
+        result.checksum = static_cast<double>(matches);
+        return result;
+    }
+
+    double
+    reference() const override
+    {
+        auto text = makeText();
+        auto pattern = makePattern();
+        auto kmpNext = buildFailureTable(pattern);
+        std::int32_t matches = 0;
+        std::int32_t q = 0;
+        for (unsigned i = 0; i < textLen; ++i) {
+            while (q > 0 &&
+                   pattern[static_cast<std::size_t>(q)] != text[i])
+                q = kmpNext[static_cast<std::size_t>(q - 1)];
+            if (pattern[static_cast<std::size_t>(q)] == text[i])
+                ++q;
+            if (q >= static_cast<std::int32_t>(patternLen)) {
+                ++matches;
+                q = kmpNext[patternLen - 1];
+            }
+        }
+        return static_cast<double>(matches);
+    }
+};
+
+WorkloadPtr
+makeKmp()
+{
+    return std::make_unique<KmpWorkload>();
+}
+
+} // namespace genie

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * md-grid: molecular-dynamics force computation over a 3-D cell grid
+ * (MachSuite md/grid).
+ *
+ * Memory behavior: instead of an explicit neighbor list (md-knn),
+ * atoms interact with every atom in the 3^3 neighboring cells —
+ * nested loops over a blocked spatial structure with high FP
+ * intensity and block-local reuse.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+constexpr unsigned gridDim = 3;        // cells per axis
+constexpr unsigned densityMax = 4;     // atoms per cell
+constexpr unsigned cells = gridDim * gridDim * gridDim;
+
+struct GridData
+{
+    std::vector<std::int32_t> nPoints;  // atoms per cell
+    std::vector<double> posX, posY, posZ;
+};
+
+constexpr std::size_t
+cellIndex(unsigned x, unsigned y, unsigned z)
+{
+    return (static_cast<std::size_t>(x) * gridDim + y) * gridDim + z;
+}
+
+GridData
+makeGrid()
+{
+    Rng rng(0x3d621);
+    GridData g;
+    g.nPoints.resize(cells);
+    g.posX.resize(cells * densityMax);
+    g.posY.resize(cells * densityMax);
+    g.posZ.resize(cells * densityMax);
+    for (unsigned c = 0; c < cells; ++c) {
+        g.nPoints[c] =
+            static_cast<std::int32_t>(2 + rng.below(densityMax - 1));
+        for (unsigned a = 0; a < densityMax; ++a) {
+            g.posX[c * densityMax + a] = rng.range(0.0, 3.0);
+            g.posY[c * densityMax + a] = rng.range(0.0, 3.0);
+            g.posZ[c * densityMax + a] = rng.range(0.0, 3.0);
+        }
+    }
+    return g;
+}
+
+inline void
+ljForce(double dx, double dy, double dz, double &f)
+{
+    double r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 == 0.0)
+        return;
+    double r2inv = 1.0 / r2;
+    double r6inv = r2inv * r2inv * r2inv;
+    f += r2inv * r6inv * (1.5 * r6inv - 2.0);
+}
+
+} // namespace
+
+class MdGridWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "md-grid"; }
+
+    std::string
+    description() const override
+    {
+        return "cell-grid molecular dynamics, 3x3x3 cells x up-to-4 "
+               "atoms; FP-dense neighbor-cell loops";
+    }
+
+    WorkloadOutput
+    build() const override
+    {
+        GridData g = makeGrid();
+        std::vector<double> force(cells * densityMax, 0.0);
+
+        TraceBuilder tb;
+        int an = tb.addArray("n_points", cells * 4, 4, true, false);
+        int ax = tb.addArray("pos_x", cells * densityMax * 8, 8,
+                             true, false);
+        int ay = tb.addArray("pos_y", cells * densityMax * 8, 8,
+                             true, false);
+        int az = tb.addArray("pos_z", cells * densityMax * 8, 8,
+                             true, false);
+        int af = tb.addArray("force", cells * densityMax * 8, 8,
+                             false, true);
+
+        for (unsigned bx = 0; bx < gridDim; ++bx) {
+            for (unsigned by = 0; by < gridDim; ++by) {
+                for (unsigned bz = 0; bz < gridDim; ++bz) {
+                    tb.beginIteration();
+                    std::size_t home = cellIndex(bx, by, bz);
+                    NodeId lnHome =
+                        tb.load(an, home * 4, 4);
+                    auto nHome = static_cast<unsigned>(
+                        g.nPoints[home]);
+
+                    for (unsigned a = 0; a < nHome; ++a) {
+                        std::size_t ai = home * densityMax + a;
+                        NodeId iax = tb.load(ax, ai * 8, 8,
+                                             {lnHome});
+                        NodeId iay = tb.load(ay, ai * 8, 8);
+                        NodeId iaz = tb.load(az, ai * 8, 8);
+                        NodeId facc = invalidNode;
+                        double f = 0.0;
+
+                        // Neighbor cells (clamped 3^3 stencil).
+                        for (unsigned nx = bx > 0 ? bx - 1 : 0;
+                             nx <= std::min(bx + 1, gridDim - 1);
+                             ++nx) {
+                        for (unsigned ny = by > 0 ? by - 1 : 0;
+                             ny <= std::min(by + 1, gridDim - 1);
+                             ++ny) {
+                        for (unsigned nz = bz > 0 ? bz - 1 : 0;
+                             nz <= std::min(bz + 1, gridDim - 1);
+                             ++nz) {
+                            std::size_t nbr =
+                                cellIndex(nx, ny, nz);
+                            NodeId lnN = tb.load(an, nbr * 4, 4);
+                            auto nN = static_cast<unsigned>(
+                                g.nPoints[nbr]);
+                            for (unsigned b = 0; b < nN; ++b) {
+                                std::size_t bi =
+                                    nbr * densityMax + b;
+                                if (bi == ai)
+                                    continue;
+                                NodeId jx = tb.load(ax, bi * 8, 8,
+                                                    {lnN});
+                                NodeId jy = tb.load(ay, bi * 8, 8);
+                                NodeId jz = tb.load(az, bi * 8, 8);
+                                NodeId dx = tb.op(Opcode::FpAdd,
+                                                  {iax, jx});
+                                NodeId dy = tb.op(Opcode::FpAdd,
+                                                  {iay, jy});
+                                NodeId dz = tb.op(Opcode::FpAdd,
+                                                  {iaz, jz});
+                                NodeId r2 = tb.reduce(
+                                    Opcode::FpAdd,
+                                    {tb.op(Opcode::FpMul, {dx, dx}),
+                                     tb.op(Opcode::FpMul, {dy, dy}),
+                                     tb.op(Opcode::FpMul,
+                                           {dz, dz})});
+                                NodeId inv =
+                                    tb.op(Opcode::FpDiv, {r2});
+                                NodeId r6 = tb.op(
+                                    Opcode::FpMul,
+                                    {tb.op(Opcode::FpMul,
+                                           {inv, inv}),
+                                     inv});
+                                NodeId pot = tb.op(
+                                    Opcode::FpMul,
+                                    {r6, tb.op(Opcode::FpAdd,
+                                               {r6})});
+                                NodeId fterm = tb.op(
+                                    Opcode::FpMul, {inv, pot});
+                                facc =
+                                    facc == invalidNode
+                                        ? fterm
+                                        : tb.op(Opcode::FpAdd,
+                                                {facc, fterm});
+                                ljForce(
+                                    g.posX[ai] - g.posX[bi],
+                                    g.posY[ai] - g.posY[bi],
+                                    g.posZ[ai] - g.posZ[bi], f);
+                            }
+                        }
+                        }
+                        }
+                        tb.store(af, ai * 8, 8,
+                                 {facc == invalidNode
+                                      ? lnHome
+                                      : facc});
+                        force[ai] = f;
+                    }
+                }
+            }
+        }
+
+        WorkloadOutput result;
+        result.trace = tb.take();
+        for (double v : force)
+            result.checksum += v;
+        return result;
+    }
+
+    double
+    reference() const override
+    {
+        GridData g = makeGrid();
+        double checksum = 0.0;
+        for (unsigned bx = 0; bx < gridDim; ++bx) {
+        for (unsigned by = 0; by < gridDim; ++by) {
+        for (unsigned bz = 0; bz < gridDim; ++bz) {
+            std::size_t home = cellIndex(bx, by, bz);
+            auto nHome = static_cast<unsigned>(g.nPoints[home]);
+            for (unsigned a = 0; a < nHome; ++a) {
+                std::size_t ai = home * densityMax + a;
+                double f = 0.0;
+                for (unsigned nx = bx > 0 ? bx - 1 : 0;
+                     nx <= std::min(bx + 1, gridDim - 1); ++nx) {
+                for (unsigned ny = by > 0 ? by - 1 : 0;
+                     ny <= std::min(by + 1, gridDim - 1); ++ny) {
+                for (unsigned nz = bz > 0 ? bz - 1 : 0;
+                     nz <= std::min(bz + 1, gridDim - 1); ++nz) {
+                    std::size_t nbr = cellIndex(nx, ny, nz);
+                    auto nN = static_cast<unsigned>(g.nPoints[nbr]);
+                    for (unsigned b = 0; b < nN; ++b) {
+                        std::size_t bi = nbr * densityMax + b;
+                        if (bi == ai)
+                            continue;
+                        ljForce(g.posX[ai] - g.posX[bi],
+                                g.posY[ai] - g.posY[bi],
+                                g.posZ[ai] - g.posZ[bi], f);
+                    }
+                }
+                }
+                }
+                checksum += f;
+            }
+        }
+        }
+        }
+        return checksum;
+    }
+};
+
+WorkloadPtr
+makeMdGrid()
+{
+    return std::make_unique<MdGridWorkload>();
+}
+
+} // namespace genie

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * md-knn: k-nearest-neighbor molecular dynamics force computation
+ * (MachSuite md/knn). The paper's Figure 2a timeline kernel.
+ *
+ * Memory behavior: compute-intensive — 12+ FP multiplies and an
+ * unpipelined reciprocal per atom-to-atom interaction dominate power.
+ * The neighbor list is read in order, so ready bits are extremely
+ * effective: with just four lanes the paper reports 99% compute/DMA
+ * overlap (Section IV-C1); DMA and cache Pareto curves largely
+ * overlap (Figure 8f).
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+constexpr unsigned atoms = 128;
+constexpr unsigned neighbors = 16;
+
+struct Positions
+{
+    std::vector<double> x, y, z;
+};
+
+Positions
+makePositions()
+{
+    Rng rng(0x3d411);
+    Positions p;
+    p.x.resize(atoms);
+    p.y.resize(atoms);
+    p.z.resize(atoms);
+    for (unsigned i = 0; i < atoms; ++i) {
+        p.x[i] = rng.range(0.0, 20.0);
+        p.y[i] = rng.range(0.0, 20.0);
+        p.z[i] = rng.range(0.0, 20.0);
+    }
+    return p;
+}
+
+std::vector<std::int32_t>
+makeNeighborList()
+{
+    Rng rng(0x3d412);
+    std::vector<std::int32_t> nl(atoms * neighbors);
+    for (unsigned i = 0; i < atoms; ++i) {
+        for (unsigned j = 0; j < neighbors; ++j) {
+            std::uint64_t n = rng.below(atoms - 1);
+            if (n >= i)
+                ++n; // never self
+            nl[i * neighbors + j] = static_cast<std::int32_t>(n);
+        }
+    }
+    return nl;
+}
+
+/** Lennard-Jones-ish force term used by MachSuite md. */
+inline void
+ljForce(double dx, double dy, double dz, double &fx, double &fy,
+        double &fz)
+{
+    double r2 = dx * dx + dy * dy + dz * dz;
+    double r2inv = 1.0 / r2;
+    double r6inv = r2inv * r2inv * r2inv;
+    double potential = r6inv * (1.5 * r6inv - 2.0);
+    double force = r2inv * potential;
+    fx += dx * force;
+    fy += dy * force;
+    fz += dz * force;
+}
+
+} // namespace
+
+class MdKnnWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "md-knn"; }
+
+    std::string
+    description() const override
+    {
+        return "k-NN molecular dynamics, 128 atoms x 16 neighbors; "
+               "FP-multiply dominant";
+    }
+
+    WorkloadOutput
+    build() const override
+    {
+        auto pos = makePositions();
+        auto nl = makeNeighborList();
+        std::vector<double> fx(atoms, 0.0), fy(atoms, 0.0),
+            fz(atoms, 0.0);
+
+        TraceBuilder tb;
+        int ax = tb.addArray("pos_x", atoms * 8, 8, true, false);
+        int ay = tb.addArray("pos_y", atoms * 8, 8, true, false);
+        int az = tb.addArray("pos_z", atoms * 8, 8, true, false);
+        int anl = tb.addArray("NL", atoms * neighbors * 4, 4, true,
+                              false);
+        int afx = tb.addArray("force_x", atoms * 8, 8, false, true);
+        int afy = tb.addArray("force_y", atoms * 8, 8, false, true);
+        int afz = tb.addArray("force_z", atoms * 8, 8, false, true);
+
+        for (unsigned i = 0; i < atoms; ++i) {
+            tb.beginIteration();
+            NodeId ix = tb.load(ax, i * 8, 8);
+            NodeId iy = tb.load(ay, i * 8, 8);
+            NodeId iz = tb.load(az, i * 8, 8);
+            NodeId sfx = invalidNode, sfy = invalidNode,
+                   sfz = invalidNode;
+            double vfx = 0.0, vfy = 0.0, vfz = 0.0;
+
+            for (unsigned j = 0; j < neighbors; ++j) {
+                NodeId lidx =
+                    tb.load(anl, (i * neighbors + j) * 4, 4);
+                auto n = static_cast<unsigned>(
+                    nl[i * neighbors + j]);
+                // The neighbor's coordinates are indirect loads whose
+                // addresses depend on the NL entry.
+                NodeId jx = tb.load(ax, n * 8, 8, {lidx});
+                NodeId jy = tb.load(ay, n * 8, 8, {lidx});
+                NodeId jz = tb.load(az, n * 8, 8, {lidx});
+
+                NodeId dx = tb.op(Opcode::FpAdd, {ix, jx});
+                NodeId dy = tb.op(Opcode::FpAdd, {iy, jy});
+                NodeId dz = tb.op(Opcode::FpAdd, {iz, jz});
+                NodeId dx2 = tb.op(Opcode::FpMul, {dx, dx});
+                NodeId dy2 = tb.op(Opcode::FpMul, {dy, dy});
+                NodeId dz2 = tb.op(Opcode::FpMul, {dz, dz});
+                NodeId r2 =
+                    tb.reduce(Opcode::FpAdd, {dx2, dy2, dz2});
+                NodeId r2inv = tb.op(Opcode::FpDiv, {r2});
+                NodeId r4 = tb.op(Opcode::FpMul, {r2inv, r2inv});
+                NodeId r6 = tb.op(Opcode::FpMul, {r4, r2inv});
+                NodeId t1 = tb.op(Opcode::FpMul, {r6});
+                NodeId t2 = tb.op(Opcode::FpAdd, {t1});
+                NodeId pot = tb.op(Opcode::FpMul, {r6, t2});
+                NodeId force = tb.op(Opcode::FpMul, {r2inv, pot});
+                NodeId ffx = tb.op(Opcode::FpMul, {dx, force});
+                NodeId ffy = tb.op(Opcode::FpMul, {dy, force});
+                NodeId ffz = tb.op(Opcode::FpMul, {dz, force});
+                sfx = sfx == invalidNode
+                          ? ffx
+                          : tb.op(Opcode::FpAdd, {sfx, ffx});
+                sfy = sfy == invalidNode
+                          ? ffy
+                          : tb.op(Opcode::FpAdd, {sfy, ffy});
+                sfz = sfz == invalidNode
+                          ? ffz
+                          : tb.op(Opcode::FpAdd, {sfz, ffz});
+
+                ljForce(pos.x[i] - pos.x[n], pos.y[i] - pos.y[n],
+                        pos.z[i] - pos.z[n], vfx, vfy, vfz);
+            }
+            tb.store(afx, i * 8, 8, {sfx});
+            tb.store(afy, i * 8, 8, {sfy});
+            tb.store(afz, i * 8, 8, {sfz});
+            fx[i] = vfx;
+            fy[i] = vfy;
+            fz[i] = vfz;
+        }
+
+        WorkloadOutput result;
+        result.trace = tb.take();
+        for (unsigned i = 0; i < atoms; ++i)
+            result.checksum += fx[i] + fy[i] + fz[i];
+        return result;
+    }
+
+    double
+    reference() const override
+    {
+        auto pos = makePositions();
+        auto nl = makeNeighborList();
+        double checksum = 0.0;
+        for (unsigned i = 0; i < atoms; ++i) {
+            double vfx = 0.0, vfy = 0.0, vfz = 0.0;
+            for (unsigned j = 0; j < neighbors; ++j) {
+                auto n = static_cast<unsigned>(
+                    nl[i * neighbors + j]);
+                ljForce(pos.x[i] - pos.x[n], pos.y[i] - pos.y[n],
+                        pos.z[i] - pos.z[n], vfx, vfy, vfz);
+            }
+            checksum += vfx + vfy + vfz;
+        }
+        return checksum;
+    }
+};
+
+WorkloadPtr
+makeMdKnn()
+{
+    return std::make_unique<MdKnnWorkload>();
+}
+
+} // namespace genie

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * nw: Needleman-Wunsch DNA sequence alignment (MachSuite nw/nw).
+ *
+ * Memory behavior: tiny inputs (two short sequences) and a large
+ * *internal* dynamic-programming score matrix that the paper keeps in
+ * local scratchpads even in cache mode (Section IV-D). The kernel is
+ * strongly serial (each cell depends on three earlier cells), so it
+ * "doesn't benefit from data parallelism in the first place" and
+ * always prefers DMA (Figure 8b).
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+constexpr unsigned seqLen = 64;
+constexpr unsigned dim = seqLen + 1;
+constexpr std::int32_t matchScore = 1;
+constexpr std::int32_t mismatchScore = -1;
+constexpr std::int32_t gapScore = -1;
+
+std::vector<std::int32_t>
+makeSequence(std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::int32_t> s(seqLen);
+    for (auto &c : s)
+        c = static_cast<std::int32_t>(rng.below(4)); // ACTG
+    return s;
+}
+
+} // namespace
+
+class NwWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "nw-nw"; }
+
+    std::string
+    description() const override
+    {
+        return "Needleman-Wunsch alignment of two 64-base sequences; "
+               "serial DP over a private score matrix";
+    }
+
+    WorkloadOutput
+    build() const override
+    {
+        auto seqA = makeSequence(0x5317a);
+        auto seqB = makeSequence(0x5317b);
+        std::vector<std::int32_t> matrix(dim * dim, 0);
+
+        TraceBuilder tb;
+        int aa = tb.addArray("seqA", seqLen * 4, 4, true, false);
+        int ab = tb.addArray("seqB", seqLen * 4, 4, true, false);
+        // The score matrix is private intermediate data: local
+        // scratchpad in both memory modes.
+        int am = tb.addArray("M", dim * dim * 4, 4, false, false,
+                             /*privateScratch=*/true);
+        int aout = tb.addArray("score", dim * 4, 4, false, true);
+
+        // Boundary initialization.
+        tb.beginIteration();
+        for (unsigned i = 0; i < dim; ++i) {
+            NodeId v = tb.op(Opcode::IntMul, {});
+            tb.store(am, i * 4, 4, {v});
+            tb.store(am, i * dim * 4, 4, {v});
+            matrix[i] = static_cast<std::int32_t>(i) * gapScore;
+            matrix[i * dim] = static_cast<std::int32_t>(i) * gapScore;
+        }
+
+        // Iterations are 8-cell chunks of the inner loop (Aladdin
+        // unrolls the innermost loop): chunk k+1 depends on chunk k's
+        // last cell through the DP recurrence, so datapath lanes
+        // cannot run ahead — nw "doesn't benefit from data
+        // parallelism in the first place" (Section IV-C2).
+        constexpr unsigned chunk = 8;
+        for (unsigned i = 1; i < dim; ++i) {
+            for (unsigned j = 1; j < dim; ++j) {
+                if ((j - 1) % chunk == 0)
+                    tb.beginIteration();
+                NodeId lca = tb.load(aa, (j - 1) * 4, 4);
+                NodeId lcb = tb.load(ab, (i - 1) * 4, 4);
+                NodeId cmp = tb.op(Opcode::IntCmp, {lca, lcb});
+                NodeId ldiag =
+                    tb.load(am, ((i - 1) * dim + j - 1) * 4, 4);
+                NodeId lup = tb.load(am, ((i - 1) * dim + j) * 4, 4);
+                NodeId lleft =
+                    tb.load(am, (i * dim + j - 1) * 4, 4);
+                NodeId sDiag = tb.op(Opcode::IntAdd, {ldiag, cmp});
+                NodeId sUp = tb.op(Opcode::IntAdd, {lup});
+                NodeId sLeft = tb.op(Opcode::IntAdd, {lleft});
+                NodeId m1 = tb.op(Opcode::IntCmp, {sDiag, sUp});
+                NodeId best = tb.op(Opcode::IntCmp, {m1, sLeft});
+                tb.store(am, (i * dim + j) * 4, 4, {best});
+
+                std::int32_t match =
+                    seqA[j - 1] == seqB[i - 1] ? matchScore
+                                               : mismatchScore;
+                std::int32_t sd =
+                    matrix[(i - 1) * dim + j - 1] + match;
+                std::int32_t su = matrix[(i - 1) * dim + j] + gapScore;
+                std::int32_t sl = matrix[i * dim + j - 1] + gapScore;
+                matrix[i * dim + j] =
+                    std::max(sd, std::max(su, sl));
+            }
+        }
+
+        // Emit the final row as the result.
+        tb.beginIteration();
+        for (unsigned j = 0; j < dim; ++j) {
+            NodeId l = tb.load(am, ((dim - 1) * dim + j) * 4, 4);
+            tb.store(aout, j * 4, 4, {l});
+        }
+
+        WorkloadOutput result;
+        result.trace = tb.take();
+        for (unsigned j = 0; j < dim; ++j)
+            result.checksum +=
+                static_cast<double>(matrix[(dim - 1) * dim + j]);
+        return result;
+    }
+
+    double
+    reference() const override
+    {
+        auto seqA = makeSequence(0x5317a);
+        auto seqB = makeSequence(0x5317b);
+        std::vector<std::int32_t> matrix(dim * dim, 0);
+        for (unsigned i = 0; i < dim; ++i) {
+            matrix[i] = static_cast<std::int32_t>(i) * gapScore;
+            matrix[i * dim] = static_cast<std::int32_t>(i) * gapScore;
+        }
+        for (unsigned i = 1; i < dim; ++i) {
+            for (unsigned j = 1; j < dim; ++j) {
+                std::int32_t match =
+                    seqA[j - 1] == seqB[i - 1] ? matchScore
+                                               : mismatchScore;
+                std::int32_t sd =
+                    matrix[(i - 1) * dim + j - 1] + match;
+                std::int32_t su = matrix[(i - 1) * dim + j] + gapScore;
+                std::int32_t sl = matrix[i * dim + j - 1] + gapScore;
+                matrix[i * dim + j] =
+                    std::max(sd, std::max(su, sl));
+            }
+        }
+        double checksum = 0.0;
+        for (unsigned j = 0; j < dim; ++j)
+            checksum +=
+                static_cast<double>(matrix[(dim - 1) * dim + j]);
+        return checksum;
+    }
+};
+
+WorkloadPtr
+makeNw()
+{
+    return std::make_unique<NwWorkload>();
+}
+
+} // namespace genie

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Workload registry: names and factories.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+struct Entry
+{
+    const char *name;
+    WorkloadPtr (*factory)();
+};
+
+const Entry entries[] = {
+    {"aes-aes", makeAes},
+    {"nw-nw", makeNw},
+    {"gemm-ncubed", makeGemm},
+    {"stencil-stencil2d", makeStencil2d},
+    {"stencil-stencil3d", makeStencil3d},
+    {"md-knn", makeMdKnn},
+    {"spmv-crs", makeSpmvCrs},
+    {"fft-transpose", makeFftTranspose},
+    {"bfs-queue", makeBfsQueue},
+    {"sort-merge", makeSortMerge},
+    {"viterbi-viterbi", makeViterbi},
+    {"kmp-kmp", makeKmp},
+    {"gemm-blocked", makeGemmBlocked},
+    {"sort-radix", makeSortRadix},
+    {"md-grid", makeMdGrid},
+    {"spmv-ellpack", makeSpmvEllpack},
+};
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto &e : entries)
+        names.emplace_back(e.name);
+    return names;
+}
+
+WorkloadPtr
+makeWorkload(const std::string &name)
+{
+    for (const auto &e : entries) {
+        if (name == e.name)
+            return e.factory();
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::vector<std::string>
+figure8Workloads()
+{
+    return {"aes-aes",           "nw-nw",
+            "gemm-ncubed",       "stencil-stencil2d",
+            "stencil-stencil3d", "md-knn",
+            "spmv-crs",          "fft-transpose"};
+}
+
+} // namespace genie

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * viterbi: Viterbi decoding of a hidden Markov model (MachSuite
+ * viterbi/viterbi).
+ *
+ * Memory behavior: dense all-pairs state updates per time step with
+ * serial dependences across steps; moderately compute- and
+ * memory-balanced. Scores use integer negative-log-likelihoods.
+ */
+
+#include "workloads/workload_impl.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+constexpr unsigned numStates = 16;
+constexpr unsigned steps = 24;
+
+struct Hmm
+{
+    std::vector<std::int32_t> init;     // numStates
+    std::vector<std::int32_t> transition; // numStates x numStates
+    std::vector<std::int32_t> emission;   // numStates x numStates
+    std::vector<std::int32_t> obs;        // steps
+};
+
+Hmm
+makeHmm()
+{
+    Rng rng(0x417e);
+    Hmm h;
+    h.init.resize(numStates);
+    h.transition.resize(numStates * numStates);
+    h.emission.resize(numStates * numStates);
+    h.obs.resize(steps);
+    for (auto &v : h.init)
+        v = static_cast<std::int32_t>(rng.below(64));
+    for (auto &v : h.transition)
+        v = static_cast<std::int32_t>(rng.below(64));
+    for (auto &v : h.emission)
+        v = static_cast<std::int32_t>(rng.below(64));
+    for (auto &v : h.obs)
+        v = static_cast<std::int32_t>(rng.below(numStates));
+    return h;
+}
+
+} // namespace
+
+class ViterbiWorkload : public Workload
+{
+  public:
+    std::string name() const override { return "viterbi-viterbi"; }
+
+    std::string
+    description() const override
+    {
+        return "Viterbi decode, 16 states x 24 steps; serial "
+               "dynamic programming";
+    }
+
+    WorkloadOutput
+    build() const override
+    {
+        Hmm h = makeHmm();
+        std::vector<std::int32_t> llike(steps * numStates, 0);
+
+        TraceBuilder tb;
+        int aini = tb.addArray("init", numStates * 4, 4, true, false);
+        int atra = tb.addArray("transition",
+                               numStates * numStates * 4, 4, true,
+                               false);
+        int aemi = tb.addArray("emission", numStates * numStates * 4,
+                               4, true, false);
+        int aobs = tb.addArray("obs", steps * 4, 4, true, false);
+        int alik = tb.addArray("llike", steps * numStates * 4, 4,
+                               false, true);
+
+        // Initial step.
+        tb.beginIteration();
+        for (unsigned s = 0; s < numStates; ++s) {
+            NodeId li = tb.load(aini, s * 4, 4);
+            NodeId lo = tb.load(aobs, 0, 4);
+            auto obs0 = static_cast<unsigned>(h.obs[0]);
+            NodeId le =
+                tb.load(aemi, (obs0 * numStates + s) * 4, 4, {lo});
+            NodeId sum = tb.op(Opcode::IntAdd, {li, le});
+            tb.store(alik, s * 4, 4, {sum});
+            llike[s] = h.init[s] +
+                       h.emission[obs0 * numStates + s];
+        }
+
+        for (unsigned t = 1; t < steps; ++t) {
+            tb.beginIteration();
+            auto obst = static_cast<unsigned>(h.obs[t]);
+            NodeId lo = tb.load(aobs, t * 4, 4);
+            for (unsigned cur = 0; cur < numStates; ++cur) {
+                NodeId best = invalidNode;
+                std::int32_t bestVal = 0;
+                for (unsigned prev = 0; prev < numStates; ++prev) {
+                    NodeId lp = tb.load(
+                        alik, ((t - 1) * numStates + prev) * 4, 4);
+                    NodeId lt = tb.load(
+                        atra, (prev * numStates + cur) * 4, 4);
+                    NodeId sum = tb.op(Opcode::IntAdd, {lp, lt});
+                    best = best == invalidNode
+                               ? sum
+                               : tb.op(Opcode::IntCmp, {best, sum});
+                    std::int32_t v =
+                        llike[(t - 1) * numStates + prev] +
+                        h.transition[prev * numStates + cur];
+                    if (prev == 0 || v < bestVal)
+                        bestVal = v;
+                }
+                NodeId le = tb.load(
+                    aemi, (obst * numStates + cur) * 4, 4, {lo});
+                NodeId total = tb.op(Opcode::IntAdd, {best, le});
+                tb.store(alik, (t * numStates + cur) * 4, 4,
+                         {total});
+                llike[t * numStates + cur] =
+                    bestVal + h.emission[obst * numStates + cur];
+            }
+        }
+
+        WorkloadOutput result;
+        result.trace = tb.take();
+        for (unsigned s = 0; s < numStates; ++s)
+            result.checksum += static_cast<double>(
+                llike[(steps - 1) * numStates + s]);
+        return result;
+    }
+
+    double
+    reference() const override
+    {
+        Hmm h = makeHmm();
+        std::vector<std::int32_t> llike(steps * numStates, 0);
+        auto obs0 = static_cast<unsigned>(h.obs[0]);
+        for (unsigned s = 0; s < numStates; ++s)
+            llike[s] =
+                h.init[s] + h.emission[obs0 * numStates + s];
+        for (unsigned t = 1; t < steps; ++t) {
+            auto obst = static_cast<unsigned>(h.obs[t]);
+            for (unsigned cur = 0; cur < numStates; ++cur) {
+                std::int32_t bestVal = 0;
+                for (unsigned prev = 0; prev < numStates; ++prev) {
+                    std::int32_t v =
+                        llike[(t - 1) * numStates + prev] +
+                        h.transition[prev * numStates + cur];
+                    if (prev == 0 || v < bestVal)
+                        bestVal = v;
+                }
+                llike[t * numStates + cur] =
+                    bestVal + h.emission[obst * numStates + cur];
+            }
+        }
+        double checksum = 0.0;
+        for (unsigned s = 0; s < numStates; ++s)
+            checksum += static_cast<double>(
+                llike[(steps - 1) * numStates + s]);
+        return checksum;
+    }
+};
+
+WorkloadPtr
+makeViterbi()
+{
+    return std::make_unique<ViterbiWorkload>();
+}
+
+} // namespace genie

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The workload interface: MachSuite-style accelerated kernels.
+ *
+ * Each workload provides
+ *   - build():     execute the kernel functionally in C++ *while*
+ *                  emitting its dynamic trace through the TraceBuilder
+ *                  DSL, returning the trace plus a checksum of the
+ *                  kernel's outputs, and
+ *   - reference(): an independent, straightforward C++ implementation
+ *                  returning the same checksum.
+ * The test suite asserts the two checksums agree for every workload,
+ * which keeps traces honest: they are real executions of the kernel,
+ * not synthetic op soups (DESIGN.md substitution #1/#4).
+ *
+ * Input data is generated deterministically from a fixed per-workload
+ * seed, so every simulation is bit-reproducible.
+ */
+
+#ifndef GENIE_WORKLOADS_WORKLOAD_HH
+#define GENIE_WORKLOADS_WORKLOAD_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/trace.hh"
+#include "sim/random.hh"
+
+namespace genie
+{
+
+struct WorkloadOutput
+{
+    Trace trace;
+    double checksum = 0.0;
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** MachSuite-style benchmark name (e.g. "gemm-ncubed"). */
+    virtual std::string name() const = 0;
+
+    /** Short description of the kernel and its memory behavior. */
+    virtual std::string description() const = 0;
+
+    /** Execute functionally and emit the dynamic trace. */
+    virtual WorkloadOutput build() const = 0;
+
+    /** Independent reference implementation (checksum only). */
+    virtual double reference() const = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+/** Names of all registered workloads, in canonical order. */
+std::vector<std::string> workloadNames();
+
+/** Instantiate a workload by name; fatal() on unknown names. */
+WorkloadPtr makeWorkload(const std::string &name);
+
+/** The eight benchmarks Figure 8/9/10 study, in the paper's order
+ * (left-to-right by preference for DMA vs cache). */
+std::vector<std::string> figure8Workloads();
+
+} // namespace genie
+
+#endif // GENIE_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Shared includes and the factory hooks each workload translation
+ * unit exports toward the registry.
+ */
+
+#ifndef GENIE_WORKLOADS_WORKLOAD_IMPL_HH
+#define GENIE_WORKLOADS_WORKLOAD_IMPL_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace genie
+{
+
+WorkloadPtr makeAes();
+WorkloadPtr makeNw();
+WorkloadPtr makeGemm();
+WorkloadPtr makeStencil2d();
+WorkloadPtr makeStencil3d();
+WorkloadPtr makeMdKnn();
+WorkloadPtr makeSpmvCrs();
+WorkloadPtr makeFftTranspose();
+WorkloadPtr makeBfsQueue();
+WorkloadPtr makeSortMerge();
+WorkloadPtr makeViterbi();
+WorkloadPtr makeKmp();
+WorkloadPtr makeGemmBlocked();
+WorkloadPtr makeSortRadix();
+WorkloadPtr makeMdGrid();
+WorkloadPtr makeSpmvEllpack();
+
+} // namespace genie
+
+#endif // GENIE_WORKLOADS_WORKLOAD_IMPL_HH

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Accelerator-model unit tests: the trace-builder DSL, DDDG
+ * construction (register + memory dependences, critical path), and
+ * the datapath scheduler (dataflow, lanes, waves, FU limits,
+ * scratchpad conflicts, ready-bit stalls, per-lane miss stalls).
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/datapath.hh"
+#include "accel/dddg.hh"
+#include "accel/trace.hh"
+#include "sim/logging.hh"
+
+namespace genie
+{
+namespace
+{
+
+constexpr Tick accelPeriod = 10000; // 100 MHz
+
+TEST(TraceBuilder, EmitsOpsInProgramOrder)
+{
+    TraceBuilder tb;
+    int a = tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    NodeId l = tb.load(a, 0, 4);
+    NodeId c = tb.op(Opcode::IntAdd, {l});
+    EXPECT_EQ(l, 0u);
+    EXPECT_EQ(c, 1u);
+    Trace t = tb.take();
+    EXPECT_EQ(t.ops.size(), 2u);
+    EXPECT_EQ(t.ops[1].deps.size(), 1u);
+}
+
+TEST(TraceBuilder, RejectsOutOfBoundsAccess)
+{
+    TraceBuilder tb;
+    int a = tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    EXPECT_DEATH(tb.load(a, 64, 4), "out of bounds");
+}
+
+TEST(TraceBuilder, RejectsZeroSizedArray)
+{
+    TraceBuilder tb;
+    EXPECT_THROW(tb.addArray("z", 0, 4, true, false), FatalError);
+}
+
+TEST(TraceBuilder, ReduceBuildsBalancedTree)
+{
+    TraceBuilder tb;
+    tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    std::vector<NodeId> leaves;
+    for (int i = 0; i < 8; ++i)
+        leaves.push_back(tb.op(Opcode::Mov, {}));
+    tb.reduce(Opcode::FpAdd, leaves);
+    Trace t = tb.take();
+    // 8 leaves + 7 internal adds.
+    EXPECT_EQ(t.ops.size(), 15u);
+    Dddg g(t);
+    // Balanced tree depth: 3 adds above any leaf.
+    EXPECT_EQ(g.criticalPathCycles(t),
+              latencyOf(Opcode::Mov) + 3 * latencyOf(Opcode::FpAdd));
+}
+
+TEST(TraceBuilder, InputOutputAccounting)
+{
+    TraceBuilder tb;
+    tb.addArray("in", 128, 4, true, false);
+    tb.addArray("out", 64, 4, false, true);
+    tb.addArray("both", 32, 4, true, true);
+    tb.addArray("priv", 256, 4, false, false, true);
+    Trace t = tb.peek();
+    EXPECT_EQ(t.totalInputBytes(), 160u);
+    EXPECT_EQ(t.totalOutputBytes(), 96u);
+    EXPECT_EQ(t.totalArrayBytes(), 480u);
+}
+
+TEST(Dddg, InfersStoreToLoadDependence)
+{
+    TraceBuilder tb;
+    int a = tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    NodeId v = tb.op(Opcode::IntAdd, {});
+    NodeId s = tb.store(a, 16, 4, {v});
+    NodeId l = tb.load(a, 16, 4);
+    Trace t = tb.take();
+    Dddg g(t);
+    EXPECT_GE(g.numMemoryEdges(), 1u);
+    bool found = false;
+    for (NodeId c : g.children(s))
+        found = found || c == l;
+    EXPECT_TRUE(found);
+}
+
+TEST(Dddg, NoFalseDependenceBetweenDifferentAddresses)
+{
+    TraceBuilder tb;
+    int a = tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    NodeId v = tb.op(Opcode::IntAdd, {});
+    NodeId s = tb.store(a, 0, 4, {v});
+    tb.load(a, 32, 4);
+    Trace t = tb.take();
+    Dddg g(t);
+    EXPECT_TRUE(g.children(s).empty());
+}
+
+TEST(Dddg, DuplicateDepsCountOnce)
+{
+    TraceBuilder tb;
+    tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    NodeId x = tb.op(Opcode::Mov, {});
+    NodeId sq = tb.op(Opcode::FpMul, {x, x}); // x*x
+    Trace t = tb.take();
+    Dddg g(t);
+    EXPECT_EQ(g.parents(sq), 1u);
+    EXPECT_EQ(g.children(x).size(), 1u);
+}
+
+TEST(Dddg, LastWriterWins)
+{
+    TraceBuilder tb;
+    int a = tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    NodeId s1 = tb.store(a, 0, 4, {});
+    NodeId s2 = tb.store(a, 0, 4, {});
+    NodeId l = tb.load(a, 0, 4);
+    Trace t = tb.take();
+    Dddg g(t);
+    bool fromS1 = false, fromS2 = false;
+    for (NodeId c : g.children(s1))
+        fromS1 = fromS1 || c == l;
+    for (NodeId c : g.children(s2))
+        fromS2 = fromS2 || c == l;
+    EXPECT_FALSE(fromS1);
+    EXPECT_TRUE(fromS2);
+}
+
+TEST(Dddg, CriticalPathOfChain)
+{
+    TraceBuilder tb;
+    tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    NodeId n = tb.op(Opcode::FpMul, {});
+    for (int i = 0; i < 9; ++i)
+        n = tb.op(Opcode::FpMul, {n});
+    Trace t = tb.take();
+    Dddg g(t);
+    EXPECT_EQ(g.criticalPathCycles(t), 10 * latencyOf(Opcode::FpMul));
+}
+
+// ---------------------------------------------------------------
+// Datapath scheduling.
+// ---------------------------------------------------------------
+
+struct DatapathFixture
+{
+    explicit DatapathFixture(Trace t, Datapath::Params params = {})
+        : trace(std::move(t)), dddg(trace),
+          spad("spad", eq, ClockDomain(accelPeriod)),
+          fe("fe", 64),
+          dp("dp", eq, ClockDomain(accelPeriod), trace, dddg, params,
+             Datapath::MemMode::ScratchpadDma)
+    {
+        std::vector<int> spadIds, feIds;
+        for (const auto &a : trace.arrays) {
+            Scratchpad::ArrayConfig sc;
+            sc.name = a.name;
+            sc.sizeBytes = a.sizeBytes;
+            sc.wordBytes = a.wordBytes;
+            sc.partitions = partitions;
+            spadIds.push_back(spad.addArray(sc));
+            int feId = fe.addArray(a.sizeBytes);
+            feIds.push_back(trackReadyBits ? feId : -1);
+            if (!trackReadyBits)
+                fe.fill(feId, 0, a.sizeBytes);
+        }
+        dp.attachScratchpad(&spad, spadIds, &fe, feIds);
+    }
+
+    static unsigned partitions;
+    static bool trackReadyBits;
+
+    EventQueue eq;
+    Trace trace;
+    Dddg dddg;
+    Scratchpad spad;
+    FullEmptyBits fe;
+    Datapath dp;
+
+    Cycles
+    runToCompletion()
+    {
+        bool done = false;
+        dp.start([&] { done = true; });
+        eq.run();
+        EXPECT_TRUE(done);
+        return dp.executedCycles();
+    }
+};
+
+unsigned DatapathFixture::partitions = 16;
+bool DatapathFixture::trackReadyBits = false;
+
+Trace
+parallelTrace(unsigned iterations, unsigned chainLen)
+{
+    TraceBuilder tb;
+    int a = tb.addArray("a", 4096, 4, true, false);
+    int b = tb.addArray("b", 4096, 4, false, true);
+    for (unsigned i = 0; i < iterations; ++i) {
+        tb.beginIteration();
+        NodeId v = tb.load(a, (i * 4) % 4096, 4);
+        for (unsigned c = 0; c < chainLen; ++c)
+            v = tb.op(Opcode::IntAdd, {v});
+        tb.store(b, (i * 4) % 4096, 4, {v});
+    }
+    return tb.take();
+}
+
+TEST(Datapath, ExecutesAllNodes)
+{
+    DatapathFixture::partitions = 16;
+    DatapathFixture::trackReadyBits = false;
+    DatapathFixture f(parallelTrace(8, 4));
+    f.runToCompletion();
+    EXPECT_DOUBLE_EQ(f.dp.stats().get("nodes"),
+                     static_cast<double>(f.trace.ops.size()));
+}
+
+TEST(Datapath, MoreLanesFasterOnParallelWork)
+{
+    Datapath::Params p1;
+    p1.lanes = 1;
+    Datapath::Params p4;
+    p4.lanes = 4;
+    DatapathFixture f1(parallelTrace(64, 8), p1);
+    DatapathFixture f4(parallelTrace(64, 8), p4);
+    Cycles c1 = f1.runToCompletion();
+    Cycles c4 = f4.runToCompletion();
+    EXPECT_LT(c4, c1);
+    EXPECT_GT(static_cast<double>(c1) / static_cast<double>(c4), 2.0);
+}
+
+TEST(Datapath, SerialChainGainsNothingFromLanes)
+{
+    // One long dependence chain in a single iteration.
+    TraceBuilder tb;
+    tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    NodeId v = tb.op(Opcode::IntAdd, {});
+    for (int i = 0; i < 200; ++i)
+        v = tb.op(Opcode::IntAdd, {v});
+    Trace t = tb.take();
+
+    Datapath::Params p1;
+    p1.lanes = 1;
+    Datapath::Params p16;
+    p16.lanes = 16;
+    DatapathFixture f1(t, p1);
+    DatapathFixture f16(t, p16);
+    EXPECT_EQ(f1.runToCompletion(), f16.runToCompletion());
+}
+
+TEST(Datapath, WaveBarrierOrdersIterationGroups)
+{
+    // With 2 lanes, iterations {0,1} must complete before {2,3}
+    // start: total time is at least 2x the single-wave time.
+    Datapath::Params p;
+    p.lanes = 2;
+    DatapathFixture f2(parallelTrace(2, 32), p);
+    DatapathFixture f4(parallelTrace(4, 32), p);
+    Cycles one = f2.runToCompletion();
+    Cycles two = f4.runToCompletion();
+    EXPECT_GE(two, 2 * one - 2);
+}
+
+TEST(Datapath, FuIssueLimitsThrottle)
+{
+    // 32 independent FP multiplies in one iteration; 1 lane with one
+    // FP multiplier issues one per cycle.
+    TraceBuilder tb;
+    tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    for (int i = 0; i < 32; ++i)
+        tb.op(Opcode::FpMul, {});
+    Trace t = tb.take();
+    Datapath::Params p;
+    p.lanes = 1;
+    DatapathFixture f(t, p);
+    Cycles c = f.runToCompletion();
+    EXPECT_GE(c, 32u); // one issue per cycle + pipeline drain
+}
+
+TEST(Datapath, DividerIsUnpipelined)
+{
+    TraceBuilder tb;
+    tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    for (int i = 0; i < 4; ++i)
+        tb.op(Opcode::FpDiv, {});
+    Trace t = tb.take();
+    Datapath::Params p;
+    p.lanes = 1;
+    DatapathFixture f(t, p);
+    Cycles c = f.runToCompletion();
+    EXPECT_GE(c, 4 * latencyOf(Opcode::FpDiv));
+}
+
+TEST(Datapath, BankConflictsSlowScratchpadAccess)
+{
+    DatapathFixture::partitions = 1;
+    DatapathFixture fNarrow(parallelTrace(64, 1),
+                            [] {
+                                Datapath::Params p;
+                                p.lanes = 8;
+                                return p;
+                            }());
+    Cycles narrow = fNarrow.runToCompletion();
+    double conflicts = fNarrow.dp.stats().get("bankConflicts");
+
+    DatapathFixture::partitions = 16;
+    DatapathFixture fWide(parallelTrace(64, 1),
+                          [] {
+                              Datapath::Params p;
+                              p.lanes = 8;
+                              return p;
+                          }());
+    Cycles wide = fWide.runToCompletion();
+
+    EXPECT_GT(conflicts, 0.0);
+    EXPECT_LE(wide, narrow);
+}
+
+TEST(Datapath, ReadyBitStallUntilFill)
+{
+    DatapathFixture::partitions = 16;
+    DatapathFixture::trackReadyBits = true;
+    DatapathFixture f(parallelTrace(4, 2));
+    DatapathFixture::trackReadyBits = false;
+
+    bool done = false;
+    f.dp.start([&] { done = true; });
+    f.eq.run();
+    EXPECT_FALSE(done) << "loads must stall on empty ready bits";
+    EXPECT_GT(f.dp.stats().get("readyBitStalls"), 0.0);
+
+    // Fill the input array: execution resumes and completes.
+    f.fe.fill(0, 0, 4096);
+    f.eq.run();
+    EXPECT_TRUE(done);
+}
+
+TEST(Datapath, PerfectMemoryIgnoresBanks)
+{
+    DatapathFixture::partitions = 1;
+    Datapath::Params p;
+    p.lanes = 8;
+    p.perfectMemory = true;
+    DatapathFixture f(parallelTrace(64, 1), p);
+    f.runToCompletion();
+    EXPECT_DOUBLE_EQ(f.dp.stats().get("bankConflicts"), 0.0);
+    DatapathFixture::partitions = 16;
+}
+
+TEST(Datapath, ComputeBusyIntervalsCoverExecution)
+{
+    DatapathFixture f(parallelTrace(16, 4));
+    Cycles cycles = f.runToCompletion();
+    const IntervalSet &busy = f.dp.computeBusy();
+    EXPECT_FALSE(busy.empty());
+    EXPECT_LE(busy.measure(), (cycles + 1) * accelPeriod);
+    EXPECT_GT(busy.measure(), 0u);
+}
+
+TEST(Datapath, FuOpCountsMatchTrace)
+{
+    TraceBuilder tb;
+    tb.addArray("a", 64, 4, true, false);
+    tb.beginIteration();
+    tb.op(Opcode::FpMul, {});
+    tb.op(Opcode::FpMul, {});
+    tb.op(Opcode::IntAdd, {});
+    Trace t = tb.take();
+    DatapathFixture f(t);
+    f.runToCompletion();
+    const auto &ops = f.dp.fuOpCounts();
+    EXPECT_EQ(ops[static_cast<std::size_t>(FuKind::FpMul)], 2u);
+    EXPECT_EQ(ops[static_cast<std::size_t>(FuKind::IntAlu)], 1u);
+}
+
+} // namespace
+} // namespace genie

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Design-space-exploration tests: sweep enumeration, the sweep
+ * runner, Pareto-frontier properties, EDP-optimal selection, Kiviat
+ * normalization, and the isolated-vs-co-designed comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dse/pareto.hh"
+#include "dse/sweep.hh"
+#include "workloads/workload.hh"
+
+namespace genie
+{
+namespace
+{
+
+struct SmallSpace
+{
+    SmallSpace()
+        : trace(makeWorkload("stencil-stencil2d")->build().trace),
+          dddg(trace)
+    {
+        // A small but real sweep: lanes x partitions at fixed opts.
+        SocConfig base;
+        for (unsigned lanes : {1u, 4u, 16u}) {
+            for (unsigned parts : {1u, 16u}) {
+                SocConfig c = base;
+                c.lanes = lanes;
+                c.spadPartitions = parts;
+                c.dma.pipelined = true;
+                c.dma.triggeredCompute = true;
+                configs.push_back(c);
+            }
+        }
+        points = runSweep(configs, trace, dddg, 1);
+    }
+
+    Trace trace;
+    Dddg dddg;
+    std::vector<SocConfig> configs;
+    std::vector<DesignPoint> points;
+};
+
+SmallSpace &
+space()
+{
+    static SmallSpace s;
+    return s;
+}
+
+TEST(DesignSpace, EnumerationsMatchFigure3)
+{
+    SocConfig base;
+    EXPECT_EQ(DesignSpace::isolated(base).size(), 25u);
+    EXPECT_EQ(DesignSpace::dma(base).size(), 25u);
+    EXPECT_EQ(DesignSpace::dmaOptions(base).size(), 100u);
+    EXPECT_EQ(DesignSpace::cache(base).size(),
+              5u * 6u * 3u * 4u * 2u);
+}
+
+TEST(DesignSpace, DmaSweepAppliesAllOptimizations)
+{
+    for (const auto &c : DesignSpace::dma(SocConfig{})) {
+        EXPECT_TRUE(c.dma.pipelined);
+        EXPECT_TRUE(c.dma.triggeredCompute);
+        EXPECT_FALSE(c.isolated);
+    }
+}
+
+TEST(DesignSpace, IsolatedAsCacheHoldsWorkingSet)
+{
+    SocConfig iso;
+    iso.lanes = 8;
+    iso.spadPartitions = 16;
+    iso.isolated = true;
+    SocConfig mapped = DesignSpace::isolatedAsCache(iso, 20 * 1024);
+    EXPECT_EQ(mapped.memType, MemInterface::Cache);
+    EXPECT_FALSE(mapped.isolated);
+    EXPECT_GE(mapped.cache.sizeBytes, 20u * 1024u);
+    EXPECT_EQ(mapped.cache.ports, 8u);
+}
+
+TEST(Sweep, PreservesConfigOrder)
+{
+    const auto &s = space();
+    ASSERT_EQ(s.points.size(), s.configs.size());
+    for (std::size_t i = 0; i < s.points.size(); ++i) {
+        EXPECT_EQ(s.points[i].config.lanes, s.configs[i].lanes);
+        EXPECT_EQ(s.points[i].config.spadPartitions,
+                  s.configs[i].spadPartitions);
+    }
+}
+
+TEST(Sweep, AllRunsProduceResults)
+{
+    for (const auto &p : space().points) {
+        EXPECT_GT(p.results.totalTicks, 0u);
+        EXPECT_GT(p.results.energyPj, 0.0);
+        EXPECT_GT(p.results.avgPowerMw, 0.0);
+    }
+}
+
+TEST(Sweep, MultithreadedMatchesSequential)
+{
+    const auto &s = space();
+    auto threaded = runSweep(s.configs, s.trace, s.dddg, 4);
+    ASSERT_EQ(threaded.size(), s.points.size());
+    for (std::size_t i = 0; i < threaded.size(); ++i) {
+        EXPECT_EQ(threaded[i].results.totalTicks,
+                  s.points[i].results.totalTicks)
+            << "simulation must be deterministic across threads";
+        EXPECT_DOUBLE_EQ(threaded[i].results.energyPj,
+                         s.points[i].results.energyPj);
+    }
+}
+
+TEST(Pareto, FrontierIsNonDominated)
+{
+    const auto &s = space();
+    auto frontier = paretoFrontier(s.points);
+    ASSERT_FALSE(frontier.empty());
+    for (std::size_t fi : frontier) {
+        for (std::size_t j = 0; j < s.points.size(); ++j) {
+            if (j == fi)
+                continue;
+            bool dominates =
+                s.points[j].results.totalTicks <
+                    s.points[fi].results.totalTicks &&
+                s.points[j].results.avgPowerMw <
+                    s.points[fi].results.avgPowerMw;
+            EXPECT_FALSE(dominates)
+                << "frontier point " << fi << " dominated by " << j;
+        }
+    }
+}
+
+TEST(Pareto, FrontierSortedByDelayWithDecreasingPower)
+{
+    auto frontier = paretoFrontier(space().points);
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+        const auto &prev = space().points[frontier[i - 1]].results;
+        const auto &cur = space().points[frontier[i]].results;
+        EXPECT_LE(prev.totalTicks, cur.totalTicks);
+        EXPECT_GT(prev.avgPowerMw, cur.avgPowerMw);
+    }
+}
+
+TEST(Pareto, EdpOptimalIsMinimal)
+{
+    const auto &s = space();
+    std::size_t best = edpOptimal(s.points);
+    for (const auto &p : s.points)
+        EXPECT_GE(p.results.edp, s.points[best].results.edp);
+}
+
+TEST(Pareto, KiviatNormalizesToReference)
+{
+    const auto &s = space();
+    auto axes = kiviatAxes(s.points[0], s.points[0]);
+    EXPECT_DOUBLE_EQ(axes.lanes, 1.0);
+    EXPECT_DOUBLE_EQ(axes.sramSize, 1.0);
+    EXPECT_DOUBLE_EQ(axes.memBandwidth, 1.0);
+}
+
+TEST(Pareto, CodesignComparisonImprovesEdp)
+{
+    const auto &s = space();
+    auto isolatedConfigs = DesignSpace::isolated(SocConfig{});
+    // Trim for speed: lanes x partitions at the extremes.
+    std::vector<SocConfig> trimmed;
+    for (const auto &c : isolatedConfigs) {
+        if ((c.lanes == 1 || c.lanes == 16) &&
+            (c.spadPartitions == 1 || c.spadPartitions == 16))
+            trimmed.push_back(c);
+    }
+    auto isolatedPoints = runSweep(trimmed, s.trace, s.dddg, 1);
+
+    auto cmp = compareCodesign(
+        isolatedPoints, s.points, [&](const SocConfig &iso) {
+            SocConfig full = iso;
+            full.isolated = false;
+            full.dma.pipelined = true;
+            full.dma.triggeredCompute = true;
+            DesignPoint p;
+            p.config = full;
+            p.results = runDesign(full, s.trace, s.dddg);
+            return p;
+        });
+
+    EXPECT_GE(cmp.edpImprovement, 1.0)
+        << "the co-designed optimum cannot be worse than the "
+           "isolated design evaluated under system effects";
+    EXPECT_GT(cmp.isolatedUnderSystem.results.totalTicks,
+              cmp.isolatedOptimal.results.totalTicks);
+}
+
+} // namespace
+} // namespace genie

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Property-based tests: parameterized sweeps asserting the
+ * monotonicity and conservation invariants the whole design-space
+ * methodology rests on, across multiple workloads and design axes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/soc.hh"
+#include "workloads/workload.hh"
+
+namespace genie
+{
+namespace
+{
+
+struct PreparedWorkload
+{
+    Trace trace;
+    Dddg dddg;
+    explicit PreparedWorkload(const std::string &name)
+        : trace(makeWorkload(name)->build().trace), dddg(trace)
+    {}
+};
+
+const PreparedWorkload &
+prepared(const std::string &name)
+{
+    static std::map<std::string, std::unique_ptr<PreparedWorkload>>
+        cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name,
+                          std::make_unique<PreparedWorkload>(name))
+                 .first;
+    }
+    return *it->second;
+}
+
+/** Workloads used for the cross-cutting property sweeps (chosen to
+ * span compute-bound, memory-bound, serial, and irregular). */
+std::vector<std::string>
+propertyWorkloads()
+{
+    return {"gemm-ncubed", "stencil-stencil2d", "spmv-crs", "kmp-kmp"};
+}
+
+class PropertyTest : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    const PreparedWorkload &w() { return prepared(GetParam()); }
+};
+
+TEST_P(PropertyTest, LaneSweepNeverIncreasesComputeCycles)
+{
+    Cycles prev = 0;
+    bool first = true;
+    for (unsigned lanes : {1u, 2u, 4u, 8u, 16u}) {
+        SocConfig cfg;
+        cfg.isolated = true;
+        cfg.lanes = lanes;
+        cfg.spadPartitions = 16;
+        SocResults r = runDesign(cfg, w().trace, w().dddg);
+        if (!first) {
+            EXPECT_LE(r.accelCycles, prev + prev / 50)
+                << "lanes=" << lanes;
+        }
+        prev = r.accelCycles;
+        first = false;
+    }
+}
+
+TEST_P(PropertyTest, PartitionSweepNeverIncreasesComputeCycles)
+{
+    Cycles prev = 0;
+    bool first = true;
+    for (unsigned parts : {1u, 2u, 4u, 8u, 16u}) {
+        SocConfig cfg;
+        cfg.isolated = true;
+        cfg.lanes = 8;
+        cfg.spadPartitions = parts;
+        SocResults r = runDesign(cfg, w().trace, w().dddg);
+        if (!first) {
+            EXPECT_LE(r.accelCycles, prev + prev / 50)
+                << "partitions=" << parts;
+        }
+        prev = r.accelCycles;
+        first = false;
+    }
+}
+
+TEST_P(PropertyTest, PipelinedDmaNeverSlower)
+{
+    SocConfig base;
+    base.lanes = 4;
+    base.spadPartitions = 4;
+    SocConfig piped = base;
+    piped.dma.pipelined = true;
+    SocResults rb = runDesign(base, w().trace, w().dddg);
+    SocResults rp = runDesign(piped, w().trace, w().dddg);
+    EXPECT_LE(rp.totalTicks, rb.totalTicks + rb.totalTicks / 100);
+}
+
+TEST_P(PropertyTest, TriggeredComputeNeverSlower)
+{
+    SocConfig piped;
+    piped.lanes = 4;
+    piped.spadPartitions = 4;
+    piped.dma.pipelined = true;
+    SocConfig trig = piped;
+    trig.dma.triggeredCompute = true;
+    SocResults rp = runDesign(piped, w().trace, w().dddg);
+    SocResults rt = runDesign(trig, w().trace, w().dddg);
+    EXPECT_LE(rt.totalTicks, rp.totalTicks + rp.totalTicks / 100);
+}
+
+TEST_P(PropertyTest, CacheSizeSweepMissRateMonotone)
+{
+    double prev = 1.0;
+    for (unsigned kb : {2u, 8u, 32u}) {
+        SocConfig cfg;
+        cfg.memType = MemInterface::Cache;
+        cfg.lanes = 4;
+        cfg.cache.sizeBytes = kb * 1024;
+        SocResults r = runDesign(cfg, w().trace, w().dddg);
+        EXPECT_LE(r.cacheMissRate, prev + 0.02) << kb << "KB";
+        prev = r.cacheMissRate;
+    }
+}
+
+TEST_P(PropertyTest, BurgerDecompositionOrdering)
+{
+    // processing time <= +latency <= +bandwidth (Figure 7's method
+    // requires the three runs to be ordered).
+    SocConfig processing;
+    processing.memType = MemInterface::Cache;
+    processing.lanes = 4;
+    processing.perfectMemory = true;
+    SocConfig latency = processing;
+    latency.perfectMemory = false;
+    latency.infiniteBandwidth = true;
+    SocConfig bandwidth = latency;
+    bandwidth.infiniteBandwidth = false;
+
+    Tick tp = runDesign(processing, w().trace, w().dddg).totalTicks;
+    Tick tl = runDesign(latency, w().trace, w().dddg).totalTicks;
+    Tick tb = runDesign(bandwidth, w().trace, w().dddg).totalTicks;
+    // Allow a few percent of slack: prefetcher timing interacts with
+    // bus bandwidth, so the ordering is monotone only to first order
+    // (the Figure 7 bench clamps negative components to zero).
+    EXPECT_LE(tp, tl + tl / 20);
+    EXPECT_LE(tl, tb + tb / 20);
+}
+
+TEST_P(PropertyTest, BreakdownConservesTotalRuntime)
+{
+    for (bool pipe : {false, true}) {
+        for (bool trig : {false, true}) {
+            SocConfig cfg;
+            cfg.lanes = 4;
+            cfg.spadPartitions = 4;
+            cfg.dma.pipelined = pipe;
+            cfg.dma.triggeredCompute = trig;
+            SocResults r = runDesign(cfg, w().trace, w().dddg);
+            EXPECT_EQ(r.breakdown.total(), r.totalTicks)
+                << "pipe=" << pipe << " trig=" << trig;
+        }
+    }
+}
+
+TEST_P(PropertyTest, EnergyScalesWithRuntimeLeakage)
+{
+    // The same design with a wider bus finishes sooner and must not
+    // consume more leakage energy.
+    SocConfig narrow;
+    narrow.lanes = 4;
+    narrow.spadPartitions = 4;
+    narrow.busWidthBits = 32;
+    SocConfig wide = narrow;
+    wide.busWidthBits = 64;
+    SocResults rn = runDesign(narrow, w().trace, w().dddg);
+    SocResults rw = runDesign(wide, w().trace, w().dddg);
+    EXPECT_LE(rw.totalTicks, rn.totalTicks + rn.totalTicks / 100);
+    EXPECT_LE(rw.leakagePj, rn.leakagePj * 1.01);
+}
+
+TEST_P(PropertyTest, DeterministicAcrossRuns)
+{
+    SocConfig cfg;
+    cfg.lanes = 4;
+    cfg.spadPartitions = 4;
+    cfg.dma.pipelined = true;
+    cfg.dma.triggeredCompute = true;
+    SocResults a = runDesign(cfg, w().trace, w().dddg);
+    SocResults b = runDesign(cfg, w().trace, w().dddg);
+    EXPECT_EQ(a.totalTicks, b.totalTicks);
+    EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, PropertyTest,
+    ::testing::ValuesIn(propertyWorkloads()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace genie

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering and
+ * cancellation, clock domains, interval-set algebra, stats, RNG
+ * determinism, and logging.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clocked.hh"
+#include "sim/event_queue.hh"
+#include "sim/interval_set.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace genie
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.nextTick(), maxTick);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, FifoOrderForEqualTicks)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.scheduleIn(10, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.curTick(), 50u);
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventId id = eq.schedule(10, [&] { ran = true; });
+    eq.deschedule(id);
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DescheduleIsIdempotent)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [] {});
+    eq.deschedule(id);
+    eq.deschedule(id); // no crash, no effect
+    eq.run();
+    SUCCEED();
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(30, [&] { ++count; });
+    eq.run(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.curTick(), 20u);
+    eq.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 17; ++i)
+        eq.schedule(static_cast<Tick>(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.numExecuted(), 17u);
+}
+
+TEST(Clocked, CycleTickConversions)
+{
+    EventQueue eq;
+    Clocked c(eq, ClockDomain::fromMhz(100)); // 10 ns period
+    EXPECT_EQ(c.clockPeriod(), 10000u);
+    EXPECT_EQ(c.cyclesToTicks(3), 30000u);
+    EXPECT_EQ(c.ticksToCycles(10000), 1u);
+    EXPECT_EQ(c.ticksToCycles(10001), 2u);
+}
+
+TEST(Clocked, ClockEdgeAlignment)
+{
+    EventQueue eq;
+    Clocked c(eq, ClockDomain::fromMhz(100));
+    // At tick 0, edge 0 is now.
+    EXPECT_EQ(c.clockEdge(0), 0u);
+    EXPECT_EQ(c.clockEdge(2), 20000u);
+    // Advance to an off-edge tick.
+    eq.schedule(10500, [] {});
+    eq.run();
+    EXPECT_EQ(c.clockEdge(0), 20000u);
+    EXPECT_EQ(c.clockEdge(1), 30000u);
+}
+
+TEST(Clocked, RejectsZeroPeriod)
+{
+    EXPECT_THROW(ClockDomain(0), FatalError);
+}
+
+TEST(IntervalSet, MeasureAndMerge)
+{
+    IntervalSet s;
+    s.add(10, 20);
+    s.add(15, 30);
+    s.add(40, 50);
+    EXPECT_EQ(s.measure(), 30u);
+    EXPECT_EQ(s.intervals().size(), 2u);
+    EXPECT_EQ(s.lo(), 10u);
+    EXPECT_EQ(s.hi(), 50u);
+}
+
+TEST(IntervalSet, EmptyIntervalsIgnored)
+{
+    IntervalSet s;
+    s.add(10, 10);
+    s.add(20, 15);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.measure(), 0u);
+}
+
+TEST(IntervalSet, Intersection)
+{
+    IntervalSet a, b;
+    a.add(0, 100);
+    b.add(50, 150);
+    b.add(200, 300);
+    auto c = a.intersectWith(b);
+    EXPECT_EQ(c.measure(), 50u);
+    EXPECT_EQ(c.lo(), 50u);
+    EXPECT_EQ(c.hi(), 100u);
+}
+
+TEST(IntervalSet, Subtraction)
+{
+    IntervalSet a, b;
+    a.add(0, 100);
+    b.add(20, 30);
+    b.add(50, 60);
+    auto c = a.subtract(b);
+    EXPECT_EQ(c.measure(), 80u);
+    EXPECT_EQ(c.intervals().size(), 3u);
+}
+
+TEST(IntervalSet, SubtractAll)
+{
+    IntervalSet a, b;
+    a.add(10, 20);
+    b.add(0, 100);
+    EXPECT_EQ(a.subtract(b).measure(), 0u);
+}
+
+TEST(IntervalSet, UnionWith)
+{
+    IntervalSet a, b;
+    a.add(0, 10);
+    b.add(5, 20);
+    b.add(30, 40);
+    auto c = a.unionWith(b);
+    EXPECT_EQ(c.measure(), 30u);
+}
+
+TEST(IntervalSet, Contains)
+{
+    IntervalSet s;
+    s.add(10, 20);
+    EXPECT_FALSE(s.contains(9));
+    EXPECT_TRUE(s.contains(10));
+    EXPECT_TRUE(s.contains(19));
+    EXPECT_FALSE(s.contains(20));
+}
+
+TEST(Stats, RegistersAndDumps)
+{
+    StatGroup g("unit");
+    Stat &a = g.add("alpha", "first stat");
+    Stat &b = g.add("beta", "second stat");
+    a += 2.5;
+    ++b;
+    EXPECT_DOUBLE_EQ(g.get("alpha"), 2.5);
+    EXPECT_DOUBLE_EQ(g.get("beta"), 1.0);
+    EXPECT_EQ(g.find("gamma"), nullptr);
+    EXPECT_DOUBLE_EQ(g.get("gamma"), 0.0);
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(g.get("alpha"), 0.0);
+}
+
+TEST(Stats, StatNamesArePrefixed)
+{
+    StatGroup g("cache0");
+    Stat &s = g.add("hits", "hits");
+    EXPECT_EQ(s.name(), "cache0.hits");
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("bad config value %d", 3), FatalError);
+}
+
+TEST(Logging, FormatProducesMessage)
+{
+    EXPECT_EQ(format("x=%d y=%s", 3, "q"), "x=3 y=q");
+}
+
+TEST(Types, AlignHelpers)
+{
+    EXPECT_EQ(alignDown(0x1234, 0x100), 0x1200u);
+    EXPECT_EQ(alignUp(0x1234, 0x100), 0x1300u);
+    EXPECT_EQ(alignUp(0x1200, 0x100), 0x1200u);
+    EXPECT_EQ(divCeil(10, 3), 4u);
+    EXPECT_EQ(divCeil(9, 3), 3u);
+    EXPECT_TRUE(isPowerOf2(64));
+    EXPECT_FALSE(isPowerOf2(96));
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_EQ(floorLog2(64), 6u);
+}
+
+TEST(Types, PeriodFromMhz)
+{
+    EXPECT_EQ(periodFromMhz(100), 10000u); // 10 ns
+    EXPECT_EQ(periodFromMhz(1000), 1000u); // 1 ns
+}
+
+} // namespace
+} // namespace genie

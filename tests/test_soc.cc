@@ -1,0 +1,284 @@
+/**
+ * @file
+ * End-to-end SoC integration tests: full DMA and cache offload flows,
+ * runtime-breakdown conservation, the paper's qualitative effects
+ * (pipelined DMA hides flush, ready bits overlap compute with DMA,
+ * isolated designs report compute only), and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/dddg.hh"
+#include "core/soc.hh"
+#include "workloads/workload.hh"
+
+namespace genie
+{
+namespace
+{
+
+struct Prepared
+{
+    Trace trace;
+    Dddg dddg;
+    explicit Prepared(const std::string &name)
+        : trace(makeWorkload(name)->build().trace), dddg(trace)
+    {}
+};
+
+const Prepared &
+stencil()
+{
+    static Prepared p("stencil-stencil2d");
+    return p;
+}
+
+const Prepared &
+gemm()
+{
+    static Prepared p("gemm-ncubed");
+    return p;
+}
+
+SocConfig
+dmaBaseline()
+{
+    SocConfig cfg;
+    cfg.memType = MemInterface::ScratchpadDma;
+    cfg.lanes = 4;
+    cfg.spadPartitions = 4;
+    cfg.dma.pipelined = false;
+    cfg.dma.triggeredCompute = false;
+    return cfg;
+}
+
+SocConfig
+cacheConfig()
+{
+    SocConfig cfg;
+    cfg.memType = MemInterface::Cache;
+    cfg.lanes = 4;
+    cfg.cache.sizeBytes = 16 * 1024;
+    cfg.cache.ports = 2;
+    return cfg;
+}
+
+TEST(SocDmaFlow, CompletesAndBreakdownAddsUp)
+{
+    const auto &p = stencil();
+    SocResults r = runDesign(dmaBaseline(), p.trace, p.dddg);
+
+    EXPECT_GT(r.totalTicks, 0u);
+    EXPECT_GT(r.accelCycles, 0u);
+    EXPECT_EQ(r.breakdown.total(), r.totalTicks);
+    EXPECT_GT(r.breakdown.flushOnly, 0u);
+    EXPECT_GT(r.breakdown.dmaFlush, 0u);
+    EXPECT_GT(r.breakdown.computeOnly, 0u);
+    // Baseline: no overlap between compute and DMA.
+    EXPECT_EQ(r.breakdown.computeDma, 0u);
+    EXPECT_GT(r.dmaBytes, 0u);
+}
+
+TEST(SocDmaFlow, FlushTimeMatchesAnalyticModel)
+{
+    const auto &p = stencil();
+    SocConfig cfg = dmaBaseline();
+    SocResults r = runDesign(cfg, p.trace, p.dddg);
+
+    std::uint64_t lines =
+        divCeil(p.trace.totalInputBytes(), cfg.cpuLineBytes);
+    Tick expectedFlush = lines * cfg.flushPerLine;
+    // Flush-only time is at most the analytic flush, and close to it
+    // for the baseline flow (invalidate overlaps nothing).
+    EXPECT_LE(r.breakdown.flushOnly,
+              expectedFlush +
+                  divCeil(p.trace.totalOutputBytes(),
+                          cfg.cpuLineBytes) *
+                      cfg.invalidatePerLine +
+                  tickPerUs);
+    EXPECT_GT(r.breakdown.flushOnly, expectedFlush / 2);
+}
+
+TEST(SocDmaFlow, PipelinedDmaHidesFlush)
+{
+    const auto &p = stencil();
+    SocConfig base = dmaBaseline();
+    SocConfig piped = base;
+    piped.dma.pipelined = true;
+
+    SocResults rb = runDesign(base, p.trace, p.dddg);
+    SocResults rp = runDesign(piped, p.trace, p.dddg);
+
+    EXPECT_LT(rp.totalTicks, rb.totalTicks);
+    // Pipelined DMA nearly eliminates flush-only time (all but the
+    // first page overlaps with DMA).
+    EXPECT_LT(rp.breakdown.flushOnly, rb.breakdown.flushOnly / 2);
+}
+
+TEST(SocDmaFlow, ReadyBitsOverlapComputeWithDma)
+{
+    const auto &p = stencil();
+    SocConfig piped = dmaBaseline();
+    piped.dma.pipelined = true;
+    SocConfig trig = piped;
+    trig.dma.triggeredCompute = true;
+
+    SocResults rp = runDesign(piped, p.trace, p.dddg);
+    SocResults rt = runDesign(trig, p.trace, p.dddg);
+
+    EXPECT_EQ(rp.breakdown.computeDma, 0u);
+    EXPECT_GT(rt.breakdown.computeDma, 0u)
+        << "stencil2d should start after the first rows arrive";
+    EXPECT_LT(rt.totalTicks, rp.totalTicks);
+    EXPECT_GT(rt.readyBitStalls, 0u);
+}
+
+TEST(SocDmaFlow, IsolatedDesignReportsComputeOnly)
+{
+    const auto &p = stencil();
+    SocConfig iso = dmaBaseline();
+    iso.isolated = true;
+    SocResults r = runDesign(iso, p.trace, p.dddg);
+
+    EXPECT_GT(r.totalTicks, 0u);
+    EXPECT_EQ(r.breakdown.flushOnly, 0u);
+    EXPECT_EQ(r.breakdown.dmaFlush, 0u);
+    EXPECT_EQ(r.breakdown.computeDma, 0u);
+    EXPECT_EQ(r.dmaBytes, 0u);
+
+    SocResults full = runDesign(dmaBaseline(), p.trace, p.dddg);
+    EXPECT_LT(r.totalTicks, full.totalTicks)
+        << "system effects must add runtime on top of compute";
+}
+
+TEST(SocDmaFlow, WiderBusSpeedsUpTransfer)
+{
+    const auto &p = gemm();
+    SocConfig narrow = dmaBaseline();
+    narrow.busWidthBits = 32;
+    SocConfig wide = dmaBaseline();
+    wide.busWidthBits = 64;
+
+    SocResults rn = runDesign(narrow, p.trace, p.dddg);
+    SocResults rw = runDesign(wide, p.trace, p.dddg);
+    EXPECT_LT(rw.breakdown.dmaFlush + rw.breakdown.computeDma,
+              rn.breakdown.dmaFlush + rn.breakdown.computeDma);
+}
+
+TEST(SocDmaFlow, MoreLanesNeverSlower)
+{
+    const auto &p = stencil();
+    SocConfig one = dmaBaseline();
+    one.lanes = 1;
+    one.spadPartitions = 1;
+    SocConfig sixteen = dmaBaseline();
+    sixteen.lanes = 16;
+    sixteen.spadPartitions = 16;
+
+    SocResults r1 = runDesign(one, p.trace, p.dddg);
+    SocResults r16 = runDesign(sixteen, p.trace, p.dddg);
+    EXPECT_LE(r16.totalTicks, r1.totalTicks);
+    EXPECT_LT(r16.accelCycles, r1.accelCycles);
+}
+
+TEST(SocCacheFlow, CompletesWithCoherenceTraffic)
+{
+    const auto &p = stencil();
+    SocResults r = runDesign(cacheConfig(), p.trace, p.dddg);
+
+    EXPECT_GT(r.totalTicks, 0u);
+    EXPECT_EQ(r.breakdown.flushOnly, 0u);
+    EXPECT_EQ(r.dmaBytes, 0u);
+    EXPECT_GT(r.cacheMissRate, 0.0);
+    EXPECT_LT(r.cacheMissRate, 1.0);
+    EXPECT_GT(r.tlbHitRate, 0.0);
+    EXPECT_GT(r.cacheToCacheTransfers, 0u)
+        << "accelerator misses should snoop dirty CPU lines";
+}
+
+TEST(SocCacheFlow, BiggerCacheDoesNotMissMore)
+{
+    const auto &p = gemm();
+    SocConfig small = cacheConfig();
+    small.cache.sizeBytes = 2 * 1024;
+    SocConfig big = cacheConfig();
+    big.cache.sizeBytes = 32 * 1024;
+
+    SocResults rs = runDesign(small, p.trace, p.dddg);
+    SocResults rbg = runDesign(big, p.trace, p.dddg);
+    EXPECT_LE(rbg.cacheMissRate, rs.cacheMissRate + 1e-9);
+}
+
+TEST(SocCacheFlow, PerfectMemoryIsFastest)
+{
+    const auto &p = stencil();
+    SocConfig real = cacheConfig();
+    SocConfig perfect = cacheConfig();
+    perfect.perfectMemory = true;
+
+    SocResults rr = runDesign(real, p.trace, p.dddg);
+    SocResults rp = runDesign(perfect, p.trace, p.dddg);
+    EXPECT_LT(rp.totalTicks, rr.totalTicks);
+}
+
+TEST(SocCacheFlow, InfiniteBandwidthBetweenPerfectAndReal)
+{
+    const auto &p = gemm();
+    SocConfig real = cacheConfig();
+    SocConfig inf = cacheConfig();
+    inf.infiniteBandwidth = true;
+    SocConfig perfect = cacheConfig();
+    perfect.perfectMemory = true;
+
+    Tick tReal = runDesign(real, p.trace, p.dddg).totalTicks;
+    Tick tInf = runDesign(inf, p.trace, p.dddg).totalTicks;
+    Tick tPerfect = runDesign(perfect, p.trace, p.dddg).totalTicks;
+    EXPECT_LE(tPerfect, tInf);
+    EXPECT_LE(tInf, tReal);
+}
+
+TEST(SocEnergy, ComponentsArePositiveAndConsistent)
+{
+    const auto &p = stencil();
+    SocResults r = runDesign(dmaBaseline(), p.trace, p.dddg);
+    EXPECT_GT(r.dynamicPj, 0.0);
+    EXPECT_GT(r.leakagePj, 0.0);
+    EXPECT_NEAR(r.energyPj, r.dynamicPj + r.leakagePj, 1e-6);
+    EXPECT_GT(r.avgPowerMw, 0.0);
+    EXPECT_NEAR(r.edp, r.energyPj * 1e-12 * r.totalSeconds(),
+                r.edp * 1e-9);
+}
+
+TEST(SocEnergy, MoreLanesMorePower)
+{
+    const auto &p = gemm();
+    SocConfig few = dmaBaseline();
+    few.lanes = 1;
+    SocConfig many = dmaBaseline();
+    many.lanes = 16;
+
+    SocResults rf = runDesign(few, p.trace, p.dddg);
+    SocResults rm = runDesign(many, p.trace, p.dddg);
+    EXPECT_GT(rm.avgPowerMw, rf.avgPowerMw);
+}
+
+TEST(SocEnergy, CacheCostsMorePowerThanSpadAtSamePerformanceClass)
+{
+    const auto &p = gemm();
+    SocResults dmaR = runDesign(dmaBaseline(), p.trace, p.dddg);
+    SocResults cacheR = runDesign(cacheConfig(), p.trace, p.dddg);
+    // gemm: cache can approach DMA performance but pays tag/TLB
+    // energy (paper Figure 8c).
+    EXPECT_GT(cacheR.avgPowerMw, dmaR.avgPowerMw * 0.8);
+}
+
+TEST(SocRun, IsOneShot)
+{
+    const auto &p = stencil();
+    Soc soc(dmaBaseline(), p.trace, p.dddg);
+    soc.run();
+    EXPECT_DEATH((void)soc.run(), "one-shot");
+}
+
+} // namespace
+} // namespace genie

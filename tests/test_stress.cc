@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Stress and interaction tests: coherence ping-pong between caches,
+ * writeback pressure under tiny caches, mixed DMA + cache agents
+ * contending for one bus, MSHR saturation draining correctly,
+ * many-iteration wave execution, and end-to-end runs of every
+ * workload under extreme design points (the corners sweeps visit).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/soc.hh"
+#include "dma/dma_engine.hh"
+#include "mem/bus.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "workloads/workload.hh"
+
+namespace genie
+{
+namespace
+{
+
+constexpr Tick period = 10000;
+
+struct TwoCacheFixture : public ::testing::Test
+{
+    TwoCacheFixture()
+    {
+        bus = std::make_unique<SystemBus>(
+            "bus", eq, ClockDomain(period), SystemBus::Params{});
+        dram = std::make_unique<DramCtrl>(
+            "dram", eq, ClockDomain(period), *bus, DramCtrl::Params{});
+        bus->setTarget(dram.get());
+        Cache::Params cp;
+        cp.ports = 4;
+        a = std::make_unique<Cache>("a", eq, ClockDomain(period),
+                                    *bus, cp);
+        b = std::make_unique<Cache>("b", eq, ClockDomain(period),
+                                    *bus, cp);
+        a->setCallback([this](std::uint64_t, bool) { ++aDone; });
+        b->setCallback([this](std::uint64_t, bool) { ++bDone; });
+    }
+
+    EventQueue eq;
+    std::unique_ptr<SystemBus> bus;
+    std::unique_ptr<DramCtrl> dram;
+    std::unique_ptr<Cache> a, b;
+    int aDone = 0, bDone = 0;
+};
+
+TEST_F(TwoCacheFixture, WritePingPongStaysCoherent)
+{
+    // Alternating writers to one line: ownership must transfer each
+    // time, never leaving both caches writable.
+    constexpr Addr line = 0x4000;
+    for (int round = 0; round < 10; ++round) {
+        Cache &writer = round % 2 == 0 ? *a : *b;
+        writer.access(line, 4, true, static_cast<std::uint64_t>(round),
+                      0);
+        eq.run();
+        Cache &other = round % 2 == 0 ? *b : *a;
+        EXPECT_EQ(writer.lineState(line), CoherenceState::Modified);
+        EXPECT_EQ(other.lineState(line), CoherenceState::Invalid);
+    }
+    EXPECT_EQ(aDone + bDone, 10);
+}
+
+TEST_F(TwoCacheFixture, ReadSharingThenUpgrade)
+{
+    constexpr Addr line = 0x8000;
+    a->access(line, 4, false, 1, 0);
+    eq.run();
+    b->access(line, 4, false, 2, 0);
+    eq.run();
+    EXPECT_EQ(a->lineState(line), CoherenceState::Shared);
+    EXPECT_EQ(b->lineState(line), CoherenceState::Shared);
+
+    a->access(line, 4, true, 3, 0);
+    eq.run();
+    EXPECT_EQ(a->lineState(line), CoherenceState::Modified);
+    EXPECT_EQ(b->lineState(line), CoherenceState::Invalid);
+}
+
+TEST_F(TwoCacheFixture, OwnedStateSurvivesRepeatedSharing)
+{
+    constexpr Addr line = 0xc000;
+    a->prefill(line, 64, /*dirty=*/true);
+    // Several readers in sequence: A supplies each time from O.
+    for (int round = 0; round < 3; ++round) {
+        b->access(line, 4, false,
+                  static_cast<std::uint64_t>(round), 0);
+        eq.run();
+        b->invalidateRange(line, 64);
+        EXPECT_EQ(a->lineState(line), CoherenceState::Owned);
+    }
+    EXPECT_GE(bus->stats().get("cacheToCache"), 3.0);
+}
+
+TEST(Stress, TinyCacheWritebackPressure)
+{
+    // A 2 KB direct-mapped-ish cache written over a 64 KB footprint:
+    // every fill evicts a dirty line. Everything must drain.
+    EventQueue eq;
+    SystemBus bus("bus", eq, ClockDomain(period), {});
+    DramCtrl dram("dram", eq, ClockDomain(period), bus, {});
+    bus.setTarget(&dram);
+    Cache::Params cp;
+    cp.sizeBytes = 2 * 1024;
+    cp.assoc = 4;
+    cp.ports = 8;
+    cp.mshrs = 16;
+    Cache cache("c", eq, ClockDomain(period), bus, cp);
+    int done = 0;
+    cache.setCallback([&](std::uint64_t, bool) { ++done; });
+
+    int issued = 0;
+    for (Addr addr = 0; addr < 64 * 1024; addr += 64) {
+        while (cache.access(addr, 4, true, addr, 0).reject !=
+               Cache::Reject::None) {
+            eq.step(); // advance time until ports/MSHRs free up
+        }
+        ++issued;
+    }
+    eq.run();
+    EXPECT_EQ(done, issued);
+    EXPECT_FALSE(cache.hasOutstanding());
+    EXPECT_GT(cache.stats().get("writebacks"), 500.0);
+}
+
+TEST(Stress, DmaAndCacheShareOneBus)
+{
+    // A DMA engine streams while a cache pounds misses through the
+    // same bus: both complete, and each is slower than it would be
+    // alone (shared resource contention).
+    auto runCombo = [](bool withDma, bool withCache) {
+        EventQueue eq;
+        SystemBus bus("bus", eq, ClockDomain(period), {});
+        DramCtrl dram("dram", eq, ClockDomain(period), bus, {});
+        bus.setTarget(&dram);
+
+        Tick dmaDone = 0, cacheDone = 0;
+        DmaEngine dma("dma", eq, ClockDomain(period), bus, {});
+        Cache::Params cp;
+        cp.sizeBytes = 2 * 1024;
+        cp.ports = 8;
+        Cache cache("c", eq, ClockDomain(period), bus, cp);
+        int pending = 0;
+        cache.setCallback([&](std::uint64_t, bool) {
+            if (--pending == 0)
+                cacheDone = eq.curTick();
+        });
+
+        if (withDma) {
+            dma.startTransaction(
+                DmaEngine::Direction::MemToAccel,
+                {{0, 0x100000, 0, 16 * 1024}}, nullptr,
+                [&] { dmaDone = eq.curTick(); });
+        }
+        if (withCache) {
+            for (Addr addr = 0; addr < 8 * 1024; addr += 64) {
+                while (cache.access(addr, 4, false, addr, 0)
+                           .reject != Cache::Reject::None)
+                    eq.step();
+                ++pending;
+            }
+        }
+        eq.run();
+        return std::pair<Tick, Tick>(dmaDone, cacheDone);
+    };
+
+    auto [dmaAlone, cacheUnused] = runCombo(true, false);
+    auto [dmaUnused, cacheAlone] = runCombo(false, true);
+    auto [dmaShared, cacheShared] = runCombo(true, true);
+    (void)cacheUnused;
+    (void)dmaUnused;
+
+    EXPECT_GT(dmaShared, dmaAlone);
+    EXPECT_GT(cacheShared, cacheAlone);
+}
+
+TEST(Stress, MshrSaturationDrains)
+{
+    EventQueue eq;
+    SystemBus bus("bus", eq, ClockDomain(period), {});
+    DramCtrl dram("dram", eq, ClockDomain(period), bus, {});
+    bus.setTarget(&dram);
+    Cache::Params cp;
+    cp.mshrs = 4;
+    cp.ports = 16; // enough ports that MSHRs are the binding limit
+    Cache cache("c", eq, ClockDomain(period), bus, cp);
+    int done = 0;
+    cache.setCallback([&](std::uint64_t, bool) { ++done; });
+
+    // Fire misses to 4 distinct lines (fills all MSHRs) plus
+    // coalescing targets on each.
+    int accepted = 0;
+    for (int line = 0; line < 4; ++line) {
+        for (int word = 0; word < 2; ++word) {
+            auto out = cache.access(
+                static_cast<Addr>(line) * 0x1000 +
+                    static_cast<Addr>(word) * 4,
+                4, false,
+                static_cast<std::uint64_t>(line * 8 + word), 0);
+            if (out.reject == Cache::Reject::None)
+                ++accepted;
+        }
+    }
+    // A fifth line must be rejected for MSHRs right now.
+    EXPECT_EQ(cache.access(0x9000, 4, false, 99, 0).reject,
+              Cache::Reject::Mshrs);
+    eq.run();
+    EXPECT_EQ(done, accepted);
+    EXPECT_FALSE(cache.hasOutstanding());
+}
+
+class ExtremeCornerTest : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ExtremeCornerTest, MaxParallelismDmaCompletes)
+{
+    auto out = makeWorkload(GetParam())->build();
+    Dddg dddg(out.trace);
+    SocConfig c;
+    c.lanes = 16;
+    c.spadPartitions = 16;
+    c.dma.pipelined = true;
+    c.dma.triggeredCompute = true;
+    c.busWidthBits = 64;
+    SocResults r = runDesign(c, out.trace, dddg);
+    EXPECT_GT(r.totalTicks, 0u);
+    EXPECT_EQ(r.breakdown.total(), r.totalTicks);
+}
+
+TEST_P(ExtremeCornerTest, MinimalCacheCompletes)
+{
+    auto out = makeWorkload(GetParam())->build();
+    Dddg dddg(out.trace);
+    SocConfig c;
+    c.memType = MemInterface::Cache;
+    c.lanes = 16;
+    c.cache.sizeBytes = 2 * 1024;
+    c.cache.lineBytes = 16;
+    c.cache.assoc = 4;
+    c.cache.ports = 1;
+    c.cache.mshrs = 4;
+    SocResults r = runDesign(c, out.trace, dddg);
+    EXPECT_GT(r.totalTicks, 0u);
+    EXPECT_GT(r.cacheMissRate, 0.0);
+}
+
+TEST_P(ExtremeCornerTest, SingleLaneSingleBankCompletes)
+{
+    auto out = makeWorkload(GetParam())->build();
+    Dddg dddg(out.trace);
+    SocConfig c;
+    c.lanes = 1;
+    c.spadPartitions = 1;
+    SocResults r = runDesign(c, out.trace, dddg);
+    EXPECT_GT(r.totalTicks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ExtremeCornerTest,
+    ::testing::ValuesIn(workloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string n = info.param;
+        for (auto &c : n)
+            if (c == '-')
+                c = '_';
+        return n;
+    });
+
+} // namespace
+} // namespace genie
