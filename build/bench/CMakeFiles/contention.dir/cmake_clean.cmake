@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention.dir/contention.cc.o"
+  "CMakeFiles/contention.dir/contention.cc.o.d"
+  "contention"
+  "contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_stencil3d_codesign.dir/fig01_stencil3d_codesign.cc.o"
+  "CMakeFiles/fig01_stencil3d_codesign.dir/fig01_stencil3d_codesign.cc.o.d"
+  "fig01_stencil3d_codesign"
+  "fig01_stencil3d_codesign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_stencil3d_codesign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig01_stencil3d_codesign.
+# This may be replaced when dependencies are built.

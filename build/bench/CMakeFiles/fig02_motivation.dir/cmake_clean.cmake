@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_motivation.dir/fig02_motivation.cc.o"
+  "CMakeFiles/fig02_motivation.dir/fig02_motivation.cc.o.d"
+  "fig02_motivation"
+  "fig02_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

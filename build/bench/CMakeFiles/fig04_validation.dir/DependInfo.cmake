@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig04_validation.cc" "bench/CMakeFiles/fig04_validation.dir/fig04_validation.cc.o" "gcc" "bench/CMakeFiles/fig04_validation.dir/fig04_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/genie_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/genie_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/genie_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/genie_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/genie_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/genie_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/genie_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/genie_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/genie_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/genie_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_dma_timeline.dir/fig05_dma_timeline.cc.o"
+  "CMakeFiles/fig05_dma_timeline.dir/fig05_dma_timeline.cc.o.d"
+  "fig05_dma_timeline"
+  "fig05_dma_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_dma_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_dma_opts.dir/fig06_dma_opts.cc.o"
+  "CMakeFiles/fig06_dma_opts.dir/fig06_dma_opts.cc.o.d"
+  "fig06_dma_opts"
+  "fig06_dma_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dma_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_dma_opts.
+# This may be replaced when dependencies are built.

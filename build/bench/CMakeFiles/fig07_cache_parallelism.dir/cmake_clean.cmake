@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cache_parallelism.dir/fig07_cache_parallelism.cc.o"
+  "CMakeFiles/fig07_cache_parallelism.dir/fig07_cache_parallelism.cc.o.d"
+  "fig07_cache_parallelism"
+  "fig07_cache_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cache_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

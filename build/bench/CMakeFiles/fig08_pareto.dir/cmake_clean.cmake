@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_pareto.dir/fig08_pareto.cc.o"
+  "CMakeFiles/fig08_pareto.dir/fig08_pareto.cc.o.d"
+  "fig08_pareto"
+  "fig08_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_kiviat.dir/fig09_kiviat.cc.o"
+  "CMakeFiles/fig09_kiviat.dir/fig09_kiviat.cc.o.d"
+  "fig09_kiviat"
+  "fig09_kiviat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_kiviat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

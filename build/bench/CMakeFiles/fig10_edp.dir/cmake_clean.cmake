@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_edp.dir/fig10_edp.cc.o"
+  "CMakeFiles/fig10_edp.dir/fig10_edp.cc.o.d"
+  "fig10_edp"
+  "fig10_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/genie_bench_util.dir/bench_util.cc.o.d"
+  "lib/libgenie_bench_util.a"
+  "lib/libgenie_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

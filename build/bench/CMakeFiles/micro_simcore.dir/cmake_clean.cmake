@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_simcore.dir/micro_simcore.cc.o"
+  "CMakeFiles/micro_simcore.dir/micro_simcore.cc.o.d"
+  "micro_simcore"
+  "micro_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

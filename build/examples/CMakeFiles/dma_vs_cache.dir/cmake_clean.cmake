@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_vs_cache.dir/dma_vs_cache.cpp.o"
+  "CMakeFiles/dma_vs_cache.dir/dma_vs_cache.cpp.o.d"
+  "dma_vs_cache"
+  "dma_vs_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_vs_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

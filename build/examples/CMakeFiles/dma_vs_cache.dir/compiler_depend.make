@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dma_vs_cache.
+# This may be replaced when dependencies are built.

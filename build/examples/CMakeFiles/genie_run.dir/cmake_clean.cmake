@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_run.dir/genie_run.cpp.o"
+  "CMakeFiles/genie_run.dir/genie_run.cpp.o.d"
+  "genie_run"
+  "genie_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/datapath.cc" "src/accel/CMakeFiles/genie_accel.dir/datapath.cc.o" "gcc" "src/accel/CMakeFiles/genie_accel.dir/datapath.cc.o.d"
+  "/root/repo/src/accel/dddg.cc" "src/accel/CMakeFiles/genie_accel.dir/dddg.cc.o" "gcc" "src/accel/CMakeFiles/genie_accel.dir/dddg.cc.o.d"
+  "/root/repo/src/accel/trace.cc" "src/accel/CMakeFiles/genie_accel.dir/trace.cc.o" "gcc" "src/accel/CMakeFiles/genie_accel.dir/trace.cc.o.d"
+  "/root/repo/src/accel/trace_io.cc" "src/accel/CMakeFiles/genie_accel.dir/trace_io.cc.o" "gcc" "src/accel/CMakeFiles/genie_accel.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/genie_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/genie_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/genie_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_accel.dir/datapath.cc.o"
+  "CMakeFiles/genie_accel.dir/datapath.cc.o.d"
+  "CMakeFiles/genie_accel.dir/dddg.cc.o"
+  "CMakeFiles/genie_accel.dir/dddg.cc.o.d"
+  "CMakeFiles/genie_accel.dir/trace.cc.o"
+  "CMakeFiles/genie_accel.dir/trace.cc.o.d"
+  "CMakeFiles/genie_accel.dir/trace_io.cc.o"
+  "CMakeFiles/genie_accel.dir/trace_io.cc.o.d"
+  "libgenie_accel.a"
+  "libgenie_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

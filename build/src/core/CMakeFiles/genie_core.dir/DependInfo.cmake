@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config_parse.cc" "src/core/CMakeFiles/genie_core.dir/config_parse.cc.o" "gcc" "src/core/CMakeFiles/genie_core.dir/config_parse.cc.o.d"
+  "/root/repo/src/core/multi_soc.cc" "src/core/CMakeFiles/genie_core.dir/multi_soc.cc.o" "gcc" "src/core/CMakeFiles/genie_core.dir/multi_soc.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/genie_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/genie_core.dir/report.cc.o.d"
+  "/root/repo/src/core/soc.cc" "src/core/CMakeFiles/genie_core.dir/soc.cc.o" "gcc" "src/core/CMakeFiles/genie_core.dir/soc.cc.o.d"
+  "/root/repo/src/core/validation.cc" "src/core/CMakeFiles/genie_core.dir/validation.cc.o" "gcc" "src/core/CMakeFiles/genie_core.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/genie_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/genie_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dma/CMakeFiles/genie_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/genie_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/genie_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/genie_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_core.dir/config_parse.cc.o"
+  "CMakeFiles/genie_core.dir/config_parse.cc.o.d"
+  "CMakeFiles/genie_core.dir/multi_soc.cc.o"
+  "CMakeFiles/genie_core.dir/multi_soc.cc.o.d"
+  "CMakeFiles/genie_core.dir/report.cc.o"
+  "CMakeFiles/genie_core.dir/report.cc.o.d"
+  "CMakeFiles/genie_core.dir/soc.cc.o"
+  "CMakeFiles/genie_core.dir/soc.cc.o.d"
+  "CMakeFiles/genie_core.dir/validation.cc.o"
+  "CMakeFiles/genie_core.dir/validation.cc.o.d"
+  "libgenie_core.a"
+  "libgenie_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

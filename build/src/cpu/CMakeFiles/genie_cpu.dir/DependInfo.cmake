@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/driver_cpu.cc" "src/cpu/CMakeFiles/genie_cpu.dir/driver_cpu.cc.o" "gcc" "src/cpu/CMakeFiles/genie_cpu.dir/driver_cpu.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dma/CMakeFiles/genie_dma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/genie_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/genie_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

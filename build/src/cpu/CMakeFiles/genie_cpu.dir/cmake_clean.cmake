@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_cpu.dir/driver_cpu.cc.o"
+  "CMakeFiles/genie_cpu.dir/driver_cpu.cc.o.d"
+  "libgenie_cpu.a"
+  "libgenie_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dma/dma_engine.cc" "src/dma/CMakeFiles/genie_dma.dir/dma_engine.cc.o" "gcc" "src/dma/CMakeFiles/genie_dma.dir/dma_engine.cc.o.d"
+  "/root/repo/src/dma/flush_model.cc" "src/dma/CMakeFiles/genie_dma.dir/flush_model.cc.o" "gcc" "src/dma/CMakeFiles/genie_dma.dir/flush_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/genie_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/genie_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_dma.dir/dma_engine.cc.o"
+  "CMakeFiles/genie_dma.dir/dma_engine.cc.o.d"
+  "CMakeFiles/genie_dma.dir/flush_model.cc.o"
+  "CMakeFiles/genie_dma.dir/flush_model.cc.o.d"
+  "libgenie_dma.a"
+  "libgenie_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_dse.dir/pareto.cc.o"
+  "CMakeFiles/genie_dse.dir/pareto.cc.o.d"
+  "CMakeFiles/genie_dse.dir/sweep.cc.o"
+  "CMakeFiles/genie_dse.dir/sweep.cc.o.d"
+  "libgenie_dse.a"
+  "libgenie_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

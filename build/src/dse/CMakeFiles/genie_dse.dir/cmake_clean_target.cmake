@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgenie_dse.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bus.cc" "src/mem/CMakeFiles/genie_mem.dir/bus.cc.o" "gcc" "src/mem/CMakeFiles/genie_mem.dir/bus.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/genie_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/genie_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/genie_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/genie_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/full_empty.cc" "src/mem/CMakeFiles/genie_mem.dir/full_empty.cc.o" "gcc" "src/mem/CMakeFiles/genie_mem.dir/full_empty.cc.o.d"
+  "/root/repo/src/mem/prefetcher.cc" "src/mem/CMakeFiles/genie_mem.dir/prefetcher.cc.o" "gcc" "src/mem/CMakeFiles/genie_mem.dir/prefetcher.cc.o.d"
+  "/root/repo/src/mem/scratchpad.cc" "src/mem/CMakeFiles/genie_mem.dir/scratchpad.cc.o" "gcc" "src/mem/CMakeFiles/genie_mem.dir/scratchpad.cc.o.d"
+  "/root/repo/src/mem/tlb.cc" "src/mem/CMakeFiles/genie_mem.dir/tlb.cc.o" "gcc" "src/mem/CMakeFiles/genie_mem.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/genie_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_mem.dir/bus.cc.o"
+  "CMakeFiles/genie_mem.dir/bus.cc.o.d"
+  "CMakeFiles/genie_mem.dir/cache.cc.o"
+  "CMakeFiles/genie_mem.dir/cache.cc.o.d"
+  "CMakeFiles/genie_mem.dir/dram.cc.o"
+  "CMakeFiles/genie_mem.dir/dram.cc.o.d"
+  "CMakeFiles/genie_mem.dir/full_empty.cc.o"
+  "CMakeFiles/genie_mem.dir/full_empty.cc.o.d"
+  "CMakeFiles/genie_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/genie_mem.dir/prefetcher.cc.o.d"
+  "CMakeFiles/genie_mem.dir/scratchpad.cc.o"
+  "CMakeFiles/genie_mem.dir/scratchpad.cc.o.d"
+  "CMakeFiles/genie_mem.dir/tlb.cc.o"
+  "CMakeFiles/genie_mem.dir/tlb.cc.o.d"
+  "libgenie_mem.a"
+  "libgenie_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_power.dir/energy_model.cc.o"
+  "CMakeFiles/genie_power.dir/energy_model.cc.o.d"
+  "libgenie_power.a"
+  "libgenie_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

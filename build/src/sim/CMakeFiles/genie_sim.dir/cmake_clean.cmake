@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genie_sim.dir/event_queue.cc.o"
+  "CMakeFiles/genie_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/genie_sim.dir/logging.cc.o"
+  "CMakeFiles/genie_sim.dir/logging.cc.o.d"
+  "CMakeFiles/genie_sim.dir/stats.cc.o"
+  "CMakeFiles/genie_sim.dir/stats.cc.o.d"
+  "libgenie_sim.a"
+  "libgenie_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genie_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

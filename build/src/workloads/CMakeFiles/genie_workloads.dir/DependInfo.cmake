@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/aes.cc" "src/workloads/CMakeFiles/genie_workloads.dir/aes.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/aes.cc.o.d"
+  "/root/repo/src/workloads/bfs_queue.cc" "src/workloads/CMakeFiles/genie_workloads.dir/bfs_queue.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/bfs_queue.cc.o.d"
+  "/root/repo/src/workloads/fft_transpose.cc" "src/workloads/CMakeFiles/genie_workloads.dir/fft_transpose.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/fft_transpose.cc.o.d"
+  "/root/repo/src/workloads/gemm.cc" "src/workloads/CMakeFiles/genie_workloads.dir/gemm.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/gemm.cc.o.d"
+  "/root/repo/src/workloads/gemm_blocked.cc" "src/workloads/CMakeFiles/genie_workloads.dir/gemm_blocked.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/gemm_blocked.cc.o.d"
+  "/root/repo/src/workloads/kmp.cc" "src/workloads/CMakeFiles/genie_workloads.dir/kmp.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/kmp.cc.o.d"
+  "/root/repo/src/workloads/md_grid.cc" "src/workloads/CMakeFiles/genie_workloads.dir/md_grid.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/md_grid.cc.o.d"
+  "/root/repo/src/workloads/md_knn.cc" "src/workloads/CMakeFiles/genie_workloads.dir/md_knn.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/md_knn.cc.o.d"
+  "/root/repo/src/workloads/nw.cc" "src/workloads/CMakeFiles/genie_workloads.dir/nw.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/nw.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/genie_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/sort_merge.cc" "src/workloads/CMakeFiles/genie_workloads.dir/sort_merge.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/sort_merge.cc.o.d"
+  "/root/repo/src/workloads/sort_radix.cc" "src/workloads/CMakeFiles/genie_workloads.dir/sort_radix.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/sort_radix.cc.o.d"
+  "/root/repo/src/workloads/spmv_crs.cc" "src/workloads/CMakeFiles/genie_workloads.dir/spmv_crs.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/spmv_crs.cc.o.d"
+  "/root/repo/src/workloads/spmv_ellpack.cc" "src/workloads/CMakeFiles/genie_workloads.dir/spmv_ellpack.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/spmv_ellpack.cc.o.d"
+  "/root/repo/src/workloads/stencil2d.cc" "src/workloads/CMakeFiles/genie_workloads.dir/stencil2d.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/stencil2d.cc.o.d"
+  "/root/repo/src/workloads/stencil3d.cc" "src/workloads/CMakeFiles/genie_workloads.dir/stencil3d.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/stencil3d.cc.o.d"
+  "/root/repo/src/workloads/viterbi.cc" "src/workloads/CMakeFiles/genie_workloads.dir/viterbi.cc.o" "gcc" "src/workloads/CMakeFiles/genie_workloads.dir/viterbi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/accel/CMakeFiles/genie_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/genie_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/genie_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/genie_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datapath_cache.dir/test_datapath_cache.cc.o"
+  "CMakeFiles/test_datapath_cache.dir/test_datapath_cache.cc.o.d"
+  "test_datapath_cache"
+  "test_datapath_cache.pdb"
+  "test_datapath_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datapath_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

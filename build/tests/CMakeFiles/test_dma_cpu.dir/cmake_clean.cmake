@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dma_cpu.dir/test_dma_cpu.cc.o"
+  "CMakeFiles/test_dma_cpu.dir/test_dma_cpu.cc.o.d"
+  "test_dma_cpu"
+  "test_dma_cpu.pdb"
+  "test_dma_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dma_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

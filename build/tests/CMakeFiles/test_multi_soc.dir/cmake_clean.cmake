@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_soc.dir/test_multi_soc.cc.o"
+  "CMakeFiles/test_multi_soc.dir/test_multi_soc.cc.o.d"
+  "test_multi_soc"
+  "test_multi_soc.pdb"
+  "test_multi_soc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

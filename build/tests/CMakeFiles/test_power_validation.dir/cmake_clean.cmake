@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_validation.dir/test_power_validation.cc.o"
+  "CMakeFiles/test_power_validation.dir/test_power_validation.cc.o.d"
+  "test_power_validation"
+  "test_power_validation.pdb"
+  "test_power_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
