@@ -17,6 +17,16 @@ SystemBus::SystemBus(std::string name, EventQueue &eq, ClockDomain domain,
 {
     if (params.widthBits % 8 != 0 || params.widthBits == 0)
         fatal("bus width must be a positive multiple of 8 bits");
+#if GENIE_CHECK_INVARIANTS
+    enableProtocolChecker();
+#endif
+}
+
+void
+SystemBus::enableProtocolChecker()
+{
+    if (!checker)
+        checker = std::make_unique<ProtocolChecker>();
 }
 
 BusPortId
@@ -35,6 +45,8 @@ SystemBus::sendRequest(BusPortId src, Packet pkt)
                      clients.size(),
                  "bad bus port %d", src);
     pkt.src = src;
+    if (checker)
+        checker->onRequest(pkt);
     reqQueues[static_cast<std::size_t>(src)].push_back({pkt, false});
     scheduleArbitration(clockEdge());
 }
@@ -43,6 +55,8 @@ void
 SystemBus::sendResponse(Packet pkt)
 {
     GENIE_ASSERT(pkt.isResponse(), "sendResponse with non-response cmd");
+    if (checker)
+        checker->onResponse(pkt);
     respQueue.push_back({pkt, true});
     scheduleArbitration(clockEdge());
 }

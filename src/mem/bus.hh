@@ -20,9 +20,11 @@
 #define GENIE_MEM_BUS_HH
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "mem/packet.hh"
+#include "mem/protocol_checker.hh"
 #include "sim/clocked.hh"
 #include "sim/sim_object.hh"
 
@@ -93,6 +95,16 @@ class SystemBus : public SimObject, public Clocked
     /** Total ticks during which the bus was occupied. */
     Tick busyTicks() const { return static_cast<Tick>(statBusyTicks.value()); }
 
+    /**
+     * Attach a runtime protocol checker (genie-verify) that audits
+     * every request/response pairing crossing this bus. Enabled by
+     * default in GENIE_CHECK_INVARIANTS builds; idempotent.
+     */
+    void enableProtocolChecker();
+
+    /** The attached checker, or nullptr when auditing is off. */
+    ProtocolChecker *protocolChecker() { return checker.get(); }
+
   private:
     struct QueuedPacket
     {
@@ -126,6 +138,8 @@ class SystemBus : public SimObject, public Clocked
 
     Tick busyUntil = 0;
     bool arbitrationScheduled = false;
+
+    std::unique_ptr<ProtocolChecker> checker;
 
     Stat &statPackets;
     Stat &statDataBytes;

@@ -76,6 +76,16 @@ Cache::touch(Line &line)
     line.lastUse = ++useCounter;
 }
 
+void
+Cache::transition(Line &line, CoherenceState to, CoherenceEvent ev)
+{
+    GENIE_ASSERT(moesiEdgeLegal(line.state, to, ev),
+                 "%s: illegal MOESI transition %s -> %s on %s",
+                 name().c_str(), toString(line.state), toString(to),
+                 toString(ev));
+    line.state = to;
+}
+
 bool
 Cache::portAvailable() const
 {
@@ -133,7 +143,8 @@ Cache::access(Addr addr, unsigned size, bool isWrite,
         }
         if (isWrite) {
             ++statWrites;
-            line->state = CoherenceState::Modified;
+            transition(*line, CoherenceState::Modified,
+                       CoherenceEvent::StoreHit);
         } else {
             ++statReads;
         }
@@ -251,7 +262,7 @@ Cache::evict(Line &line, Addr line_addr)
         ++outstandingWritebacks;
         bus.sendRequest(busPort, pkt);
     }
-    line.state = CoherenceState::Invalid;
+    transition(line, CoherenceState::Invalid, CoherenceEvent::Evict);
 }
 
 void
@@ -277,21 +288,27 @@ Cache::recvResponse(const Packet &pkt)
         line = findLine(mshr.lineAddr);
         GENIE_ASSERT(line != nullptr, "upgrade response for absent line");
         line->hasPendingMshr = false;
-        line->state = CoherenceState::Modified;
+        transition(*line, CoherenceState::Modified,
+                   CoherenceEvent::UpgradeDone);
     } else {
         Line &l = allocateLine(mshr.lineAddr);
         l.tag = mshr.lineAddr;
         l.hasPendingMshr = false;
         l.wasPrefetched = mshr.isPrefetch;
         if (mshr.wantExclusive) {
-            l.state = CoherenceState::Modified;
+            transition(l, CoherenceState::Modified,
+                       CoherenceEvent::FillModified);
         } else if (pkt.cacheToCache) {
             // Supplied by an owner: we get a shared, clean copy; the
             // owner retains responsibility for the dirty data (O).
-            l.state = CoherenceState::Shared;
+            transition(l, CoherenceState::Shared,
+                       CoherenceEvent::FillShared);
+        } else if (pkt.sharerPresent) {
+            transition(l, CoherenceState::Shared,
+                       CoherenceEvent::FillShared);
         } else {
-            l.state = pkt.sharerPresent ? CoherenceState::Shared
-                                        : CoherenceState::Exclusive;
+            transition(l, CoherenceState::Exclusive,
+                       CoherenceEvent::FillExclusive);
         }
         line = &l;
         ++statDataAccesses; // line fill writes the data array
@@ -334,9 +351,11 @@ Cache::recvSnoop(const Packet &pkt)
             result.supplyLatency = cyclesToTicks(params.hitLatency);
             ++statSnoopsServiced;
             ++statDataAccesses;
-            line->state = CoherenceState::Owned;
+            transition(*line, CoherenceState::Owned,
+                       CoherenceEvent::SnoopShared);
         } else if (line->state == CoherenceState::Exclusive) {
-            line->state = CoherenceState::Shared;
+            transition(*line, CoherenceState::Shared,
+                       CoherenceEvent::SnoopShared);
         }
         break;
       case MemCmd::ReadExclusive:
@@ -346,11 +365,13 @@ Cache::recvSnoop(const Packet &pkt)
             ++statSnoopsServiced;
             ++statDataAccesses;
         }
-        line->state = CoherenceState::Invalid;
+        transition(*line, CoherenceState::Invalid,
+                   CoherenceEvent::SnoopExclusive);
         ++statSnoopInvalidations;
         break;
       case MemCmd::Upgrade:
-        line->state = CoherenceState::Invalid;
+        transition(*line, CoherenceState::Invalid,
+                   CoherenceEvent::SnoopUpgrade);
         ++statSnoopInvalidations;
         break;
       default:
@@ -384,8 +405,10 @@ Cache::prefill(Addr base, std::uint64_t len, bool dirty)
             victim->wasPrefetched = false;
             line = victim;
         }
-        line->state = dirty ? CoherenceState::Modified
-                            : CoherenceState::Exclusive;
+        transition(*line,
+                   dirty ? CoherenceState::Modified
+                         : CoherenceState::Exclusive,
+                   CoherenceEvent::Prefill);
         touch(*line);
     }
 }
@@ -403,7 +426,8 @@ Cache::flushRange(Addr base, std::uint64_t len)
             ++dirty;
             ++statWritebacks;
         }
-        line->state = CoherenceState::Invalid;
+        transition(*line, CoherenceState::Invalid,
+                   CoherenceEvent::Flush);
     }
     return dirty;
 }
@@ -417,7 +441,8 @@ Cache::invalidateRange(Addr base, std::uint64_t len)
         Line *line = findLine(a);
         if (!line)
             continue;
-        line->state = CoherenceState::Invalid;
+        transition(*line, CoherenceState::Invalid,
+                   CoherenceEvent::Invalidate);
         ++count;
     }
     return count;

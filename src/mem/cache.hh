@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "mem/bus.hh"
+#include "mem/coherence.hh"
 #include "mem/packet.hh"
 #include "sim/clocked.hh"
 #include "sim/sim_object.hh"
@@ -31,35 +32,6 @@ namespace genie
 {
 
 class StridePrefetcher;
-
-/** MOESI line states. */
-enum class CoherenceState : std::uint8_t
-{
-    Invalid,
-    Shared,
-    Exclusive,
-    Owned,
-    Modified,
-};
-
-constexpr bool
-stateDirty(CoherenceState s)
-{
-    return s == CoherenceState::Modified || s == CoherenceState::Owned;
-}
-
-constexpr bool
-stateValid(CoherenceState s)
-{
-    return s != CoherenceState::Invalid;
-}
-
-constexpr bool
-stateWritable(CoherenceState s)
-{
-    return s == CoherenceState::Modified ||
-           s == CoherenceState::Exclusive;
-}
 
 /** The cache model. */
 class Cache : public SimObject, public BusClient, public Clocked
@@ -188,6 +160,14 @@ class Cache : public SimObject, public BusClient, public Clocked
 
     /** Account a tag+data array access and bump LRU state. */
     void touch(Line &line);
+
+    /**
+     * Change @p line's coherence state, asserting the edge is one the
+     * MOESI table defines (see mem/coherence.hh). All state writes go
+     * through here so an illegal transition panics at the site that
+     * introduced it.
+     */
+    void transition(Line &line, CoherenceState to, CoherenceEvent ev);
 
     /** Handle a demand miss: allocate/append MSHR, issue bus request.
      * @return false if no MSHR was available. */

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * The MOESI transition table, as data (genie-verify runtime layer).
+ *
+ * Every coherence state change in the cache model goes through
+ * Cache::transition(), which consults this table and panics on an
+ * edge the protocol does not define. Encoding the protocol as an
+ * auditable table (rather than scattered assignments) is what lets a
+ * refactor that accidentally introduces, say, S->E without a bus
+ * transaction fail loudly in the first simulation instead of skewing
+ * sweep results silently.
+ *
+ * The table mirrors the snooping MOESI protocol the bus implements:
+ *
+ *   fills:    I -> S (shared fill), I -> E (exclusive clean fill),
+ *             I -> M (fill with intent to modify)
+ *   stores:   E -> M, M -> M (silent upgrade on a writable line)
+ *   upgrades: S -> M, O -> M (Upgrade transaction completed)
+ *   snoops:   M -> O, O -> O (ReadShared hits a dirty owner),
+ *             E -> S, S -> S (ReadShared hits a clean line),
+ *             any valid -> I (ReadExclusive / Upgrade invalidation)
+ *   locals:   any -> I (eviction, flush, invalidate),
+ *             any -> E/M (functional prefill before the measured run)
+ */
+
+#ifndef GENIE_MEM_COHERENCE_HH
+#define GENIE_MEM_COHERENCE_HH
+
+#include <cstdint>
+
+namespace genie
+{
+
+/** MOESI line states. */
+enum class CoherenceState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Owned,
+    Modified,
+};
+
+constexpr bool
+stateDirty(CoherenceState s)
+{
+    return s == CoherenceState::Modified || s == CoherenceState::Owned;
+}
+
+constexpr bool
+stateValid(CoherenceState s)
+{
+    return s != CoherenceState::Invalid;
+}
+
+constexpr bool
+stateWritable(CoherenceState s)
+{
+    return s == CoherenceState::Modified ||
+           s == CoherenceState::Exclusive;
+}
+
+/** What caused a coherence state change. */
+enum class CoherenceEvent : std::uint8_t
+{
+    StoreHit,       ///< write hit on a writable line
+    FillShared,     ///< line fill, another cache holds the line
+    FillExclusive,  ///< line fill, no other sharer
+    FillModified,   ///< line fill with intent to modify
+    UpgradeDone,    ///< Upgrade transaction completed
+    SnoopShared,    ///< snooped another cache's ReadShared
+    SnoopExclusive, ///< snooped another cache's ReadExclusive
+    SnoopUpgrade,   ///< snooped another cache's Upgrade
+    Evict,          ///< replacement victim
+    Flush,          ///< explicit flush maintenance op
+    Invalidate,     ///< explicit invalidate maintenance op
+    Prefill,        ///< functional warm-up before the measured run
+};
+
+constexpr const char *
+toString(CoherenceState s)
+{
+    switch (s) {
+      case CoherenceState::Invalid:   return "I";
+      case CoherenceState::Shared:    return "S";
+      case CoherenceState::Exclusive: return "E";
+      case CoherenceState::Owned:     return "O";
+      case CoherenceState::Modified:  return "M";
+    }
+    return "?";
+}
+
+constexpr const char *
+toString(CoherenceEvent e)
+{
+    switch (e) {
+      case CoherenceEvent::StoreHit:       return "StoreHit";
+      case CoherenceEvent::FillShared:     return "FillShared";
+      case CoherenceEvent::FillExclusive:  return "FillExclusive";
+      case CoherenceEvent::FillModified:   return "FillModified";
+      case CoherenceEvent::UpgradeDone:    return "UpgradeDone";
+      case CoherenceEvent::SnoopShared:    return "SnoopShared";
+      case CoherenceEvent::SnoopExclusive: return "SnoopExclusive";
+      case CoherenceEvent::SnoopUpgrade:   return "SnoopUpgrade";
+      case CoherenceEvent::Evict:          return "Evict";
+      case CoherenceEvent::Flush:          return "Flush";
+      case CoherenceEvent::Invalidate:     return "Invalidate";
+      case CoherenceEvent::Prefill:        return "Prefill";
+    }
+    return "?";
+}
+
+/** True if the protocol defines the edge @p from -> @p to under
+ * @p event. */
+constexpr bool
+moesiEdgeLegal(CoherenceState from, CoherenceState to,
+               CoherenceEvent event)
+{
+    using S = CoherenceState;
+    using E = CoherenceEvent;
+    switch (event) {
+      case E::StoreHit:
+        return (from == S::Exclusive || from == S::Modified) &&
+               to == S::Modified;
+      case E::FillShared:
+        return from == S::Invalid && to == S::Shared;
+      case E::FillExclusive:
+        return from == S::Invalid && to == S::Exclusive;
+      case E::FillModified:
+        return from == S::Invalid && to == S::Modified;
+      case E::UpgradeDone:
+        return (from == S::Shared || from == S::Owned) &&
+               to == S::Modified;
+      case E::SnoopShared:
+        // Dirty owners supply data and (re)enter O; clean holders
+        // demote to S.
+        return ((from == S::Modified || from == S::Owned) &&
+                to == S::Owned) ||
+               ((from == S::Exclusive || from == S::Shared) &&
+                to == S::Shared);
+      case E::SnoopExclusive:
+      case E::SnoopUpgrade:
+        return stateValid(from) && to == S::Invalid;
+      case E::Evict:
+      case E::Flush:
+      case E::Invalidate:
+        return to == S::Invalid;
+      case E::Prefill:
+        // Functional warm-up may install any line as clean-exclusive
+        // or dirty, regardless of what it overwrites.
+        return to == S::Exclusive || to == S::Modified;
+    }
+    return false;
+}
+
+static_assert(moesiEdgeLegal(CoherenceState::Modified,
+                             CoherenceState::Owned,
+                             CoherenceEvent::SnoopShared),
+              "M must demote to O when a ReadShared is snooped");
+static_assert(!moesiEdgeLegal(CoherenceState::Shared,
+                              CoherenceState::Exclusive,
+                              CoherenceEvent::FillExclusive),
+              "S -> E without a bus transaction is illegal");
+static_assert(!moesiEdgeLegal(CoherenceState::Owned,
+                              CoherenceState::Exclusive,
+                              CoherenceEvent::SnoopShared),
+              "an owner never silently sheds dirty responsibility");
+
+} // namespace genie
+
+#endif // GENIE_MEM_COHERENCE_HH

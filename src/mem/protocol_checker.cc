@@ -1,0 +1,73 @@
+#include "protocol_checker.hh"
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+void
+ProtocolChecker::onRequest(const Packet &pkt)
+{
+    if (pkt.isResponse()) {
+        panic("protocol: response command %u sent on the request path "
+              "(port %d, reqId %llu)",
+              static_cast<unsigned>(pkt.cmd), pkt.src,
+              (unsigned long long)pkt.reqId);
+    }
+    if (pkt.src == invalidBusPort)
+        panic("protocol: request with no source port (reqId %llu)",
+              (unsigned long long)pkt.reqId);
+    auto [it, inserted] =
+        inFlight.emplace(Key{pkt.src, pkt.reqId}, pkt.cmd);
+    (void)it;
+    if (!inserted) {
+        panic("protocol: duplicate outstanding reqId %llu from port "
+              "%d",
+              (unsigned long long)pkt.reqId, pkt.src);
+    }
+    ++numRequests;
+}
+
+void
+ProtocolChecker::onResponse(const Packet &pkt)
+{
+    if (!pkt.isResponse()) {
+        panic("protocol: non-response command %u on the response path "
+              "(port %d, reqId %llu)",
+              static_cast<unsigned>(pkt.cmd), pkt.src,
+              (unsigned long long)pkt.reqId);
+    }
+    auto it = inFlight.find(Key{pkt.src, pkt.reqId});
+    if (it == inFlight.end()) {
+        panic("protocol: response without a matching request (port "
+              "%d, reqId %llu) — duplicate or spurious response",
+              pkt.src, (unsigned long long)pkt.reqId);
+    }
+    Packet req;
+    req.cmd = it->second;
+    MemCmd expected = req.makeResponse().cmd;
+    if (pkt.cmd != expected) {
+        panic("protocol: wrong response pairing for port %d reqId "
+              "%llu: request cmd %u expects response cmd %u, got %u",
+              pkt.src, (unsigned long long)pkt.reqId,
+              static_cast<unsigned>(it->second),
+              static_cast<unsigned>(expected),
+              static_cast<unsigned>(pkt.cmd));
+    }
+    inFlight.erase(it);
+    ++numResponses;
+}
+
+void
+ProtocolChecker::checkQuiescent() const
+{
+    if (inFlight.empty())
+        return;
+    const auto &[key, cmd] = *inFlight.begin();
+    panic("protocol: %zu request(s) never received a response; first "
+          "leaked: port %d reqId %llu cmd %u",
+          inFlight.size(), key.first, (unsigned long long)key.second,
+          static_cast<unsigned>(cmd));
+}
+
+} // namespace genie

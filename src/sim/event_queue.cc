@@ -7,11 +7,35 @@ namespace genie
 
 EventQueue::~EventQueue()
 {
+#if GENIE_CHECK_INVARIANTS
+    // Event-leak-at-exit detector: live events at destruction usually
+    // mean a component leaked a handshake (e.g. a response that never
+    // arrived). Destroying a queue after run(until) legitimately
+    // leaves future events, so this only warns; flows that must drain
+    // completely should assert with checkDrained().
+    if (liveEvents != 0) {
+        warn("EventQueue destroyed with %zu live event(s) pending "
+             "(first at tick %llu)",
+             liveEvents, (unsigned long long)nextTick());
+    }
+#endif
     while (!heap.empty()) {
         Entry *e = heap.top();
         heap.pop();
-        delete e;
+        freeEntry(e);
     }
+    GENIE_ASSERT(entriesAllocated == 0,
+                 "EventQueue entry accounting leak: %zu entries "
+                 "unfreed at destruction",
+                 entriesAllocated);
+}
+
+void
+EventQueue::freeEntry(const Entry *e) const
+{
+    GENIE_ASSERT(entriesAllocated > 0, "entry accounting underflow");
+    --entriesAllocated;
+    delete e;
 }
 
 EventId
@@ -22,6 +46,7 @@ EventQueue::schedule(Tick when, std::function<void()> action)
               (unsigned long long)when, (unsigned long long)_curTick);
     auto *e = new Entry{when, nextSeq++, nextId++, std::move(action),
                         false};
+    ++entriesAllocated;
     heap.push(e);
     liveIndex.emplace(e->id, e);
     ++liveEvents;
@@ -45,7 +70,7 @@ EventQueue::skipCancelled() const
     while (!heap.empty() && heap.top()->cancelled) {
         Entry *e = heap.top();
         heap.pop();
-        delete e;
+        freeEntry(e);
     }
 }
 
@@ -66,13 +91,16 @@ EventQueue::step()
     heap.pop();
     GENIE_ASSERT(e->when >= _curTick, "event heap time went backwards");
     _curTick = e->when;
+    // Erase from the live index *before* running so a deschedule() of
+    // the now-firing id from inside the action is a harmless no-op
+    // (the Entry is already gone) rather than a double free.
     liveIndex.erase(e->id);
     --liveEvents;
     ++executed;
     // Move the action out so the entry can be deleted before the action
     // runs: the action may reschedule and grow the heap.
     std::function<void()> action = std::move(e->action);
-    delete e;
+    freeEntry(e);
     action();
     return true;
 }
@@ -89,6 +117,16 @@ EventQueue::run(Tick until)
     if (until != maxTick && _curTick < until)
         _curTick = until;
     return _curTick;
+}
+
+void
+EventQueue::checkDrained() const
+{
+    if (liveEvents != 0) {
+        panic("EventQueue not drained: %zu live event(s) remain, "
+              "next at tick %llu",
+              liveEvents, (unsigned long long)nextTick());
+    }
 }
 
 } // namespace genie

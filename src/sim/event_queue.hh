@@ -9,6 +9,15 @@
  *
  * Events with equal ticks fire in FIFO order of scheduling (a strict
  * total order keeps simulations deterministic and reproducible).
+ *
+ * Entry lifetime: the heap holds *owning* raw pointers — the one
+ * sanctioned manual-allocation site in the tree (see the
+ * raw-new-delete entry in tools/genie_lint/suppressions.txt). An
+ * Entry is freed at exactly one of three points: when it fires
+ * (step()), when a cancelled entry is lazily reaped at the heap top
+ * (skipCancelled()), or in the destructor. allocatedEntries() exposes
+ * the live allocation count so tests can prove the accounting closes
+ * under any deschedule()/run() interleaving.
  */
 
 #ifndef GENIE_SIM_EVENT_QUEUE_HH
@@ -84,6 +93,21 @@ class EventQueue
     /** Total number of events executed since construction. */
     std::uint64_t numExecuted() const { return executed; }
 
+    /**
+     * Heap-owned Entry allocations currently alive (live events plus
+     * cancelled-but-unreaped ones). Debug/test hook for the owning
+     * pointer heap; always >= size().
+     */
+    std::size_t allocatedEntries() const { return entriesAllocated; }
+
+    /**
+     * Invariant check: panics if any live (scheduled, uncancelled,
+     * unfired) event remains. Call after run() on a flow that must
+     * drain completely; a leftover event is a leaked handshake or a
+     * component that kept self-rescheduling past the end of the run.
+     */
+    void checkDrained() const;
+
   private:
     struct Entry
     {
@@ -108,11 +132,17 @@ class EventQueue
     /** Pop cancelled entries off the top of the heap. */
     void skipCancelled() const;
 
+    /** Free @p e, keeping the allocation count honest. */
+    void freeEntry(const Entry *e) const;
+
     Tick _curTick = 0;
     std::uint64_t nextSeq = 0;
     EventId nextId = 1;
     std::uint64_t executed = 0;
     std::size_t liveEvents = 0;
+    // Mutable alongside the heap: lazy reaping of cancelled entries
+    // happens from const queries (nextTick) and must stay accounted.
+    mutable std::size_t entriesAllocated = 0;
 
     // Heap of owning pointers; cancellation marks the entry and the heap
     // lazily discards it when it reaches the top.

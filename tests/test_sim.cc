@@ -286,5 +286,132 @@ TEST(Types, PeriodFromMhz)
     EXPECT_EQ(periodFromMhz(1000), 1000u); // 1 ns
 }
 
+// --- genie-verify: EventQueue edge cases and entry lifetime ---------
+
+TEST(EventQueueEdge, DescheduleOfAlreadyFiredIdIsNoOp)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventId id = eq.schedule(5, [&] { ++fired; });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    eq.deschedule(id); // must not underflow counters or double free
+    eq.deschedule(id);
+    EXPECT_EQ(eq.size(), 0u);
+    EXPECT_EQ(eq.allocatedEntries(), 0u);
+}
+
+TEST(EventQueueEdge, DescheduleOwnIdFromInsideActionIsNoOp)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventId id = invalidEventId;
+    id = eq.schedule(5, [&] {
+        ++fired;
+        eq.deschedule(id); // the entry is already retired
+    });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.allocatedEntries(), 0u);
+}
+
+TEST(EventQueueEdge, ScheduleAtCurTickFromInsideRunningEvent)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(1);
+        // Same-tick schedule from inside a running event must fire in
+        // this run, after the current event (FIFO at equal ticks).
+        eq.schedule(eq.curTick(), [&] { order.push_back(2); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.curTick(), 10u);
+}
+
+TEST(EventQueueEdge, ScheduleAtCurTickFiresEvenAtRunBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { eq.schedule(10, [&] { ++fired; }); });
+    eq.run(10); // boundary tick: events at exactly `until` execute
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueEdge, TieBreakIsFifoAcross1000SameTickEvents)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    order.reserve(1000);
+    for (int i = 0; i < 1000; ++i)
+        eq.schedule(42, [&order, i] { order.push_back(i); });
+    // Interleave some earlier and later events so heap churn cannot
+    // perturb the same-tick sequence.
+    eq.schedule(41, [] {});
+    eq.schedule(43, [] {});
+    eq.run();
+    ASSERT_EQ(order.size(), 1000u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueEdge, EntryAccountingClosesUnderDescheduleRunInterleaving)
+{
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (int round = 0; round < 10; ++round) {
+        for (int i = 0; i < 20; ++i) {
+            Tick when = static_cast<Tick>(round * 100 + i);
+            ids.push_back(eq.schedule(when, [] {}));
+        }
+        // Cancel every third event, including some already fired.
+        for (std::size_t i = 0; i < ids.size(); i += 3)
+            eq.deschedule(ids[i]);
+        eq.run(static_cast<Tick>(round * 100 + 10));
+        // Lazy deletion may keep cancelled entries allocated, but
+        // never fewer entries than live events.
+        EXPECT_GE(eq.allocatedEntries(), eq.size());
+    }
+    eq.run();
+    EXPECT_EQ(eq.size(), 0u);
+    // Once drained, every heap-owned Entry must have been freed.
+    EXPECT_EQ(eq.allocatedEntries(), 0u);
+    eq.checkDrained();
+}
+
+TEST(EventQueueEdge, DestructorFreesCancelledAndPendingEntries)
+{
+    // Destroying a queue with a mix of live and cancelled events must
+    // free every Entry (the accounting assert in ~EventQueue plus
+    // ASan builds prove it).
+    EventQueue eq;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 50; ++i)
+        ids.push_back(eq.schedule(static_cast<Tick>(i), [] {}));
+    for (std::size_t i = 0; i < ids.size(); i += 2)
+        eq.deschedule(ids[i]);
+    eq.run(10);
+    EXPECT_GT(eq.allocatedEntries(), 0u);
+    // dtor runs here
+}
+
+TEST(EventQueueEdgeDeath, CheckDrainedPanicsOnLiveEvents)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    EXPECT_DEATH(eq.checkDrained(), "not drained");
+}
+
+TEST(EventQueueEdgeDeath, SchedulingInThePastPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "in the past");
+}
+
 } // namespace
 } // namespace genie

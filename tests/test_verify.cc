@@ -1,0 +1,446 @@
+/**
+ * @file
+ * genie-verify subsystem tests.
+ *
+ * Covers the three correctness-tooling layers introduced with the
+ * subsystem: the static lint pass (seeded violations against the rule
+ * engine, suppression semantics), the runtime bus protocol checker
+ * (clean full-system flows plus panics on seeded protocol breaks),
+ * and the MOESI transition table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "accel/dddg.hh"
+#include "core/soc.hh"
+#include "lint.hh"
+#include "mem/bus.hh"
+#include "mem/coherence.hh"
+#include "mem/dram.hh"
+#include "mem/protocol_checker.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace genie
+{
+namespace
+{
+
+// --- static pass: rule engine against seeded violations -------------
+
+std::vector<lint::Finding>
+lintSnippet(const std::string &path, const std::string &code)
+{
+    return lint::lintSource(path, code);
+}
+
+bool
+hasRule(const std::vector<lint::Finding> &fs, const std::string &rule)
+{
+    for (const auto &f : fs) {
+        if (f.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+TEST(LintDeterminism, FlagsSeededRandCall)
+{
+    auto fs = lintSnippet("src/accel/fixture.cc",
+                          "int jitter() { return rand() % 7; }\n");
+    ASSERT_TRUE(hasRule(fs, "determinism"));
+    EXPECT_EQ(fs[0].line, 1);
+}
+
+TEST(LintDeterminism, FlagsWallClockAndRandomDevice)
+{
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/core/x.cc",
+                    "auto t = std::chrono::system_clock::now();\n"),
+        "determinism"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/core/x.cc", "std::random_device rd;\n"),
+        "determinism"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/core/x.cc", "seed = std::time(nullptr);\n"),
+        "determinism"));
+}
+
+TEST(LintDeterminism, SanctionedRngHeaderIsExempt)
+{
+    // random.hh itself may talk about mt19937 alternatives etc.
+    auto fs = lintSnippet("src/sim/random.hh",
+                          "std::mt19937 fallback;\n");
+    EXPECT_FALSE(hasRule(fs, "determinism"));
+}
+
+TEST(LintDeterminism, IgnoresMatchesInCommentsAndStrings)
+{
+    auto fs = lintSnippet(
+        "src/core/x.cc",
+        "// rand() would be wrong here\n"
+        "const char *msg = \"do not call rand()\";\n"
+        "/* std::chrono::system_clock is banned */\n");
+    EXPECT_FALSE(hasRule(fs, "determinism"));
+}
+
+TEST(LintDeterminism, DoesNotFlagIdentifiersContainingRand)
+{
+    auto fs = lintSnippet("src/core/x.cc",
+                          "int operand(int x); int r = operand(3);\n");
+    EXPECT_FALSE(hasRule(fs, "determinism"));
+}
+
+TEST(LintRawOutput, FlagsCoutAndPrintf)
+{
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/core/x.cc", "std::cout << 42;\n"),
+        "raw-output"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/core/x.cc", "printf(\"%d\", 42);\n"),
+        "raw-output"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/core/x.cc",
+                    "std::fprintf(stderr, \"oops\");\n"),
+        "raw-output"));
+}
+
+TEST(LintRawOutput, AllowsStringFormattingAndFormatAttribute)
+{
+    // snprintf/vsnprintf format into buffers, not the console; the
+    // printf format __attribute__ is metadata, not a call.
+    auto fs = lintSnippet(
+        "src/sim/x.cc",
+        "int n = std::vsnprintf(nullptr, 0, fmt, ap);\n"
+        "std::snprintf(buf, sizeof(buf), \"%d\", v);\n"
+        "void warn(const char *fmt, ...)\n"
+        "    __attribute__((format(printf, 1, 2)));\n");
+    EXPECT_FALSE(hasRule(fs, "raw-output"));
+}
+
+TEST(LintIncludeGuard, ComputesCanonicalGuardFromPath)
+{
+    EXPECT_EQ(lint::expectedGuard("src/mem/bus.hh"),
+              "GENIE_MEM_BUS_HH");
+    EXPECT_EQ(lint::expectedGuard("src/sim/event_queue.hh"),
+              "GENIE_SIM_EVENT_QUEUE_HH");
+    EXPECT_EQ(lint::expectedGuard("tests/foo.hh"), "");
+    EXPECT_EQ(lint::expectedGuard("src/mem/bus.cc"), "");
+}
+
+TEST(LintIncludeGuard, FlagsWrongMissingAndMismatchedDefine)
+{
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/mem/foo.hh",
+                    "#ifndef WRONG_HH\n#define WRONG_HH\n#endif\n"),
+        "include-guard"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/mem/foo.hh", "#include <vector>\n"),
+        "include-guard"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/mem/foo.hh",
+                    "#ifndef GENIE_MEM_FOO_HH\n"
+                    "#define GENIE_MEM_FOO_XX\n#endif\n"),
+        "include-guard"));
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/mem/foo.hh",
+                    "#ifndef GENIE_MEM_FOO_HH\n"
+                    "#define GENIE_MEM_FOO_HH\n#endif\n"),
+        "include-guard"));
+}
+
+TEST(LintStaticState, FlagsMutableStaticsButNotFunctionsOrConst)
+{
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/core/x.cc", "static int counter = 0;\n"),
+        "static-state"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/core/x.cc", "static bool initialized;\n"),
+        "static-state"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/core/x.cc", "thread_local int tls = 1;\n"),
+        "static-state"));
+    // Static member-function declarations and const data are fine.
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/core/x.hh",
+                    "static std::vector<SocConfig> "
+                    "isolated(const SocConfig &base);\n"),
+        "static-state"));
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/core/x.cc",
+                    "static constexpr int kTableSize = 8;\n"),
+        "static-state"));
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/core/x.cc",
+                    "static const char *names[] = {\"a\"};\n"),
+        "static-state"));
+    // static_cast / static_assert are not the `static` keyword.
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/core/x.cc",
+                    "static_assert(sizeof(int) == 4);\n"),
+        "static-state"));
+}
+
+TEST(LintRawNewDelete, FlagsOwnershipButNotDeletedMembers)
+{
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/core/x.cc", "auto *p = new Entry{};\n"),
+        "raw-new-delete"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/core/x.cc", "delete e;\n"),
+        "raw-new-delete"));
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/core/x.hh",
+                    "EventQueue(const EventQueue &) = delete;\n"
+                    "EventQueue &operator=(const EventQueue &) = "
+                    "delete;\n"),
+        "raw-new-delete"));
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/core/x.cc",
+                    "// a new miss allocates an MSHR\n"
+                    "auto p = std::make_unique<int>(3);\n"),
+        "raw-new-delete"));
+}
+
+TEST(LintSuppressions, SuppressesByRuleAndPathOnly)
+{
+    auto s = lint::Suppressions::parse(
+        "# comment\n"
+        "\n"
+        "raw-new-delete src/sim/event_queue.cc\n"
+        "* src/legacy/grandfathered.cc\n");
+    EXPECT_TRUE(s.matches("raw-new-delete", "src/sim/event_queue.cc"));
+    EXPECT_FALSE(s.matches("determinism", "src/sim/event_queue.cc"));
+    EXPECT_FALSE(s.matches("raw-new-delete", "src/sim/other.cc"));
+    EXPECT_TRUE(s.matches("determinism",
+                          "src/legacy/grandfathered.cc"));
+    EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(LintStrip, PreservesLineStructure)
+{
+    std::string out = lint::stripCommentsAndStrings(
+        "a /* x\ny */ b\n\"str\\\"ing\" // tail\n'c'\n");
+    // Same number of newlines in and out.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    EXPECT_EQ(out.find("str"), std::string::npos);
+    EXPECT_EQ(out.find("tail"), std::string::npos);
+    EXPECT_NE(out.find('a'), std::string::npos);
+    EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+// --- runtime layer: bus protocol checker ----------------------------
+
+constexpr Tick busPeriod = 10000; // 100 MHz
+
+class Sink : public BusClient
+{
+  public:
+    void
+    recvResponse(const Packet &pkt) override
+    {
+        responses.push_back(pkt);
+    }
+    std::vector<Packet> responses;
+};
+
+struct CheckedBusFixture : public ::testing::Test
+{
+    CheckedBusFixture()
+        : bus("bus", eq, ClockDomain(busPeriod), {}),
+          dram("dram", eq, ClockDomain(busPeriod), bus, {})
+    {
+        bus.setTarget(&dram);
+        bus.enableProtocolChecker();
+        port = bus.attachClient(&client, false);
+    }
+
+    EventQueue eq;
+    SystemBus bus;
+    DramCtrl dram;
+    Sink client;
+    BusPortId port = invalidBusPort;
+};
+
+TEST_F(CheckedBusFixture, CleanRoundTripsPassAndRetire)
+{
+    for (std::uint64_t id = 1; id <= 8; ++id) {
+        Packet pkt;
+        pkt.cmd = id % 2 ? MemCmd::ReadShared : MemCmd::WriteReq;
+        pkt.addr = 0x1000 + id * 64;
+        pkt.size = 64;
+        pkt.reqId = id;
+        bus.sendRequest(port, pkt);
+    }
+    eq.run();
+
+    ASSERT_NE(bus.protocolChecker(), nullptr);
+    EXPECT_EQ(bus.protocolChecker()->requestsSeen(), 8u);
+    EXPECT_EQ(bus.protocolChecker()->responsesSeen(), 8u);
+    EXPECT_EQ(bus.protocolChecker()->outstanding(), 0u);
+    bus.protocolChecker()->checkQuiescent(); // must not panic
+    EXPECT_EQ(client.responses.size(), 8u);
+}
+
+TEST_F(CheckedBusFixture, DuplicateOutstandingReqIdPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Packet pkt;
+    pkt.cmd = MemCmd::ReadShared;
+    pkt.addr = 0x1000;
+    pkt.size = 64;
+    pkt.reqId = 42;
+    bus.sendRequest(port, pkt);
+    EXPECT_DEATH(bus.sendRequest(port, pkt), "duplicate outstanding");
+}
+
+TEST_F(CheckedBusFixture, ResponseWithoutRequestPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Packet resp;
+    resp.cmd = MemCmd::ReadResp;
+    resp.src = port;
+    resp.reqId = 99;
+    EXPECT_DEATH(bus.sendResponse(resp),
+                 "response without a matching request");
+}
+
+TEST(ProtocolChecker, WrongCommandPairingPanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ProtocolChecker checker;
+    Packet req;
+    req.cmd = MemCmd::ReadShared;
+    req.src = 0;
+    req.reqId = 7;
+    checker.onRequest(req);
+    Packet resp = req;
+    resp.cmd = MemCmd::WriteResp; // reads must get ReadResp
+    EXPECT_DEATH(checker.onResponse(resp), "wrong response pairing");
+}
+
+TEST(ProtocolChecker, LeakedRequestFailsQuiescenceCheck)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    ProtocolChecker checker;
+    Packet req;
+    req.cmd = MemCmd::Writeback;
+    req.src = 2;
+    req.reqId = 11;
+    checker.onRequest(req);
+    EXPECT_EQ(checker.outstanding(), 1u);
+    EXPECT_DEATH(checker.checkQuiescent(),
+                 "never received a response");
+}
+
+// --- runtime layer: full-system flows under the checker -------------
+
+struct Prepared
+{
+    Trace trace;
+    Dddg dddg;
+    explicit Prepared(const std::string &name)
+        : trace(makeWorkload(name)->build().trace), dddg(trace)
+    {}
+};
+
+void
+runCheckedFlow(SocConfig cfg)
+{
+    Prepared p("stencil-stencil2d");
+    Soc soc(cfg, p.trace, p.dddg);
+    soc.bus().enableProtocolChecker();
+    SocResults r = soc.run();
+    EXPECT_GT(r.totalTicks, 0u);
+
+    ProtocolChecker *checker = soc.bus().protocolChecker();
+    ASSERT_NE(checker, nullptr);
+    // Every reqId must have received exactly one response...
+    checker->checkQuiescent();
+    EXPECT_EQ(checker->requestsSeen(), checker->responsesSeen());
+    EXPECT_GT(checker->requestsSeen(), 0u);
+    // ...and the drained flow must leave no live events behind.
+    soc.eventQueue().checkDrained();
+}
+
+TEST(ProtocolCheckerSystem, DmaOffloadFlowIsProtocolClean)
+{
+    SocConfig cfg;
+    cfg.memType = MemInterface::ScratchpadDma;
+    cfg.lanes = 4;
+    cfg.spadPartitions = 4;
+    cfg.dma.pipelined = true;
+    runCheckedFlow(cfg);
+}
+
+TEST(ProtocolCheckerSystem, CacheOffloadFlowIsProtocolClean)
+{
+    SocConfig cfg;
+    cfg.memType = MemInterface::Cache;
+    cfg.lanes = 4;
+    runCheckedFlow(cfg);
+}
+
+// --- runtime layer: MOESI transition table --------------------------
+
+TEST(MoesiTable, LegalEdgesOfTheProtocol)
+{
+    using S = CoherenceState;
+    using E = CoherenceEvent;
+    EXPECT_TRUE(moesiEdgeLegal(S::Invalid, S::Shared, E::FillShared));
+    EXPECT_TRUE(
+        moesiEdgeLegal(S::Invalid, S::Exclusive, E::FillExclusive));
+    EXPECT_TRUE(
+        moesiEdgeLegal(S::Invalid, S::Modified, E::FillModified));
+    EXPECT_TRUE(moesiEdgeLegal(S::Exclusive, S::Modified, E::StoreHit));
+    EXPECT_TRUE(moesiEdgeLegal(S::Modified, S::Modified, E::StoreHit));
+    EXPECT_TRUE(moesiEdgeLegal(S::Shared, S::Modified, E::UpgradeDone));
+    EXPECT_TRUE(moesiEdgeLegal(S::Owned, S::Modified, E::UpgradeDone));
+    EXPECT_TRUE(moesiEdgeLegal(S::Modified, S::Owned, E::SnoopShared));
+    EXPECT_TRUE(moesiEdgeLegal(S::Owned, S::Owned, E::SnoopShared));
+    EXPECT_TRUE(moesiEdgeLegal(S::Exclusive, S::Shared, E::SnoopShared));
+    EXPECT_TRUE(
+        moesiEdgeLegal(S::Modified, S::Invalid, E::SnoopExclusive));
+    EXPECT_TRUE(moesiEdgeLegal(S::Shared, S::Invalid, E::SnoopUpgrade));
+    EXPECT_TRUE(moesiEdgeLegal(S::Owned, S::Invalid, E::Evict));
+    EXPECT_TRUE(moesiEdgeLegal(S::Shared, S::Modified, E::Prefill));
+}
+
+TEST(MoesiTable, IllegalEdgesAreRejected)
+{
+    using S = CoherenceState;
+    using E = CoherenceEvent;
+    // No silent privilege escalation.
+    EXPECT_FALSE(moesiEdgeLegal(S::Shared, S::Modified, E::StoreHit));
+    EXPECT_FALSE(moesiEdgeLegal(S::Owned, S::Modified, E::StoreHit));
+    EXPECT_FALSE(
+        moesiEdgeLegal(S::Shared, S::Exclusive, E::FillExclusive));
+    // Fills only land on invalid lines.
+    EXPECT_FALSE(moesiEdgeLegal(S::Shared, S::Shared, E::FillShared));
+    // An upgrade from E/I makes no sense (E upgrades silently; I has
+    // nothing to upgrade).
+    EXPECT_FALSE(
+        moesiEdgeLegal(S::Exclusive, S::Modified, E::UpgradeDone));
+    EXPECT_FALSE(
+        moesiEdgeLegal(S::Invalid, S::Modified, E::UpgradeDone));
+    // Owners never shed dirty responsibility on a ReadShared snoop.
+    EXPECT_FALSE(moesiEdgeLegal(S::Owned, S::Shared, E::SnoopShared));
+    EXPECT_FALSE(
+        moesiEdgeLegal(S::Modified, S::Shared, E::SnoopShared));
+    // Invalidating snoops cannot hit an invalid line (the cache
+    // filters those before consulting the table).
+    EXPECT_FALSE(
+        moesiEdgeLegal(S::Invalid, S::Invalid, E::SnoopExclusive));
+}
+
+TEST(MoesiTable, StateAndEventNamesAreStable)
+{
+    EXPECT_STREQ(toString(CoherenceState::Owned), "O");
+    EXPECT_STREQ(toString(CoherenceState::Invalid), "I");
+    EXPECT_STREQ(toString(CoherenceEvent::SnoopShared), "SnoopShared");
+}
+
+} // namespace
+} // namespace genie

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * genie_lint CLI. Scans source trees for simulator-specific rule
+ * violations and exits non-zero if any unsuppressed finding remains.
+ *
+ * Usage:
+ *   genie_lint [--root DIR] [--suppressions FILE] [SUBDIR...]
+ *
+ * DIR defaults to the current directory; SUBDIR defaults to "src".
+ * Run as a ctest from the build tree:
+ *   ctest -R genie_lint
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string suppressionsPath;
+    std::vector<std::string> subdirs;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+        } else if (std::strcmp(argv[i], "--suppressions") == 0 &&
+                   i + 1 < argc) {
+            suppressionsPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            std::printf("usage: genie_lint [--root DIR] "
+                        "[--suppressions FILE] [SUBDIR...]\n");
+            return 0;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr, "genie_lint: unknown option '%s'\n",
+                         argv[i]);
+            return 2;
+        } else {
+            subdirs.emplace_back(argv[i]);
+        }
+    }
+    if (subdirs.empty())
+        subdirs.emplace_back("src");
+
+    genie::lint::Suppressions suppressions;
+    if (!suppressionsPath.empty()) {
+        // A typo'd path must not silently lint with zero suppressions:
+        // that flips the meaning of every sanctioned finding.
+        if (!std::ifstream(suppressionsPath)) {
+            std::fprintf(stderr,
+                         "genie_lint: cannot read suppressions file "
+                         "'%s'\n",
+                         suppressionsPath.c_str());
+            return 2;
+        }
+        suppressions = genie::lint::Suppressions::load(suppressionsPath);
+    }
+
+    std::size_t totalFiles = 0;
+    std::vector<genie::lint::Finding> findings;
+    for (const auto &subdir : subdirs) {
+        std::size_t files = 0;
+        // An absent tree means a typo'd --root/SUBDIR; "OK (0 files
+        // scanned)" would let a misconfigured CI job pass vacuously.
+        if (!std::filesystem::is_directory(
+                std::filesystem::path(root) / subdir)) {
+            std::fprintf(stderr,
+                         "genie_lint: no such directory '%s' under "
+                         "root '%s'\n",
+                         subdir.c_str(), root.c_str());
+            return 2;
+        }
+        auto sub = genie::lint::lintTree(root, subdir, suppressions,
+                                         &files);
+        totalFiles += files;
+        findings.insert(findings.end(), sub.begin(), sub.end());
+    }
+
+    for (const auto &f : findings) {
+        std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(),
+                     f.line, f.rule.c_str(), f.message.c_str());
+    }
+
+    if (!findings.empty()) {
+        std::fprintf(stderr,
+                     "genie_lint: %zu finding(s) in %zu file(s) "
+                     "scanned\n",
+                     findings.size(), totalFiles);
+        return 1;
+    }
+    std::printf("genie_lint: OK (%zu files scanned, %zu suppression "
+                "entries)\n",
+                totalFiles, suppressions.size());
+    return 0;
+}
