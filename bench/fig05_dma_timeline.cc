@@ -29,9 +29,14 @@ runScheme(const char *label, bool pipelined, bool triggered)
     cfg.busWidthBits = 32;
     cfg.dma.pipelined = pipelined;
     cfg.dma.triggeredCompute = triggered;
+    // The strips are read back from the trace subsystem: every
+    // component emits spans into the Tracer, and spans(category)
+    // collapses them to the same IntervalSets the components track.
+    cfg.tracing.enabled = true;
 
     Soc soc(cfg, p.trace, p.dddg);
     SocResults r = soc.run();
+    const Tracer &tracer = *soc.tracer();
 
     std::printf("\n%s  (total %.1f us)\n", label, r.totalUs());
 
@@ -52,9 +57,9 @@ runScheme(const char *label, bool pipelined, bool triggered)
         }
         std::printf("  %-8s |%s|\n", name, line.c_str());
     };
-    strip("flush", soc.flushEngine().busyIntervals(), 'F');
-    strip("dma", soc.dmaEngine().busyIntervals(), 'D');
-    strip("compute", soc.datapath().computeBusy(), 'C');
+    strip("flush", tracer.spans(TraceCategory::Flush), 'F');
+    strip("dma", tracer.spans(TraceCategory::Dma), 'D');
+    strip("compute", tracer.spans(TraceCategory::Datapath), 'C');
     printBreakdownRow("breakdown", r);
 }
 

@@ -9,10 +9,14 @@
  *   genie_run stencil-stencil2d lanes=8 partitions=8 pipelined=1
  *   genie_run spmv-crs mem=cache cache_kb=32 cache_ports=2 --stats
  *   genie_run md-knn lanes=4 --record         # key=value, scriptable
+ *   genie_run stencil-stencil2d pipelined=1 triggered=1 \
+ *             --trace=out.json --trace-categories=dma,flush,datapath
  *
  * Options are `key=value` pairs (see core/config_parse.hh for the
  * full list); flags: --stats dumps every component's statistics,
- * --record prints a one-line machine-readable result.
+ * --record prints a one-line machine-readable result, --trace=FILE
+ * writes a Chrome trace-event JSON timeline (open in ui.perfetto.dev),
+ * --trace-categories=LIST restricts which categories are recorded.
  */
 
 #include <cstdio>
@@ -42,7 +46,10 @@ usage()
         "         cache_assoc=N cache_ports=N cache_mshrs=N "
         "prefetch=0|1\n"
         "         tlb_entries=N isolated=0|1 perfect_mem=0|1 "
-        "inf_bw=0|1\n");
+        "inf_bw=0|1\n"
+        "flags:   --stats --record --trace=FILE.json\n"
+        "         --trace-categories=flush,dma,bus,cache,dram,"
+        "datapath,tlb,spad|all\n");
     return 2;
 }
 
@@ -74,6 +81,12 @@ main(int argc, char **argv)
             wantStats = true;
         else if (std::strcmp(argv[i], "--record") == 0)
             wantRecord = true;
+        else if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            options.emplace_back(std::string("trace_out=") +
+                                 (argv[i] + 8));
+        else if (std::strncmp(argv[i], "--trace-categories=", 19) == 0)
+            options.emplace_back(std::string("trace_categories=") +
+                                 (argv[i] + 19));
         else if (std::strncmp(argv[i], "--", 2) == 0)
             return usage();
         else
@@ -99,6 +112,12 @@ main(int argc, char **argv)
         if (wantStats) {
             std::printf("\n--- component statistics ---\n");
             dumpAllStats(std::cout, soc);
+        }
+        if (!config.tracing.outPath.empty()) {
+            std::printf("trace: %s (%zu events; open in "
+                        "ui.perfetto.dev or chrome://tracing)\n",
+                        config.tracing.outPath.c_str(),
+                        soc.tracer()->numEvents());
         }
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,6 +1,7 @@
 #include "datapath.hh"
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace genie
 {
@@ -23,6 +24,18 @@ Datapath::Datapath(std::string name, EventQueue &eq, ClockDomain domain,
 {
     if (params.lanes == 0)
         fatal("datapath needs at least one lane");
+    for (unsigned l = 0; l < params.lanes; ++l)
+        laneTracks.push_back(format("%s.lane%u", this->name().c_str(), l));
+}
+
+void
+Datapath::traceNodeSpan(unsigned lane, const char *what, Tick beginTick,
+                        Tick endTick)
+{
+    if (Tracer *t = tracerFor(eventq, TraceCategory::Datapath)) {
+        t->complete(TraceCategory::Datapath, laneTracks[lane], what,
+                    beginTick, endTick);
+    }
 }
 
 void
@@ -200,6 +213,7 @@ Datapath::tryIssue(NodeId n, unsigned lane)
         ++inFlightOps;
         Tick now = clockEdge(0);
         busy.add(now, now + clockPeriod());
+        traceNodeSpan(lane, "mem", now, now + clockPeriod());
         scheduleCompletion(1, n);
         return IssueResult::Issued;
     }
@@ -261,6 +275,7 @@ Datapath::tryIssueCompute(NodeId n, unsigned lane, const TraceOp &op)
     Cycles lat = latencyOf(op.op);
     Tick now = clockEdge(0);
     busy.add(now, now + cyclesToTicks(lat));
+    traceNodeSpan(lane, "compute", now, now + cyclesToTicks(lat));
     scheduleCompletion(lat, n);
     return IssueResult::Issued;
 }
@@ -314,6 +329,7 @@ Datapath::tryIssueSpadAccess(NodeId n, unsigned lane, const TraceOp &op)
     ++inFlightOps;
     Tick now = clockEdge(0);
     busy.add(now, now + clockPeriod());
+    traceNodeSpan(lane, "mem", now, now + clockPeriod());
     scheduleCompletion(1, n);
     return IssueResult::Issued;
 }
@@ -330,6 +346,7 @@ Datapath::tryIssueCacheAccess(NodeId n, unsigned lane, const TraceOp &op)
     ++inFlightOps;
     Tick now = clockEdge(0);
     busy.add(now, now + clockPeriod());
+    traceNodeSpan(lane, "mem", now, now + clockPeriod());
 
     // The lane blocks until the access is known to hit (decremented
     // synchronously below for TLB-hit + cache-hit) or until the miss

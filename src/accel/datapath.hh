@@ -173,6 +173,11 @@ class Datapath : public SimObject, public Clocked
     /** Per-cycle issue counter reset. */
     void resetCycleCounters();
 
+    /** Mirror an issued node's execution interval into the trace
+     * (tracks are per-lane so waves render as parallel strips). */
+    void traceNodeSpan(unsigned lane, const char *what, Tick beginTick,
+                       Tick endTick);
+
     const Trace &trace;
     const Dddg &dddg;
     Params params;
@@ -224,6 +229,9 @@ class Datapath : public SimObject, public Clocked
 
     IntervalSet busy;
     std::array<std::uint64_t, 6> fuOps{};
+
+    /** Precomputed per-lane trace track names. */
+    std::vector<std::string> laneTracks;
 
     Stat &statNodes;
     Stat &statCycles;

@@ -88,6 +88,13 @@ applyConfigOption(SocConfig &config, const std::string &option)
         config.cpuMhz = parseUnsigned(key, value);
     } else if (key == "bus_mhz") {
         config.busMhz = parseUnsigned(key, value);
+    } else if (key == "trace") {
+        config.tracing.enabled = parseBool(key, value);
+    } else if (key == "trace_out") {
+        config.tracing.outPath = value;
+        config.tracing.enabled = true;
+    } else if (key == "trace_categories") {
+        config.tracing.categories = parseTraceCategories(value);
     } else {
         fatal("unknown option '%s'", key.c_str());
     }
@@ -121,6 +128,13 @@ configToOptions(const SocConfig &c)
         static_cast<unsigned>(c.accelMhz),
         static_cast<unsigned>(c.cpuMhz),
         static_cast<unsigned>(c.busMhz));
+    if (c.tracing.enabled) {
+        s += format(" trace=1 trace_categories=%s",
+                    traceCategoriesToString(c.tracing.categories)
+                        .c_str());
+        if (!c.tracing.outPath.empty())
+            s += format(" trace_out=%s", c.tracing.outPath.c_str());
+    }
     return s;
 }
 

@@ -35,6 +35,12 @@ MultiSoc::MultiSoc(SocConfig platformCfg,
     if (specs.empty())
         fatal("MultiSoc needs at least one accelerator");
 
+    if (platform.tracing.enabled) {
+        eventTracer = std::make_unique<Tracer>(
+            eventq, platform.tracing.categories);
+        eventq.setTracer(eventTracer.get());
+    }
+
     auto busClock = ClockDomain::fromMhz(platform.busMhz);
     auto accelClock = ClockDomain::fromMhz(platform.accelMhz);
 
@@ -250,6 +256,9 @@ MultiSoc::run()
     eventq.run();
     GENIE_ASSERT(remaining == 0,
                  "multi-accelerator flow did not finish");
+
+    if (eventTracer && !platform.tracing.outPath.empty())
+        eventTracer->writeChromeJsonFile(platform.tracing.outPath);
 
     MultiSocResults r;
     for (const auto &cx : complexes) {

@@ -83,6 +83,9 @@ class MultiSoc
     EventQueue &eventQueue() { return eventq; }
     SystemBus &bus() { return *systemBus; }
 
+    /** The event tracer, or null if platform tracing is disabled. */
+    Tracer *tracer() { return eventTracer.get(); }
+
   private:
     struct Complex; // one accelerator's private components
 
@@ -96,6 +99,7 @@ class MultiSoc
     std::vector<AcceleratorSpec> specs;
 
     EventQueue eventq;
+    std::unique_ptr<Tracer> eventTracer;
     std::unique_ptr<SystemBus> systemBus;
     std::unique_ptr<DramCtrl> dramCtrl;
     std::unique_ptr<FlushEngine> flush;

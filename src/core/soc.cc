@@ -45,6 +45,11 @@ class Soc::AccelDevice : public IoctlDevice
 Soc::Soc(SocConfig config, const Trace &trace_, const Dddg &dddg_)
     : cfg(std::move(config)), trace(trace_), dddg(dddg_)
 {
+    if (cfg.tracing.enabled) {
+        eventTracer =
+            std::make_unique<Tracer>(eventq, cfg.tracing.categories);
+        eventq.setTracer(eventTracer.get());
+    }
     build();
 }
 
@@ -460,6 +465,7 @@ Soc::run()
         accel->start([&] { done = true; });
         eventq.run();
         GENIE_ASSERT(done, "isolated datapath did not finish");
+        writeTraceOutput();
         return collect(accel->computeBusy().hi());
     }
 
@@ -485,7 +491,15 @@ Soc::run()
     });
     eventq.run();
     GENIE_ASSERT(done, "offload flow did not finish (deadlock?)");
+    writeTraceOutput();
     return collect(flowEndTick);
+}
+
+void
+Soc::writeTraceOutput()
+{
+    if (eventTracer && !cfg.tracing.outPath.empty())
+        eventTracer->writeChromeJsonFile(cfg.tracing.outPath);
 }
 
 RuntimeBreakdown

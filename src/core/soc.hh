@@ -67,6 +67,10 @@ class Soc
     FlushEngine &flushEngine() { return *flush; }
     DriverCpu &cpu() { return *driver; }
 
+    /** The event tracer, or null when cfg.tracing.enabled is false. */
+    Tracer *tracer() { return eventTracer.get(); }
+    const Tracer *tracer() const { return eventTracer.get(); }
+
     const SocConfig &config() const { return cfg; }
 
   private:
@@ -84,6 +88,9 @@ class Soc
     void startAccelerator(std::function<void()> onFinish);
     void onDatapathDone();
 
+    /** Write the Chrome JSON sink if an output path is configured. */
+    void writeTraceOutput();
+
     /** Assemble results after the event queue drains. */
     SocResults collect(Tick endTick);
     void computeEnergy(SocResults &r) const;
@@ -94,6 +101,11 @@ class Soc
     const Dddg &dddg;
 
     EventQueue eventq;
+
+    // Observability. Constructed before the components so every
+    // emission during build and run is captured; attached to eventq so
+    // components reach it without extra plumbing.
+    std::unique_ptr<Tracer> eventTracer;
 
     // Platform components.
     std::unique_ptr<SystemBus> systemBus;

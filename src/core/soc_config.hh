@@ -11,6 +11,7 @@
 #include <string>
 
 #include "sim/types.hh"
+#include "trace/tracer.hh"
 
 namespace genie
 {
@@ -109,6 +110,9 @@ struct SocConfig
      * mode the accelerator's misses snoop it. */
     unsigned cpuCacheBytes = 32 * 1024;
     bool cpuHoldsDirtyInput = true;
+
+    /** Event tracing (observability only; never affects results). */
+    TraceConfig tracing;
 
     // ---- Study switches (not hardware knobs) ----
 

@@ -51,6 +51,16 @@ DmaEngine::startNext()
     txnStart = eventq.curTick();
     ++statTransactions;
 
+    if (Tracer *t = tracerFor(eventq, TraceCategory::Dma)) {
+        txnSpan = t->begin(TraceCategory::Dma, name(),
+                           current.dir == Direction::MemToAccel
+                               ? "load"
+                               : "store");
+        // The setup window's end tick is known analytically.
+        t->complete(TraceCategory::Dma, name(), "setup", txnStart,
+                    clockEdge(params.setupCycles));
+    }
+
     // Fixed setup: metadata reads, CPU initiation, housekeeping.
     scheduleCycles(params.setupCycles, [this] {
         if (current.segments.empty())
@@ -67,9 +77,15 @@ DmaEngine::beginSegment()
     segIssued = 0;
     segCompleted = 0;
 
+    if (Tracer *t = tracerFor(eventq, TraceCategory::Dma))
+        chunkSpan = t->begin(TraceCategory::Dma, name(), "chunk");
+
     if (params.fetchDescriptors) {
         // The descriptor itself is fetched from main memory.
         ++statDescriptorFetches;
+        if (Tracer *t = tracerFor(eventq, TraceCategory::Dma))
+            descSpan = t->begin(TraceCategory::Dma, name(),
+                                "descriptor");
         std::uint64_t id = nextReqId++;
         inFlight.emplace(id, BeatInfo{0, 0, 0, /*isDescriptor=*/true});
         Packet pkt;
@@ -120,6 +136,10 @@ DmaEngine::recvResponse(const Packet &pkt)
     --outstanding;
 
     if (info.isDescriptor) {
+        if (Tracer *t = eventq.tracer()) {
+            t->end(descSpan);
+            descSpan = invalidTraceSpan;
+        }
         pump();
         return;
     }
@@ -139,6 +159,10 @@ DmaEngine::recvResponse(const Packet &pkt)
 void
 DmaEngine::finishSegment()
 {
+    if (Tracer *t = eventq.tracer()) {
+        t->end(chunkSpan);
+        chunkSpan = invalidTraceSpan;
+    }
     ++segIndex;
     if (segIndex < current.segments.size())
         beginSegment();
@@ -149,6 +173,10 @@ DmaEngine::finishSegment()
 void
 DmaEngine::finishTransaction()
 {
+    if (Tracer *t = eventq.tracer()) {
+        t->end(txnSpan);
+        txnSpan = invalidTraceSpan;
+    }
     busy.add(txnStart, eventq.curTick());
     active = false;
     DoneCallback done = std::move(current.onDone);

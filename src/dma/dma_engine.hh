@@ -31,6 +31,7 @@
 #include "sim/clocked.hh"
 #include "sim/interval_set.hh"
 #include "sim/sim_object.hh"
+#include "trace/tracer.hh"
 
 namespace genie
 {
@@ -136,6 +137,11 @@ class DmaEngine : public SimObject, public BusClient, public Clocked
     std::uint64_t segCompleted = 0;///< bytes completed in current segment
     unsigned outstanding = 0;
     Tick txnStart = 0;
+
+    // Open trace spans (invalid when tracing is off).
+    TraceSpanId txnSpan = invalidTraceSpan;   ///< whole transaction
+    TraceSpanId chunkSpan = invalidTraceSpan; ///< current segment burst
+    TraceSpanId descSpan = invalidTraceSpan;  ///< descriptor fetch
 
     std::uint64_t nextReqId = 1;
     std::unordered_map<std::uint64_t, BeatInfo> inFlight;

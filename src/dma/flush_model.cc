@@ -1,6 +1,7 @@
 #include "flush_model.hh"
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace genie
 {
@@ -47,6 +48,7 @@ FlushEngine::startFlush(std::uint64_t totalBytes,
     }
 
     active = true;
+    Tracer *tracer = tracerFor(eventq, TraceCategory::Flush);
     Tick t = start;
     std::uint64_t remaining = totalBytes;
     for (std::size_t c = 0; c < chunks; ++c) {
@@ -54,7 +56,12 @@ FlushEngine::startFlush(std::uint64_t totalBytes,
                                                       chunkBytes);
         remaining -= bytes;
         std::uint64_t lines = divCeil(bytes, params.lineBytes);
+        Tick chunkStart = t;
         t += lines * params.flushPerLine;
+        if (tracer) {
+            tracer->complete(TraceCategory::Flush, name(), "flush",
+                             chunkStart, t);
+        }
         statLinesFlushed += static_cast<double>(lines);
         bool last = c + 1 == chunks;
         eventq.schedule(t, [this, c, last, onChunk, onDone] {
@@ -86,10 +93,16 @@ FlushEngine::startFlushChunks(
         return;
     }
     active = true;
+    Tracer *tracer = tracerFor(eventq, TraceCategory::Flush);
     Tick t = start;
     for (std::size_t c = 0; c < chunkBytes.size(); ++c) {
         std::uint64_t lines = divCeil(chunkBytes[c], params.lineBytes);
+        Tick chunkStart = t;
         t += lines * params.flushPerLine;
+        if (tracer) {
+            tracer->complete(TraceCategory::Flush, name(), "flush",
+                             chunkStart, t);
+        }
         statLinesFlushed += static_cast<double>(lines);
         bool last = c + 1 == chunkBytes.size();
         eventq.schedule(t, [this, c, last, onChunk, onDone] {
@@ -114,6 +127,10 @@ FlushEngine::startInvalidate(std::uint64_t totalBytes,
     std::uint64_t lines = divCeil(totalBytes, params.lineBytes);
     statLinesInvalidated += static_cast<double>(lines);
     Tick end = start + lines * params.invalidatePerLine;
+    if (Tracer *t = tracerFor(eventq, TraceCategory::Flush)) {
+        t->complete(TraceCategory::Flush, name(), "invalidate", start,
+                    end);
+    }
     busy.add(start, end);
     freeAt = end;
     active = true;

@@ -1,6 +1,7 @@
 #include "bus.hh"
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace genie
 {
@@ -13,7 +14,10 @@ SystemBus::SystemBus(std::string name, EventQueue &eq, ClockDomain domain,
       statBusyTicks(stats().add("busyTicks", "ticks bus was occupied")),
       statSnoops(stats().add("snoops", "snooped coherent requests")),
       statCacheToCache(stats().add("cacheToCache",
-                                   "owner-supplied data responses"))
+                                   "owner-supplied data responses")),
+      statQueueDepth(stats().addDistribution(
+          "queueDepth", "queued packets seen at arbitration", 0.0,
+          64.0, 16))
 {
     if (params.widthBits % 8 != 0 || params.widthBits == 0)
         fatal("bus width must be a positive multiple of 8 bits");
@@ -94,6 +98,12 @@ SystemBus::arbitrate()
         return;
     }
 
+    std::size_t depth = respQueue.size();
+    for (const auto &q : reqQueues)
+        depth += q.size();
+    if (depth > 0)
+        statQueueDepth.sample(static_cast<double>(depth));
+
     QueuedPacket qp;
     bool found = false;
     if (!respQueue.empty()) {
@@ -117,6 +127,10 @@ SystemBus::arbitrate()
 
     Cycles occ = occupancyCycles(qp.pkt);
     Tick done = clockEdge(occ);
+    if (Tracer *t = tracerFor(eventq, TraceCategory::Bus)) {
+        t->complete(TraceCategory::Bus, name(),
+                    qp.isResponse ? "resp" : "req", now, done);
+    }
     statBusyTicks += static_cast<double>(done - now);
     busyUntil = done;
     ++statPackets;

@@ -146,6 +146,8 @@ class SystemBus : public SimObject, public Clocked
     Stat &statBusyTicks;
     Stat &statSnoops;
     Stat &statCacheToCache;
+    /** Packets waiting (including the winner) at each arbitration. */
+    Distribution &statQueueDepth;
 };
 
 } // namespace genie

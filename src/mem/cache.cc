@@ -27,7 +27,9 @@ Cache::Cache(std::string name, EventQueue &eq, ClockDomain domain,
       statSnoopInvalidations(stats().add("snoopInvalidations",
                                          "lines invalidated by snoops")),
       statTagAccesses(stats().add("tagAccesses", "tag array accesses")),
-      statDataAccesses(stats().add("dataAccesses", "data array accesses"))
+      statDataAccesses(stats().add("dataAccesses", "data array accesses")),
+      statMissLatency(stats().addDistribution(
+          "missLatency", "demand miss lifetime (ns)", 0.0, 1000.0, 20))
 {
     if (!isPowerOf2(params.lineBytes))
         fatal("cache line size must be a power of two");
@@ -205,6 +207,14 @@ Cache::handleMiss(Addr line_addr, bool isWrite, std::uint64_t reqId,
         ++statUpgrades;
     }
 
+    mshr.issueTick = eventq.curTick();
+    if (Tracer *t = tracerFor(eventq, TraceCategory::Cache)) {
+        const char *what = mshr.isPrefetch ? "prefetch"
+                           : mshr.isUpgrade ? "upgrade"
+                                            : "miss";
+        mshr.traceSpan = t->begin(TraceCategory::Cache, name(), what);
+    }
+
     std::uint64_t busReqId = nextBusReqId++;
     auto [mit, ok] = mshrTable.emplace(busReqId, std::move(mshr));
     GENIE_ASSERT(ok, "duplicate bus reqId");
@@ -282,6 +292,14 @@ Cache::recvResponse(const Packet &pkt)
     Mshr mshr = std::move(it->second);
     mshrTable.erase(it);
     mshrByLine.erase(mshr.lineAddr);
+
+    if (Tracer *t = eventq.tracer())
+        t->end(mshr.traceSpan);
+    if (!mshr.isPrefetch) {
+        statMissLatency.sample(
+            static_cast<double>(eventq.curTick() - mshr.issueTick) /
+            static_cast<double>(tickPerNs));
+    }
 
     Line *line = nullptr;
     if (mshr.isUpgrade) {

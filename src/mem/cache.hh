@@ -27,6 +27,7 @@
 #include "mem/packet.hh"
 #include "sim/clocked.hh"
 #include "sim/sim_object.hh"
+#include "trace/tracer.hh"
 
 namespace genie
 {
@@ -147,6 +148,10 @@ class Cache : public SimObject, public BusClient, public Clocked
         bool isUpgrade = false;
         bool isPrefetch = false;
         std::vector<MshrTarget> targets;
+        /** Tick the miss went out on the bus (for latency stats). */
+        Tick issueTick = 0;
+        /** Open trace span covering this miss's lifetime. */
+        TraceSpanId traceSpan = invalidTraceSpan;
     };
 
     Addr lineAddr(Addr addr) const { return alignDown(addr, params.lineBytes); }
@@ -221,6 +226,8 @@ class Cache : public SimObject, public BusClient, public Clocked
     Stat &statSnoopInvalidations;
     Stat &statTagAccesses;
     Stat &statDataAccesses;
+    /** Demand miss lifetime (issue to fill), in nanoseconds. */
+    Distribution &statMissLatency;
 };
 
 } // namespace genie

@@ -1,6 +1,7 @@
 #include "dram.hh"
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace genie
 {
@@ -106,6 +107,7 @@ DramCtrl::trySchedule()
         statQueueTicks += static_cast<double>(now - req.arrival);
 
         Tick latency = params.tCtrl;
+        const char *service = "service";
         if (!params.perfect) {
             bool hit = bank.rowOpen &&
                        bank.openRow == rowIndex(req.pkt.addr);
@@ -117,6 +119,7 @@ DramCtrl::trySchedule()
                 latency += (bank.rowOpen ? params.tRp : 0) +
                            params.tRcd + params.tCas;
             }
+            service = hit ? "rowHit" : "rowMiss";
             latency += divCeil(req.pkt.size, 32) * params.tBurst32;
             bank.rowOpen = true;
             bank.openRow = rowIndex(req.pkt.addr);
@@ -124,6 +127,10 @@ DramCtrl::trySchedule()
         }
         nextIssueAt = now + params.tIssue;
 
+        if (Tracer *t = tracerFor(eventq, TraceCategory::Dram)) {
+            t->complete(TraceCategory::Dram, name(), service, now,
+                        now + latency);
+        }
         eventq.scheduleIn(latency, [this, req] { finish(req); });
     }
 }

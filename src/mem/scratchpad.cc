@@ -1,6 +1,7 @@
 #include "scratchpad.hh"
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace genie
 {
@@ -44,6 +45,8 @@ Scratchpad::tryAccess(int arrayId, Addr offset, bool isWrite)
     std::size_t bank = (offset / st.cfg.wordBytes) % st.cfg.partitions;
     if (st.used[bank] >= st.cfg.portsPerPartition) {
         ++statConflicts;
+        if (Tracer *t = tracerFor(eventq, TraceCategory::Spad))
+            t->instant(TraceCategory::Spad, name(), "conflict");
         return false;
     }
     ++st.used[bank];

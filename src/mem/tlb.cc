@@ -1,6 +1,7 @@
 #include "tlb.hh"
 
 #include "sim/logging.hh"
+#include "trace/tracer.hh"
 
 namespace genie
 {
@@ -87,7 +88,12 @@ AladdinTlb::translate(Addr vaddr, TranslateCallback cb)
 
     pendingWalks[page].emplace_back(offset, std::move(cb));
     Addr frame = frameOf(page);
-    eventq.scheduleIn(params.missLatency, [this, page, frame] {
+    TraceSpanId span = invalidTraceSpan;
+    if (Tracer *t = tracerFor(eventq, TraceCategory::Tlb))
+        span = t->begin(TraceCategory::Tlb, name(), "miss");
+    eventq.scheduleIn(params.missLatency, [this, page, frame, span] {
+        if (Tracer *t = eventq.tracer())
+            t->end(span);
         insert(page, frame);
         auto it = pendingWalks.find(page);
         GENIE_ASSERT(it != pendingWalks.end(),

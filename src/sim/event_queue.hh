@@ -34,6 +34,8 @@
 namespace genie
 {
 
+class Tracer;
+
 /** Opaque handle identifying a scheduled event (for cancellation). */
 using EventId = std::uint64_t;
 
@@ -101,6 +103,18 @@ class EventQueue
     std::size_t allocatedEntries() const { return entriesAllocated; }
 
     /**
+     * Attach the event recorder for this queue's system (see
+     * trace/tracer.hh). The queue does not own the Tracer; the Soc
+     * that owns both keeps the Tracer alive for the queue's lifetime.
+     * Null (the default) means tracing is disabled and emission sites
+     * skip all work.
+     */
+    void setTracer(Tracer *t) { _tracer = t; }
+
+    /** The attached Tracer, or null when tracing is disabled. */
+    Tracer *tracer() const { return _tracer; }
+
+    /**
      * Invariant check: panics if any live (scheduled, uncancelled,
      * unfired) event remains. Call after run() on a flow that must
      * drain completely; a leftover event is a leaked handshake or a
@@ -136,6 +150,7 @@ class EventQueue
     void freeEntry(const Entry *e) const;
 
     Tick _curTick = 0;
+    Tracer *_tracer = nullptr;
     std::uint64_t nextSeq = 0;
     EventId nextId = 1;
     std::uint64_t executed = 0;

@@ -1,11 +1,97 @@
 #include "stats.hh"
 
+#include <algorithm>
 #include <iomanip>
 
 #include "sim/logging.hh"
 
 namespace genie
 {
+
+Distribution::Distribution(std::string name, std::string desc,
+                           double lo, double hi,
+                           std::size_t numBuckets)
+    : _name(std::move(name)), _desc(std::move(desc)), _lo(lo), _hi(hi)
+{
+    if (numBuckets == 0 || hi <= lo)
+        panic("distribution '%s': need hi > lo and >= 1 bucket",
+              _name.c_str());
+    _buckets.assign(numBuckets, 0);
+    _bucketWidth = (_hi - _lo) / static_cast<double>(numBuckets);
+}
+
+void
+Distribution::sample(double v)
+{
+    if (_count == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    _total += v;
+    ++_count;
+
+    if (v < _lo) {
+        ++_underflow;
+    } else if (v >= _hi) {
+        ++_overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _lo) / _bucketWidth);
+        // Guard against floating-point edge cases at the top bound.
+        idx = std::min(idx, _buckets.size() - 1);
+        ++_buckets[idx];
+    }
+}
+
+double
+Distribution::bucketLo(std::size_t i) const
+{
+    return _lo + _bucketWidth * static_cast<double>(i);
+}
+
+double
+Distribution::bucketHi(std::size_t i) const
+{
+    return _lo + _bucketWidth * static_cast<double>(i + 1);
+}
+
+void
+Distribution::dump(std::ostream &os) const
+{
+    auto line = [&](const std::string &field, double value,
+                    const std::string &desc) {
+        os << std::left << std::setw(44) << (_name + "::" + field)
+           << ' ' << std::setw(16) << value << " # " << desc << '\n';
+    };
+    line("count", static_cast<double>(_count), _desc);
+    line("min", min(), _desc);
+    line("mean", mean(), _desc);
+    line("max", max(), _desc);
+    if (_underflow > 0)
+        line("underflow", static_cast<double>(_underflow), _desc);
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (_buckets[i] == 0)
+            continue;
+        line(format("%g-%g", bucketLo(i), bucketHi(i)),
+             static_cast<double>(_buckets[i]), _desc);
+    }
+    if (_overflow > 0)
+        line("overflow", static_cast<double>(_overflow), _desc);
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = 0;
+    _overflow = 0;
+    _count = 0;
+    _min = 0.0;
+    _max = 0.0;
+    _total = 0.0;
+}
 
 Stat &
 StatGroup::add(const std::string &name, const std::string &desc)
@@ -17,6 +103,28 @@ StatGroup::add(const std::string &name, const std::string &desc)
               _prefix.c_str());
     order.push_back(&it->second);
     return it->second;
+}
+
+Distribution &
+StatGroup::addDistribution(const std::string &name,
+                           const std::string &desc, double lo,
+                           double hi, std::size_t numBuckets)
+{
+    auto [it, inserted] = dists.emplace(
+        name,
+        Distribution(_prefix + "." + name, desc, lo, hi, numBuckets));
+    if (!inserted)
+        panic("duplicate distribution '%s' in group '%s'",
+              name.c_str(), _prefix.c_str());
+    distOrder.push_back(&it->second);
+    return it->second;
+}
+
+const Distribution *
+StatGroup::findDistribution(const std::string &name) const
+{
+    auto it = dists.find(name);
+    return it == dists.end() ? nullptr : &it->second;
 }
 
 const Stat *
@@ -40,6 +148,8 @@ StatGroup::dump(std::ostream &os) const
         os << std::left << std::setw(44) << s->name() << ' '
            << std::setw(16) << s->value() << " # " << s->desc() << '\n';
     }
+    for (const Distribution *d : distOrder)
+        d->dump(os);
 }
 
 void
@@ -47,6 +157,8 @@ StatGroup::resetAll()
 {
     for (Stat *s : order)
         s->reset();
+    for (Distribution *d : distOrder)
+        d->reset();
 }
 
 } // namespace genie

@@ -3,9 +3,10 @@
  * A light-weight statistics package in the spirit of gem5's Stats.
  *
  * Stats are plain counters owned by their SimObject; a StatGroup keeps
- * name/description metadata so reports can be dumped uniformly. Values
- * are intentionally simple (no binning) — the paper's results are all
- * scalar aggregates per simulation run.
+ * name/description metadata so reports can be dumped uniformly. Most
+ * values are scalar aggregates per simulation run (all the paper's
+ * headline results are); a binned Distribution covers quantities whose
+ * shape matters, like cache miss latency and bus queue depth.
  */
 
 #ifndef GENIE_SIM_STATS_HH
@@ -47,6 +48,65 @@ class Stat
 };
 
 /**
+ * A named, linearly-binned distribution statistic. Samples between
+ * [lo, hi) land in one of @p numBuckets equal-width buckets;
+ * out-of-range samples are counted in underflow/overflow. min, max,
+ * and mean are tracked exactly regardless of binning.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+    Distribution(std::string name, std::string desc, double lo,
+                 double hi, std::size_t numBuckets);
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double min() const { return _count > 0 ? _min : 0.0; }
+    double max() const { return _count > 0 ? _max : 0.0; }
+    double total() const { return _total; }
+    double
+    mean() const
+    {
+        return _count > 0 ? _total / static_cast<double>(_count) : 0.0;
+    }
+
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    /** Inclusive lower bound of bucket @p i. */
+    double bucketLo(std::size_t i) const;
+    /** Exclusive upper bound of bucket @p i. */
+    double bucketHi(std::size_t i) const;
+
+    /** Dump "name::field value  # desc" lines (empty buckets
+     * skipped). */
+    void dump(std::ostream &os) const;
+
+    void reset();
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _lo = 0.0;
+    double _hi = 1.0;
+    double _bucketWidth = 1.0;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _min = 0.0;
+    double _max = 0.0;
+    double _total = 0.0;
+};
+
+/**
  * A collection of named stats belonging to one component.
  * Registration returns references that stay valid for the group's
  * lifetime (stats are stored in a deque-like stable container).
@@ -64,6 +124,15 @@ class StatGroup
     /** Create and register a stat named "<prefix>.<name>". */
     Stat &add(const std::string &name, const std::string &desc);
 
+    /** Create and register a binned distribution named
+     * "<prefix>.<name>" over [lo, hi) with @p numBuckets buckets. */
+    Distribution &addDistribution(const std::string &name,
+                                  const std::string &desc, double lo,
+                                  double hi, std::size_t numBuckets);
+
+    /** Look up a distribution by short name; null if absent. */
+    const Distribution *findDistribution(const std::string &name) const;
+
     /** Look up a stat by its short (unprefixed) name; null if absent. */
     const Stat *find(const std::string &name) const;
 
@@ -72,6 +141,13 @@ class StatGroup
 
     /** All stats in registration order. */
     const std::vector<Stat *> &all() const { return order; }
+
+    /** All distributions in registration order. */
+    const std::vector<Distribution *> &
+    allDistributions() const
+    {
+        return distOrder;
+    }
 
     const std::string &prefix() const { return _prefix; }
 
@@ -85,6 +161,8 @@ class StatGroup
     std::string _prefix;
     std::map<std::string, Stat> stats;
     std::vector<Stat *> order;
+    std::map<std::string, Distribution> dists;
+    std::vector<Distribution *> distOrder;
 };
 
 } // namespace genie

@@ -23,6 +23,7 @@
 #include "accel/dddg.hh"
 #include "core/report.hh"
 #include "core/soc.hh"
+#include "trace/tracer.hh"
 #include "workloads/workload.hh"
 
 namespace genie
@@ -50,6 +51,11 @@ runAndDump(const std::string &workload, const SocConfig &cfg)
     os << "endTick=" << r.totalTicks
        << " accelCycles=" << r.accelCycles
        << " executed=" << soc.eventQueue().numExecuted() << "\n";
+
+    // When the design point traces, the serialized timeline is part
+    // of the observable output and must be byte-stable too.
+    if (const Tracer *tracer = soc.tracer())
+        tracer->writeChromeJson(os);
 
     // The run must also be protocol-clean and fully drained.
     soc.bus().protocolChecker()->checkQuiescent();
@@ -121,6 +127,38 @@ TEST(Determinism, ConcurrentCacheRunsAreByteIdentical)
 TEST(Determinism, ConcurrentGemmCacheRunsAreByteIdentical)
 {
     expectConcurrentRunsIdentical("gemm-ncubed", cacheConfig());
+}
+
+TEST(Determinism, TracedDmaRunsAreByteIdenticalAcrossThreads)
+{
+    // The full Chrome JSON (tids, interned strings, event order) must
+    // be reproduced bit-for-bit by every concurrent run, and must be
+    // independent of how many threads race — 2 vs 4 exercises
+    // different interleavings against the same reference.
+    SocConfig cfg = dmaConfig();
+    cfg.tracing.enabled = true;
+    expectConcurrentRunsIdentical("aes-aes", cfg, 2);
+    expectConcurrentRunsIdentical("aes-aes", cfg, 4);
+}
+
+TEST(Determinism, TracedCacheRunsAreByteIdentical)
+{
+    SocConfig cfg = cacheConfig();
+    cfg.tracing.enabled = true;
+    expectConcurrentRunsIdentical("aes-aes", cfg);
+}
+
+TEST(Determinism, DisabledTracerAddsNoEvents)
+{
+    // The master switch means *no Tracer at all*: the EventQueue slot
+    // stays null and runs match the pre-trace-subsystem output.
+    SocConfig cfg = dmaConfig();
+    Trace trace = makeWorkload("aes-aes")->build().trace;
+    Dddg dddg(trace);
+    Soc soc(cfg, trace, dddg);
+    soc.run();
+    EXPECT_EQ(soc.tracer(), nullptr);
+    EXPECT_EQ(soc.eventQueue().tracer(), nullptr);
 }
 
 TEST(Determinism, MixedDesignPointsDoNotInterfere)

@@ -204,6 +204,37 @@ TEST(LintRawNewDelete, FlagsOwnershipButNotDeletedMembers)
         "raw-new-delete"));
 }
 
+TEST(LintTraceSink, FlagsAdHocFileSinksOutsideTraceHome)
+{
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/mem/foo.cc",
+                    "std::ofstream out(\"events.json\");\n"),
+        "trace-sink"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/dma/foo.cc",
+                    "FILE *f = fopen(path, \"w\");\n"),
+        "trace-sink"));
+}
+
+TEST(LintTraceSink, TraceSubsystemOwnsItsSinks)
+{
+    // src/trace is where the sanctioned sink lives; its own streams
+    // are exempt without a suppression entry.
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/trace/tracer.cc",
+                    "std::ofstream out(path);\n"),
+        "trace-sink"));
+}
+
+TEST(LintTraceSink, IgnoresMatchesInCommentsAndStrings)
+{
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/mem/foo.cc",
+                    "// use std::ofstream via the Tracer only\n"
+                    "const char *m = \"fopen( is banned here\";\n"),
+        "trace-sink"));
+}
+
 TEST(LintSuppressions, SuppressesByRuleAndPathOnly)
 {
     auto s = lint::Suppressions::parse(

@@ -127,6 +127,22 @@ const TokenRule determinismTokens[] = {
 // Direct console output in library code bypasses sim/logging's
 // quiet() switch and scrambles interleaved output in concurrent
 // sweeps. snprintf/vsnprintf (string formatting) are fine.
+// Trace/telemetry emission must flow through the Tracer API
+// (src/trace/tracer.hh): ad-hoc file sinks dodge the category mask,
+// the determinism guarantees, and the zero-overhead-when-disabled
+// contract. Only the trace subsystem itself may own a file sink.
+const TokenRule traceSinkTokens[] = {
+    {"std::ofstream", "file output in library code: emit events "
+                      "through the Tracer API (src/trace), which owns "
+                      "the only sanctioned file sinks"},
+    {"std::fstream", "file output in library code: emit events "
+                     "through the Tracer API (src/trace)"},
+    {"fopen(", "FILE* output in library code: emit events through "
+               "the Tracer API (src/trace)"},
+    {"fwrite(", "FILE* output in library code: emit events through "
+                "the Tracer API (src/trace)"},
+};
+
 const TokenRule rawOutputTokens[] = {
     {"std::cout", "library code must log through sim/logging "
                   "(inform/warn), not std::cout"},
@@ -306,6 +322,7 @@ lintSource(const std::string &relPath, const std::string &contents)
     };
 
     const bool isRngHome = relPath == "src/sim/random.hh";
+    const bool isTraceHome = startsWith(relPath, "src/trace/");
 
     for (std::size_t n = 0; n < lines.size(); ++n) {
         const std::string &line = lines[n];
@@ -324,6 +341,15 @@ lintSource(const std::string &relPath, const std::string &contents)
         for (const auto &t : rawOutputTokens) {
             if (findToken(line, t.token) != std::string::npos)
                 report("raw-output", lineNo, t.message);
+        }
+
+        // trace-sink: event/telemetry file output must go through the
+        // Tracer API; only src/trace may open file sinks.
+        if (!isTraceHome) {
+            for (const auto &t : traceSinkTokens) {
+                if (findToken(line, t.token) != std::string::npos)
+                    report("trace-sink", lineNo, t.message);
+            }
         }
 
         // static-state: mutable static/thread_local data breaks
