@@ -17,6 +17,12 @@
  * --record prints a one-line machine-readable result, --trace=FILE
  * writes a Chrome trace-event JSON timeline (open in ui.perfetto.dev),
  * --trace-categories=LIST restricts which categories are recorded.
+ *
+ * Metrics flags: --stats-json=FILE / --stats-csv=FILE export final
+ * stats machine-readably ("-" = stdout); --sample-period=N snapshots
+ * every scalar stat each N accelerator cycles, written with
+ * --samples-json=FILE / --samples-csv=FILE; --profile prints a
+ * host-time attribution table per event kind after the run.
  */
 
 #include <cstdio>
@@ -28,6 +34,7 @@
 #include "core/config_parse.hh"
 #include "core/report.hh"
 #include "core/soc.hh"
+#include "metrics/profiler.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -49,7 +56,12 @@ usage()
         "inf_bw=0|1\n"
         "flags:   --stats --record --trace=FILE.json\n"
         "         --trace-categories=flush,dma,bus,cache,dram,"
-        "datapath,tlb,spad|all\n");
+        "datapath,tlb,spad|all\n"
+        "         --stats-json=FILE --stats-csv=FILE (\"-\" = "
+        "stdout)\n"
+        "         --sample-period=N --samples-json=FILE "
+        "--samples-csv=FILE\n"
+        "         --profile\n");
     return 2;
 }
 
@@ -76,17 +88,35 @@ main(int argc, char **argv)
     std::vector<std::string> options;
     bool wantStats = false;
     bool wantRecord = false;
+    bool wantProfile = false;
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--stats") == 0)
             wantStats = true;
         else if (std::strcmp(argv[i], "--record") == 0)
             wantRecord = true;
+        else if (std::strcmp(argv[i], "--profile") == 0)
+            wantProfile = true;
         else if (std::strncmp(argv[i], "--trace=", 8) == 0)
             options.emplace_back(std::string("trace_out=") +
                                  (argv[i] + 8));
         else if (std::strncmp(argv[i], "--trace-categories=", 19) == 0)
             options.emplace_back(std::string("trace_categories=") +
                                  (argv[i] + 19));
+        else if (std::strncmp(argv[i], "--stats-json=", 13) == 0)
+            options.emplace_back(std::string("stats_json=") +
+                                 (argv[i] + 13));
+        else if (std::strncmp(argv[i], "--stats-csv=", 12) == 0)
+            options.emplace_back(std::string("stats_csv=") +
+                                 (argv[i] + 12));
+        else if (std::strncmp(argv[i], "--sample-period=", 16) == 0)
+            options.emplace_back(std::string("sample_period=") +
+                                 (argv[i] + 16));
+        else if (std::strncmp(argv[i], "--samples-json=", 15) == 0)
+            options.emplace_back(std::string("samples_json=") +
+                                 (argv[i] + 15));
+        else if (std::strncmp(argv[i], "--samples-csv=", 14) == 0)
+            options.emplace_back(std::string("samples_csv=") +
+                                 (argv[i] + 14));
         else if (std::strncmp(argv[i], "--", 2) == 0)
             return usage();
         else
@@ -100,6 +130,9 @@ main(int argc, char **argv)
         SocConfig config = parseConfig(options);
 
         Soc soc(config, out.trace, dddg);
+        HostProfiler profiler;
+        if (wantProfile)
+            soc.eventQueue().setProfiler(&profiler);
         SocResults results = soc.run();
 
         if (wantRecord) {
@@ -112,6 +145,10 @@ main(int argc, char **argv)
         if (wantStats) {
             std::printf("\n--- component statistics ---\n");
             dumpAllStats(std::cout, soc);
+        }
+        if (wantProfile) {
+            std::printf("\n--- host profile ---\n");
+            profiler.report(std::cout);
         }
         if (!config.tracing.outPath.empty()) {
             std::printf("trace: %s (%zu events; open in "

@@ -24,6 +24,7 @@ Datapath::Datapath(std::string name, EventQueue &eq, ClockDomain domain,
 {
     if (params.lanes == 0)
         fatal("datapath needs at least one lane");
+    eq.registerStats(stats());
     for (unsigned l = 0; l < params.lanes; ++l)
         laneTracks.push_back(format("%s.lane%u", this->name().c_str(), l));
 }
@@ -141,7 +142,7 @@ Datapath::scheduleTick()
     eventq.schedule(at, [this] {
         tickScheduled = false;
         tick();
-    });
+    }, "accel.tick");
 }
 
 void
@@ -289,7 +290,8 @@ Datapath::scheduleCompletion(Cycles lat, NodeId n)
     // would silently cost an extra cycle).
     Tick when = clockEdge(lat);
     GENIE_ASSERT(when > 0, "completion before time begins");
-    eventq.schedule(when - 1, [this, n] { onNodeComplete(n); });
+    eventq.schedule(when - 1, [this, n] { onNodeComplete(n); },
+                    "accel.nodeComplete");
 }
 
 Datapath::IssueResult
@@ -372,7 +374,7 @@ Datapath::sendCacheAccess(NodeId n, unsigned lane, Addr paddr)
         ++statCacheRejects;
         scheduleCycles(1, [this, n, lane, paddr] {
             sendCacheAccess(n, lane, paddr);
-        });
+        }, "accel.cacheRetry");
         return;
     }
     if (outcome.hit) {
@@ -437,7 +439,7 @@ Datapath::finishIfDrained()
             scheduleCycles(1, [this] {
                 drainCheckScheduled = false;
                 finishIfDrained();
-            });
+            }, "accel.drainCheck");
         }
         return;
     }
@@ -450,7 +452,7 @@ Datapath::finishIfDrained()
     if (onDone) {
         DoneCallback done = std::move(onDone);
         onDone = nullptr;
-        eventq.schedule(clockEdge(0), std::move(done));
+        eventq.schedule(clockEdge(0), std::move(done), "accel.done");
     }
 }
 

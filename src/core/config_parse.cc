@@ -95,6 +95,18 @@ applyConfigOption(SocConfig &config, const std::string &option)
         config.tracing.enabled = true;
     } else if (key == "trace_categories") {
         config.tracing.categories = parseTraceCategories(value);
+    } else if (key == "sample_period") {
+        config.metrics.samplePeriod = parseUnsigned(key, value);
+    } else if (key == "sample_capacity") {
+        config.metrics.sampleCapacity = parseUnsigned(key, value);
+    } else if (key == "stats_json") {
+        config.metrics.statsJsonPath = value;
+    } else if (key == "stats_csv") {
+        config.metrics.statsCsvPath = value;
+    } else if (key == "samples_json") {
+        config.metrics.samplesJsonPath = value;
+    } else if (key == "samples_csv") {
+        config.metrics.samplesCsvPath = value;
     } else {
         fatal("unknown option '%s'", key.c_str());
     }
@@ -134,6 +146,22 @@ configToOptions(const SocConfig &c)
                         .c_str());
         if (!c.tracing.outPath.empty())
             s += format(" trace_out=%s", c.tracing.outPath.c_str());
+    }
+    if (c.metrics.samplePeriod > 0) {
+        s += format(" sample_period=%llu",
+                    (unsigned long long)c.metrics.samplePeriod);
+    }
+    if (!c.metrics.statsJsonPath.empty())
+        s += format(" stats_json=%s", c.metrics.statsJsonPath.c_str());
+    if (!c.metrics.statsCsvPath.empty())
+        s += format(" stats_csv=%s", c.metrics.statsCsvPath.c_str());
+    if (!c.metrics.samplesJsonPath.empty()) {
+        s += format(" samples_json=%s",
+                    c.metrics.samplesJsonPath.c_str());
+    }
+    if (!c.metrics.samplesCsvPath.empty()) {
+        s += format(" samples_csv=%s",
+                    c.metrics.samplesCsvPath.c_str());
     }
     return s;
 }

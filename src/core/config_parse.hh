@@ -11,6 +11,10 @@
  *   cache_mshrs=N            prefetch=0|1      tlb_entries=N
  *   isolated=0|1             perfect_mem=0|1   inf_bw=0|1
  *   accel_mhz=N  cpu_mhz=N   bus_mhz=N
+ *   trace=0|1    trace_out=PATH  trace_categories=LIST
+ *   sample_period=N (accel cycles, 0=off)  sample_capacity=N
+ *   stats_json=PATH  stats_csv=PATH  ("-" = stdout)
+ *   samples_json=PATH  samples_csv=PATH
  */
 
 #ifndef GENIE_CORE_CONFIG_PARSE_HH

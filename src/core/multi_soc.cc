@@ -35,6 +35,7 @@ MultiSoc::MultiSoc(SocConfig platformCfg,
     if (specs.empty())
         fatal("MultiSoc needs at least one accelerator");
 
+    eventq.setStatRegistry(&registry);
     if (platform.tracing.enabled) {
         eventTracer = std::make_unique<Tracer>(
             eventq, platform.tracing.categories);
@@ -111,6 +112,7 @@ MultiSoc::buildComplex(std::size_t index)
                                                 eventq, accelClock);
         cx->feBits = std::make_unique<FullEmptyBits>(
             prefix + ".readyBits", platform.cpuLineBytes);
+        registry.registerGroup(cx->feBits->stats());
         for (const auto &a : cx->trace->arrays) {
             Scratchpad::ArrayConfig sc;
             sc.name = a.name;
@@ -189,8 +191,9 @@ MultiSoc::startComplex(std::size_t index)
             [this, index] { onComplexInputDone(index); });
     };
     if (inBytes == 0) {
-        eventq.scheduleIn(0,
-                          [this, index] { onComplexInputDone(index); });
+        eventq.scheduleIn(
+            0, [this, index] { onComplexInputDone(index); },
+            "soc.inputDone");
     } else {
         flush->startFlush(inBytes, inBytes, nullptr, kickDma);
     }

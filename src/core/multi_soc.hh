@@ -34,6 +34,7 @@
 #include "mem/full_empty.hh"
 #include "mem/scratchpad.hh"
 #include "mem/tlb.hh"
+#include "sim/stats.hh"
 
 namespace genie
 {
@@ -86,6 +87,10 @@ class MultiSoc
     /** The event tracer, or null if platform tracing is disabled. */
     Tracer *tracer() { return eventTracer.get(); }
 
+    /** Every component's stats (shared platform + all complexes). */
+    StatRegistry &statRegistry() { return registry; }
+    const StatRegistry &statRegistry() const { return registry; }
+
   private:
     struct Complex; // one accelerator's private components
 
@@ -99,6 +104,7 @@ class MultiSoc
     std::vector<AcceleratorSpec> specs;
 
     EventQueue eventq;
+    StatRegistry registry;
     std::unique_ptr<Tracer> eventTracer;
     std::unique_ptr<SystemBus> systemBus;
     std::unique_ptr<DramCtrl> dramCtrl;

@@ -53,20 +53,9 @@ printSummary(std::ostream &os, const SocConfig &config,
 void
 dumpAllStats(std::ostream &os, Soc &soc)
 {
-    soc.bus().stats().dump(os);
-    soc.dram().stats().dump(os);
-    soc.flushEngine().stats().dump(os);
-    soc.dmaEngine().stats().dump(os);
-    soc.cpu().stats().dump(os);
-    soc.datapath().stats().dump(os);
-    if (soc.scratchpad())
-        soc.scratchpad()->stats().dump(os);
-    if (soc.accelCache())
-        soc.accelCache()->stats().dump(os);
-    if (soc.cpuCache())
-        soc.cpuCache()->stats().dump(os);
-    if (soc.tlb())
-        soc.tlb()->stats().dump(os);
+    // Every component registered itself with the Soc's StatRegistry at
+    // construction, so no per-component plumbing is needed here.
+    soc.statRegistry().dump(os);
 }
 
 void

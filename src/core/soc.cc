@@ -1,5 +1,6 @@
 #include "soc.hh"
 
+#include "metrics/export.hh"
 #include "power/energy_model.hh"
 #include "sim/logging.hh"
 
@@ -45,12 +46,24 @@ class Soc::AccelDevice : public IoctlDevice
 Soc::Soc(SocConfig config, const Trace &trace_, const Dddg &dddg_)
     : cfg(std::move(config)), trace(trace_), dddg(dddg_)
 {
+    // Attach the registry before build() so every component
+    // constructor self-registers its stat group.
+    eventq.setStatRegistry(&registry);
     if (cfg.tracing.enabled) {
         eventTracer =
             std::make_unique<Tracer>(eventq, cfg.tracing.categories);
         eventq.setTracer(eventTracer.get());
     }
     build();
+    if (cfg.metrics.samplePeriod > 0) {
+        MetricsSampler::Params sp;
+        sp.period = cfg.metrics.samplePeriod *
+                    ClockDomain::fromMhz(cfg.accelMhz).period();
+        sp.capacity = cfg.metrics.sampleCapacity;
+        metricsSampler = std::make_unique<MetricsSampler>(
+            eventq, registry, sp);
+        metricsSampler->trackAllScalars();
+    }
 }
 
 Soc::~Soc() = default;
@@ -134,6 +147,9 @@ Soc::buildScratchpadSide()
                                         accelClock);
     feBits = std::make_unique<FullEmptyBits>("accel.readyBits",
                                              cfg.cpuLineBytes);
+    // FullEmptyBits is unclocked and never sees the event queue, so
+    // register its stats here rather than in its constructor.
+    registry.registerGroup(feBits->stats());
 
     for (const auto &a : trace.arrays) {
         Scratchpad::ArrayConfig sc;
@@ -313,7 +329,8 @@ Soc::beginInputPhase()
     if (inBytes == 0) {
         if (outBytes > 0 && cfg.dma.pipelined)
             flush->startInvalidate(outBytes, invalidated);
-        eventq.scheduleIn(0, [this] { onInputPhaseDone(); });
+        eventq.scheduleIn(0, [this] { onInputPhaseDone(); },
+                          "soc.inputDone");
         return;
     }
 
@@ -398,7 +415,7 @@ Soc::startAccelerator(std::function<void()> onFinish)
         // before compute begins.
         eventq.scheduleIn(lineCopyLatency(cacheWarmupBytes), [this] {
             accel->start([this] { onDatapathDone(); });
-        });
+        }, "soc.cacheWarmup");
         return;
     }
     if (cfg.memType == MemInterface::Cache || cfg.isolated ||
@@ -446,7 +463,7 @@ Soc::onDatapathDone()
         eventq.scheduleIn(lineCopyLatency(cacheDrainBytes), [this] {
             if (pendingFinish)
                 pendingFinish();
-        });
+        }, "soc.cacheDrain");
         return;
     }
     if (pendingFinish)
@@ -459,6 +476,9 @@ Soc::run()
     GENIE_ASSERT(!ran, "Soc::run() is one-shot");
     ran = true;
 
+    if (metricsSampler)
+        metricsSampler->start();
+
     if (cfg.isolated) {
         // Isolated design: the accelerator alone, data preloaded.
         bool done = false;
@@ -466,6 +486,7 @@ Soc::run()
         eventq.run();
         GENIE_ASSERT(done, "isolated datapath did not finish");
         writeTraceOutput();
+        writeMetricsOutputs();
         return collect(accel->computeBusy().hi());
     }
 
@@ -492,6 +513,7 @@ Soc::run()
     eventq.run();
     GENIE_ASSERT(done, "offload flow did not finish (deadlock?)");
     writeTraceOutput();
+    writeMetricsOutputs();
     return collect(flowEndTick);
 }
 
@@ -500,6 +522,25 @@ Soc::writeTraceOutput()
 {
     if (eventTracer && !cfg.tracing.outPath.empty())
         eventTracer->writeChromeJsonFile(cfg.tracing.outPath);
+}
+
+void
+Soc::writeMetricsOutputs()
+{
+    if (!cfg.metrics.statsJsonPath.empty())
+        writeStatsJsonFile(cfg.metrics.statsJsonPath, registry);
+    if (!cfg.metrics.statsCsvPath.empty())
+        writeStatsCsvFile(cfg.metrics.statsCsvPath, registry);
+    if (metricsSampler) {
+        if (!cfg.metrics.samplesJsonPath.empty()) {
+            writeSamplesJsonFile(cfg.metrics.samplesJsonPath,
+                                 *metricsSampler);
+        }
+        if (!cfg.metrics.samplesCsvPath.empty()) {
+            writeSamplesCsvFile(cfg.metrics.samplesCsvPath,
+                                *metricsSampler);
+        }
+    }
 }
 
 RuntimeBreakdown

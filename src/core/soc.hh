@@ -33,6 +33,8 @@
 #include "mem/full_empty.hh"
 #include "mem/scratchpad.hh"
 #include "mem/tlb.hh"
+#include "metrics/sampler.hh"
+#include "sim/stats.hh"
 
 namespace genie
 {
@@ -71,6 +73,18 @@ class Soc
     Tracer *tracer() { return eventTracer.get(); }
     const Tracer *tracer() const { return eventTracer.get(); }
 
+    /** Every component's stats, addressable by dotted path. */
+    StatRegistry &statRegistry() { return registry; }
+    const StatRegistry &statRegistry() const { return registry; }
+
+    /** The time-series sampler, or null when cfg.metrics.samplePeriod
+     * is zero. */
+    MetricsSampler *sampler() { return metricsSampler.get(); }
+    const MetricsSampler *sampler() const
+    {
+        return metricsSampler.get();
+    }
+
     const SocConfig &config() const { return cfg; }
 
   private:
@@ -91,6 +105,9 @@ class Soc
     /** Write the Chrome JSON sink if an output path is configured. */
     void writeTraceOutput();
 
+    /** Write stats/sample exports for every configured metrics path. */
+    void writeMetricsOutputs();
+
     /** Assemble results after the event queue drains. */
     SocResults collect(Tick endTick);
     void computeEnergy(SocResults &r) const;
@@ -104,8 +121,12 @@ class Soc
 
     // Observability. Constructed before the components so every
     // emission during build and run is captured; attached to eventq so
-    // components reach it without extra plumbing.
+    // components reach it without extra plumbing. The registry is
+    // declared before the components so it outlives none of them and
+    // every constructor can self-register through the event queue.
+    StatRegistry registry;
     std::unique_ptr<Tracer> eventTracer;
+    std::unique_ptr<MetricsSampler> metricsSampler;
 
     // Platform components.
     std::unique_ptr<SystemBus> systemBus;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "metrics/metrics_config.hh"
 #include "sim/types.hh"
 #include "trace/tracer.hh"
 
@@ -113,6 +114,10 @@ struct SocConfig
 
     /** Event tracing (observability only; never affects results). */
     TraceConfig tracing;
+
+    /** Metrics sampling and export (observability only; never
+     * affects results). */
+    MetricsConfig metrics;
 
     // ---- Study switches (not hardware knobs) ----
 

@@ -13,7 +13,9 @@ DriverCpu::DriverCpu(std::string name, EventQueue &eq, ClockDomain domain,
       statOps(stats().add("ops", "driver ops executed")),
       statSpinTicks(stats().add("spinTicks",
                                 "ticks spent spin-waiting"))
-{}
+{
+    eq.registerStats(stats());
+}
 
 void
 DriverCpu::run(std::vector<DriverOp> prog, std::function<void()> done)
@@ -25,7 +27,7 @@ DriverCpu::run(std::vector<DriverOp> prog, std::function<void()> done)
     running = true;
     flagSet = false;
     waitingOnFlag = false;
-    eventq.scheduleIn(0, [this] { step(); });
+    eventq.scheduleIn(0, [this] { step(); }, "cpu.step");
 }
 
 void
@@ -38,7 +40,8 @@ DriverCpu::signalFlag()
             eventq.curTick() - spinStart + params.spinNoticeLatency);
         // The flag was consumed by the pending SpinWait.
         flagSet = false;
-        eventq.scheduleIn(params.spinNoticeLatency, [this] { step(); });
+        eventq.scheduleIn(params.spinNoticeLatency, [this] { step(); },
+                          "cpu.step");
     }
 }
 
@@ -67,7 +70,7 @@ DriverCpu::step()
         flushEngine.startInvalidate(op.bytes, next);
         break;
       case DriverOp::Kind::Compute:
-        scheduleCycles(op.cycles, next);
+        scheduleCycles(op.cycles, next, "cpu.compute");
         break;
       case DriverOp::Kind::Ioctl: {
         std::uint32_t command = op.command;
@@ -78,25 +81,25 @@ DriverCpu::step()
                 signalFlag();
             });
             step();
-        });
+        }, "cpu.ioctl");
         break;
       }
       case DriverOp::Kind::SpinWait:
         if (flagSet) {
             flagSet = false;
-            eventq.scheduleIn(0, next);
+            eventq.scheduleIn(0, next, "cpu.step");
         } else {
             spinStart = eventq.curTick();
             waitingOnFlag = true;
         }
         break;
       case DriverOp::Kind::Mfence:
-        scheduleCycles(params.mfenceCycles, next);
+        scheduleCycles(params.mfenceCycles, next, "cpu.mfence");
         break;
       case DriverOp::Kind::Call:
         if (op.callback)
             op.callback();
-        eventq.scheduleIn(0, next);
+        eventq.scheduleIn(0, next, "cpu.step");
         break;
     }
 }

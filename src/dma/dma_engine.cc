@@ -20,6 +20,7 @@ DmaEngine::DmaEngine(std::string name, EventQueue &eq, ClockDomain domain,
     if (params.beatBytes == 0 || params.maxOutstanding == 0)
         fatal("DMA beat size and window must be non-zero");
     busPort = bus.attachClient(this, /*snooper=*/false);
+    eq.registerStats(stats());
 }
 
 void
@@ -67,7 +68,7 @@ DmaEngine::startNext()
             finishTransaction();
         else
             beginSegment();
-    });
+    }, "dma.setup");
 }
 
 void

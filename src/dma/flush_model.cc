@@ -15,6 +15,7 @@ FlushEngine::FlushEngine(std::string name, EventQueue &eq, Params p)
 {
     if (params.lineBytes == 0)
         fatal("flush engine line size must be non-zero");
+    eq.registerStats(stats());
 }
 
 Tick
@@ -43,7 +44,7 @@ FlushEngine::startFlush(std::uint64_t totalBytes,
         eventq.schedule(start, [onDone] {
             if (onDone)
                 onDone();
-        });
+        }, "flush.done");
         return 0;
     }
 
@@ -72,7 +73,7 @@ FlushEngine::startFlush(std::uint64_t totalBytes,
                 if (onDone)
                     onDone();
             }
-        });
+        }, "flush.chunk");
     }
     busy.add(start, t);
     freeAt = t;
@@ -89,7 +90,7 @@ FlushEngine::startFlushChunks(
         eventq.schedule(start, [onDone] {
             if (onDone)
                 onDone();
-        });
+        }, "flush.done");
         return;
     }
     active = true;
@@ -113,7 +114,7 @@ FlushEngine::startFlushChunks(
                 if (onDone)
                     onDone();
             }
-        });
+        }, "flush.chunk");
     }
     busy.add(start, t);
     freeAt = t;
@@ -138,7 +139,7 @@ FlushEngine::startInvalidate(std::uint64_t totalBytes,
         active = false;
         if (onDone)
             onDone();
-    });
+    }, "flush.invalidate");
 }
 
 } // namespace genie

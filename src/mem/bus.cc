@@ -21,6 +21,7 @@ SystemBus::SystemBus(std::string name, EventQueue &eq, ClockDomain domain,
 {
     if (params.widthBits % 8 != 0 || params.widthBits == 0)
         fatal("bus width must be a positive multiple of 8 bits");
+    eq.registerStats(stats());
 #if GENIE_CHECK_INVARIANTS
     enableProtocolChecker();
 #endif
@@ -86,7 +87,7 @@ SystemBus::scheduleArbitration(Tick when)
     eventq.schedule(at, [this] {
         arbitrationScheduled = false;
         arbitrate();
-    });
+    }, "bus.arbitrate");
 }
 
 void
@@ -137,7 +138,7 @@ SystemBus::arbitrate()
     if (cmdCarriesData(qp.pkt.cmd))
         statDataBytes += qp.pkt.size;
 
-    eventq.schedule(done, [this, qp] { deliver(qp); });
+    eventq.schedule(done, [this, qp] { deliver(qp); }, "bus.deliver");
 
     // Let the next packet arbitrate once this transfer is done.
     bool more = !respQueue.empty();
@@ -188,7 +189,8 @@ SystemBus::deliver(const QueuedPacket &qp)
         resp.cacheToCache = true;
         resp.sharerPresent = true;
         eventq.scheduleIn(snoop.supplyLatency,
-                          [this, resp] { sendResponse(resp); });
+                          [this, resp] { sendResponse(resp); },
+                          "bus.snoopSupply");
         return;
     }
 

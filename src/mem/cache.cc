@@ -40,6 +40,7 @@ Cache::Cache(std::string name, EventQueue &eq, ClockDomain domain,
         fatal("cache set count must be a power of two");
     sets.assign(numSets, std::vector<Line>(params.assoc));
     busPort = bus.attachClient(this, /*snooper=*/true);
+    eq.registerStats(stats());
     if (params.prefetchEnabled) {
         prefetcher = std::make_unique<StridePrefetcher>(
             *this, params.prefetchDegree);
@@ -122,7 +123,8 @@ Cache::access(Addr addr, unsigned size, bool isWrite,
         if (isWrite) ++statWrites; else ++statReads;
         ++statHits;
         scheduleCycles(params.hitLatency,
-                       [this, reqId] { callback(reqId, true); });
+                       [this, reqId] { callback(reqId, true); },
+                       "cache.hit");
         return {Reject::None, true};
     }
 
@@ -154,7 +156,8 @@ Cache::access(Addr addr, unsigned size, bool isWrite,
         if (prefetcher)
             prefetcher->notify(streamId, addr);
         scheduleCycles(params.hitLatency,
-                       [this, reqId] { callback(reqId, true); });
+                       [this, reqId] { callback(reqId, true); },
+                       "cache.hit");
         return {Reject::None, true};
     }
 
@@ -339,7 +342,7 @@ Cache::recvResponse(const Packet &pkt)
     for (const auto &t : mshr.targets) {
         scheduleCycles(params.responseLatency, [this, t] {
             respondToTarget(t, false);
-        });
+        }, "cache.fillResponse");
     }
 }
 

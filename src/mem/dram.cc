@@ -19,6 +19,7 @@ DramCtrl::DramCtrl(std::string name, EventQueue &eq, ClockDomain domain,
 {
     if (!isPowerOf2(params.rowBytes) || !isPowerOf2(params.numBanks))
         fatal("DRAM rowBytes and numBanks must be powers of two");
+    eq.registerStats(stats());
 }
 
 double
@@ -58,7 +59,7 @@ DramCtrl::kick(Tick when)
         if (pendingKickAt == when)
             pendingKickAt = maxTick;
         trySchedule();
-    });
+    }, "dram.kick");
 }
 
 void
@@ -131,7 +132,8 @@ DramCtrl::trySchedule()
             t->complete(TraceCategory::Dram, name(), service, now,
                         now + latency);
         }
-        eventq.scheduleIn(latency, [this, req] { finish(req); });
+        eventq.scheduleIn(latency, [this, req] { finish(req); },
+                          "dram.finish");
     }
 }
 

@@ -13,7 +13,9 @@ Scratchpad::Scratchpad(std::string name, EventQueue &eq,
       statWrites(stats().add("writes", "scratchpad word writes")),
       statConflicts(stats().add("conflicts",
                                 "accesses retried due to bank conflicts"))
-{}
+{
+    eq.registerStats(stats());
+}
 
 int
 Scratchpad::addArray(const ArrayConfig &cfg)

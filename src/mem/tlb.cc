@@ -20,6 +20,7 @@ AladdinTlb::AladdinTlb(std::string name, EventQueue &eq,
         fatal("TLB must have at least one entry");
     if (!isPowerOf2(params.pageBytes))
         fatal("TLB page size must be a power of two");
+    eq.registerStats(stats());
 }
 
 Addr
@@ -104,7 +105,7 @@ AladdinTlb::translate(Addr vaddr, TranslateCallback cb)
             callback(params.physBase + frame * params.pageBytes +
                      off);
         }
-    });
+    }, "tlb.walk");
     return false;
 }
 

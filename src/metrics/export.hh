@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Machine-readable exporters for registry stats and sampled series.
+ *
+ * Two artifact families, each in JSON and CSV:
+ *
+ *  - final stats (everything in a StatRegistry at end of run):
+ *    writeStatsJson() emits `genie-stats-1` — a flat map of dotted
+ *    scalar paths to {value, desc} plus per-distribution summaries
+ *    with bin-estimated p50/p95/p99 and (lo, hi, count) bucket
+ *    triples; writeStatsCsv() flattens the same data to
+ *    `stat,value` rows.
+ *  - sampled series (a MetricsSampler's ring): writeSamplesJson()
+ *    emits `genie-samples-1` — tick array plus one value array per
+ *    tracked path; writeSamplesCsv() emits a `tick,<path>...` table
+ *    ready for plotting.
+ *
+ * All output is deterministic: registration/track order, and
+ * shortest-round-trip number formatting — so exports byte-compare
+ * across runs and golden-file tests stay stable.
+ *
+ * The *File variants treat "-" as stdout (for piping); they are the
+ * sanctioned file sinks for statistics, mirroring src/trace for
+ * timelines (see the trace-sink and stat-print lint rules).
+ */
+
+#ifndef GENIE_METRICS_EXPORT_HH
+#define GENIE_METRICS_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "metrics/sampler.hh"
+#include "sim/stats.hh"
+
+namespace genie
+{
+
+/** Format @p v deterministically: integers without a decimal point,
+ * everything else shortest-round-trip. */
+std::string formatStatNumber(double v);
+
+/** Final stats as `genie-stats-1` JSON. */
+void writeStatsJson(std::ostream &os, const StatRegistry &registry);
+
+/** Final stats as `stat,value` CSV rows (distributions flattened to
+ * `name::field` rows). */
+void writeStatsCsv(std::ostream &os, const StatRegistry &registry);
+
+/** Sampled series as `genie-samples-1` JSON. */
+void writeSamplesJson(std::ostream &os, const MetricsSampler &sampler);
+
+/** Sampled series as a `tick,<path>...` CSV table. */
+void writeSamplesCsv(std::ostream &os, const MetricsSampler &sampler);
+
+/** File variants; @p path "-" writes to stdout, fatal() on
+ * unwritable paths. */
+void writeStatsJsonFile(const std::string &path,
+                        const StatRegistry &registry);
+void writeStatsCsvFile(const std::string &path,
+                       const StatRegistry &registry);
+void writeSamplesJsonFile(const std::string &path,
+                          const MetricsSampler &sampler);
+void writeSamplesCsvFile(const std::string &path,
+                         const MetricsSampler &sampler);
+
+} // namespace genie
+
+#endif // GENIE_METRICS_EXPORT_HH

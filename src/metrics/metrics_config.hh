@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Metrics knobs threaded through SocConfig, mirroring TraceConfig:
+ * purely observational switches that never change simulated results.
+ */
+
+#ifndef GENIE_METRICS_METRICS_CONFIG_HH
+#define GENIE_METRICS_METRICS_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace genie
+{
+
+struct MetricsConfig
+{
+    /**
+     * Time-series sampling period in accelerator-clock cycles; 0
+     * disables the sampler. Sampling is strictly passive: a sampled
+     * run's simulation results byte-match an unsampled run's.
+     */
+    Cycles samplePeriod = 0;
+
+    /** Ring-buffer bound: the sampler keeps the most recent this-many
+     * snapshots (older ones are dropped, with a counter). */
+    std::size_t sampleCapacity = 4096;
+
+    /** Final-stats export paths; empty = off, "-" = stdout. */
+    std::string statsJsonPath;
+    std::string statsCsvPath;
+
+    /** Sampled-series export paths; empty = off, "-" = stdout. */
+    std::string samplesJsonPath;
+    std::string samplesCsvPath;
+
+    /** True if any export or sampling is requested. */
+    bool
+    any() const
+    {
+        return samplePeriod > 0 || !statsJsonPath.empty() ||
+               !statsCsvPath.empty() || !samplesJsonPath.empty() ||
+               !samplesCsvPath.empty();
+    }
+};
+
+} // namespace genie
+
+#endif // GENIE_METRICS_METRICS_CONFIG_HH

@@ -1,0 +1,104 @@
+#include "profiler.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+std::uint64_t
+nowNs()
+{
+    // The one sanctioned host-clock read in the library: profiling
+    // attribution only, never fed back into simulated behavior.
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+void
+HostProfiler::beginEvent(Tick when, const char *kind)
+{
+    (void)when;
+    curKind = kind;
+    inEvent = true;
+    startNs = nowNs();
+}
+
+void
+HostProfiler::endEvent()
+{
+    std::uint64_t end = nowNs();
+    GENIE_ASSERT(inEvent, "profiler endEvent without beginEvent");
+    inEvent = false;
+    std::uint64_t ns = end >= startNs ? end - startNs : 0;
+
+    KindProfile &k =
+        kinds[curKind != nullptr ? curKind : "(untagged)"];
+    k.events += 1;
+    k.wallNs += ns;
+    _totalEvents += 1;
+    _totalWallNs += ns;
+}
+
+double
+HostProfiler::eventsPerSecond() const
+{
+    if (_totalWallNs == 0)
+        return 0.0;
+    return static_cast<double>(_totalEvents) /
+           (static_cast<double>(_totalWallNs) * 1e-9);
+}
+
+std::vector<std::pair<std::string, HostProfiler::KindProfile>>
+HostProfiler::sorted() const
+{
+    std::vector<std::pair<std::string, KindProfile>> out(
+        kinds.begin(), kinds.end());
+    std::stable_sort(out.begin(), out.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second.wallNs > b.second.wallNs;
+                     });
+    return out;
+}
+
+void
+HostProfiler::report(std::ostream &os) const
+{
+    os << format("%-28s %12s %12s %7s\n", "event kind", "events",
+                 "wall ms", "share");
+    for (const auto &[kind, k] : sorted()) {
+        double share =
+            _totalWallNs > 0
+                ? 100.0 * static_cast<double>(k.wallNs) /
+                      static_cast<double>(_totalWallNs)
+                : 0.0;
+        os << format("%-28s %12llu %12.3f %6.1f%%\n", kind.c_str(),
+                     (unsigned long long)k.events,
+                     static_cast<double>(k.wallNs) * 1e-6, share);
+    }
+    os << format("total: %llu events, %.3f ms, %.2f M events/s\n",
+                 (unsigned long long)_totalEvents,
+                 static_cast<double>(_totalWallNs) * 1e-6, meps());
+}
+
+void
+HostProfiler::reset()
+{
+    kinds.clear();
+    _totalEvents = 0;
+    _totalWallNs = 0;
+    inEvent = false;
+    curKind = nullptr;
+    startNs = 0;
+}
+
+} // namespace genie

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * HostProfiler: wall-clock self-profiling of the simulation kernel.
+ *
+ * Attach one to an EventQueue (eq.setProfiler(&prof)) and every fired
+ * event is timed on the host's monotonic clock and attributed to its
+ * schedule-site kind tag ("bus.deliver", "dram.tick", ...; untagged
+ * events pool under "(untagged)"). After a run the profiler answers:
+ * where does the simulator itself spend host time, and how many
+ * simulated events per second does it retire (MEPS = millions of
+ * events/second) — the headline number tools/genie_bench tracks in
+ * BENCH_genie.json.
+ *
+ * The profiler observes and never mutates simulation state, so
+ * profiled and unprofiled runs produce identical simulated results.
+ * Host-clock reads live only here, behind the EventProfiler hook —
+ * the one sanctioned wall-clock site in the library (see the
+ * determinism suppression in tools/genie_lint/suppressions.txt).
+ */
+
+#ifndef GENIE_METRICS_PROFILER_HH
+#define GENIE_METRICS_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace genie
+{
+
+class HostProfiler : public EventProfiler
+{
+  public:
+    /** Accumulated attribution for one event kind. */
+    struct KindProfile
+    {
+        std::uint64_t events = 0;
+        std::uint64_t wallNs = 0;
+    };
+
+    void beginEvent(Tick when, const char *kind) override;
+    void endEvent() override;
+
+    /** Events executed while attached. */
+    std::uint64_t totalEvents() const { return _totalEvents; }
+
+    /** Host nanoseconds spent inside event actions. */
+    std::uint64_t totalWallNs() const { return _totalWallNs; }
+
+    /** Simulated events retired per host second (0 before any
+     * event completes). */
+    double eventsPerSecond() const;
+
+    /** eventsPerSecond() in millions (the MEPS headline). */
+    double meps() const { return eventsPerSecond() / 1e6; }
+
+    /** Attribution by kind tag; values sum exactly to totalEvents()
+     * and totalWallNs(). */
+    const std::map<std::string, KindProfile> &
+    byKind() const
+    {
+        return kinds;
+    }
+
+    /** Kinds sorted by wall time, heaviest first. */
+    std::vector<std::pair<std::string, KindProfile>> sorted() const;
+
+    /** Human-readable table: kind, events, wall ms, share. */
+    void report(std::ostream &os) const;
+
+    void reset();
+
+  private:
+    std::map<std::string, KindProfile> kinds;
+    std::uint64_t _totalEvents = 0;
+    std::uint64_t _totalWallNs = 0;
+
+    // In-flight event state between beginEvent() and endEvent().
+    std::uint64_t startNs = 0;
+    const char *curKind = nullptr;
+    bool inEvent = false;
+};
+
+} // namespace genie
+
+#endif // GENIE_METRICS_PROFILER_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * MetricsSampler: periodic time-series snapshots of registry stats.
+ *
+ * The sampler schedules itself on the system's EventQueue every
+ * `period` ticks and records the current value of each tracked scalar
+ * stat, turning end-of-run aggregates into per-run time series (bus
+ * utilization over time, MSHR occupancy, DMA throughput, ...). It is
+ * strictly passive: it only *reads* stat values, so a sampled run
+ * produces byte-identical simulation results to an unsampled run —
+ * the property tests/test_metrics.cc proves.
+ *
+ * Memory is ring-buffer bounded: only the most recent `capacity`
+ * snapshots are kept, and droppedSamples() counts what aged out. The
+ * sampler stops rescheduling as soon as it is the only live event,
+ * so event-queue drains (and Soc::run's termination) are unaffected.
+ */
+
+#ifndef GENIE_METRICS_SAMPLER_HH
+#define GENIE_METRICS_SAMPLER_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace genie
+{
+
+class MetricsSampler
+{
+  public:
+    struct Params
+    {
+        /** Sampling period in ticks (> 0). */
+        Tick period = 0;
+        /** Ring capacity: most recent snapshots kept. */
+        std::size_t capacity = 4096;
+    };
+
+    /** The registry must outlive the sampler. */
+    MetricsSampler(EventQueue &eq, const StatRegistry &registry,
+                   Params params);
+
+    MetricsSampler(const MetricsSampler &) = delete;
+    MetricsSampler &operator=(const MetricsSampler &) = delete;
+
+    /** Track the scalar stat at dotted @p path; fatal() if unknown.
+     * Must be called before start(). */
+    void track(const std::string &path);
+
+    /** Track every scalar stat currently in the registry. */
+    void trackAllScalars();
+
+    /** Schedule the first snapshot one period from now. */
+    void start();
+
+    Tick period() const { return params.period; }
+
+    /** Dotted paths of the tracked series, in track() order. */
+    const std::vector<std::string> &paths() const { return _paths; }
+
+    std::size_t numSeries() const { return _paths.size(); }
+
+    /** Snapshot ticks currently held (ring-truncated, oldest
+     * first). */
+    const std::deque<Tick> &ticks() const { return _ticks; }
+
+    /** Values of series @p s, aligned with ticks(). */
+    const std::deque<double> &
+    values(std::size_t s) const
+    {
+        return series[s];
+    }
+
+    /** Snapshots currently held (== ticks().size()). */
+    std::size_t numSamples() const { return _ticks.size(); }
+
+    /** Total snapshots ever taken, including aged-out ones. */
+    std::uint64_t samplesTaken() const { return taken; }
+
+    /** Snapshots dropped off the ring's old end. */
+    std::uint64_t droppedSamples() const { return dropped; }
+
+  private:
+    void sample();
+
+    EventQueue &eventq;
+    const StatRegistry &registry;
+    Params params;
+
+    std::vector<std::string> _paths;
+    std::vector<const Stat *> tracked;
+
+    std::deque<Tick> _ticks;
+    std::vector<std::deque<double>> series;
+    std::uint64_t taken = 0;
+    std::uint64_t dropped = 0;
+    bool started = false;
+};
+
+} // namespace genie
+
+#endif // GENIE_METRICS_SAMPLER_HH

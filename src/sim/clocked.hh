@@ -88,11 +88,14 @@ class Clocked
     EventQueue &eventQueue() { return eventq; }
     const EventQueue &eventQueue() const { return eventq; }
 
-    /** Schedule @p action on the clock edge @p cycles ahead. */
+    /** Schedule @p action on the clock edge @p cycles ahead. @p kind
+     * tags the event for profiler attribution. */
     EventId
-    scheduleCycles(Cycles cycles, std::function<void()> action)
+    scheduleCycles(Cycles cycles, std::function<void()> action,
+                   const char *kind = nullptr)
     {
-        return eventq.schedule(clockEdge(cycles), std::move(action));
+        return eventq.schedule(clockEdge(cycles), std::move(action),
+                               kind);
     }
 
   protected:

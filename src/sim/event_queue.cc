@@ -1,9 +1,17 @@
 #include "event_queue.hh"
 
 #include "sim/logging.hh"
+#include "sim/stats.hh"
 
 namespace genie
 {
+
+void
+EventQueue::registerStats(StatGroup &group)
+{
+    if (_statRegistry != nullptr)
+        _statRegistry->registerGroup(group);
+}
 
 EventQueue::~EventQueue()
 {
@@ -39,13 +47,14 @@ EventQueue::freeEntry(const Entry *e) const
 }
 
 EventId
-EventQueue::schedule(Tick when, std::function<void()> action)
+EventQueue::schedule(Tick when, std::function<void()> action,
+                     const char *kind)
 {
     if (when < _curTick)
         panic("scheduling event in the past (%llu < %llu)",
               (unsigned long long)when, (unsigned long long)_curTick);
     auto *e = new Entry{when, nextSeq++, nextId++, std::move(action),
-                        false};
+                        kind, false};
     ++entriesAllocated;
     heap.push(e);
     liveIndex.emplace(e->id, e);
@@ -100,8 +109,16 @@ EventQueue::step()
     // Move the action out so the entry can be deleted before the action
     // runs: the action may reschedule and grow the heap.
     std::function<void()> action = std::move(e->action);
+    const char *kind = e->kind;
+    Tick when = e->when;
     freeEntry(e);
-    action();
+    if (_profiler != nullptr) {
+        _profiler->beginEvent(when, kind);
+        action();
+        _profiler->endEvent();
+    } else {
+        action();
+    }
     return true;
 }
 

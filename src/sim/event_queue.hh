@@ -35,12 +35,35 @@ namespace genie
 {
 
 class Tracer;
+class StatGroup;
+class StatRegistry;
 
 /** Opaque handle identifying a scheduled event (for cancellation). */
 using EventId = std::uint64_t;
 
 /** Sentinel returned for "no event". */
 constexpr EventId invalidEventId = 0;
+
+/**
+ * Host-side execution observer (Genie-Metrics self-profiling). The
+ * queue calls beginEvent()/endEvent() around every fired action so an
+ * implementation can attribute wall-clock time and event counts per
+ * event kind. Declared here as an abstract hook so the simulation
+ * kernel never depends on host clocks itself; the concrete
+ * wall-clock implementation lives in src/metrics/profiler.hh.
+ */
+class EventProfiler
+{
+  public:
+    virtual ~EventProfiler() = default;
+
+    /** An event tagged @p kind (may be null = untagged) is about to
+     * execute at simulated time @p when. */
+    virtual void beginEvent(Tick when, const char *kind) = 0;
+
+    /** The event begun last has finished executing. */
+    virtual void endEvent() = 0;
+};
 
 /**
  * A min-heap driven discrete event queue with deterministic tie
@@ -58,16 +81,23 @@ class EventQueue
     Tick curTick() const { return _curTick; }
 
     /**
-     * Schedule @p action to run at absolute time @p when.
+     * Schedule @p action to run at absolute time @p when. @p kind is
+     * an optional static-string tag ("bus.deliver", "dram.tick", ...)
+     * used by the attached EventProfiler to attribute host time per
+     * component/event kind; untagged events profile as "(untagged)".
+     * The string is not copied — pass a literal or a string that
+     * outlives the event.
      * @return a handle usable with deschedule().
      */
-    EventId schedule(Tick when, std::function<void()> action);
+    EventId schedule(Tick when, std::function<void()> action,
+                     const char *kind = nullptr);
 
     /** Schedule @p action @p delta ticks in the future. */
     EventId
-    scheduleIn(Tick delta, std::function<void()> action)
+    scheduleIn(Tick delta, std::function<void()> action,
+               const char *kind = nullptr)
     {
-        return schedule(_curTick + delta, std::move(action));
+        return schedule(_curTick + delta, std::move(action), kind);
     }
 
     /** Cancel a previously scheduled event. Safe on fired events. */
@@ -115,6 +145,35 @@ class EventQueue
     Tracer *tracer() const { return _tracer; }
 
     /**
+     * Attach this system's StatRegistry (see sim/stats.hh). Like the
+     * Tracer slot, the queue does not own it; it is the rendezvous
+     * point through which components register their StatGroups at
+     * construction without extra constructor plumbing. Null (the
+     * default) makes registerStats() a no-op.
+     */
+    void setStatRegistry(StatRegistry *r) { _statRegistry = r; }
+
+    /** The attached registry, or null. */
+    StatRegistry *statRegistry() const { return _statRegistry; }
+
+    /** Register @p group with the attached registry, if any. The
+     * one-liner every SimObject constructor calls. */
+    void registerStats(StatGroup &group);
+
+    /**
+     * Attach a host-side execution profiler; every fired event is
+     * bracketed with beginEvent()/endEvent(). Null (the default)
+     * disables profiling at the cost of one pointer test per event.
+     * Observability only: the profiler must never mutate simulation
+     * state, so profiled and unprofiled runs produce identical
+     * results.
+     */
+    void setProfiler(EventProfiler *p) { _profiler = p; }
+
+    /** The attached profiler, or null. */
+    EventProfiler *profiler() const { return _profiler; }
+
+    /**
      * Invariant check: panics if any live (scheduled, uncancelled,
      * unfired) event remains. Call after run() on a flow that must
      * drain completely; a leftover event is a leaked handshake or a
@@ -129,6 +188,7 @@ class EventQueue
         std::uint64_t seq;
         EventId id;
         std::function<void()> action;
+        const char *kind = nullptr; ///< profiler attribution tag
         bool cancelled = false;
     };
 
@@ -151,6 +211,8 @@ class EventQueue
 
     Tick _curTick = 0;
     Tracer *_tracer = nullptr;
+    StatRegistry *_statRegistry = nullptr;
+    EventProfiler *_profiler = nullptr;
     std::uint64_t nextSeq = 0;
     EventId nextId = 1;
     std::uint64_t executed = 0;

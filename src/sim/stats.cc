@@ -45,6 +45,57 @@ Distribution::sample(double v)
     }
 }
 
+std::vector<DistBucket>
+Distribution::buckets() const
+{
+    std::vector<DistBucket> out;
+    out.reserve(_buckets.size());
+    for (std::size_t i = 0; i < _buckets.size(); ++i)
+        out.push_back({bucketLo(i), bucketHi(i), _buckets[i]});
+    return out;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (_count == 0)
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 1.0);
+    double target = p * static_cast<double>(_count);
+    double cum = 0.0;
+
+    // A mass region covering [lo, hi] with `n` samples; interpolate
+    // linearly once the cumulative count crosses the target.
+    auto within = [&](double lo, double hi,
+                      std::uint64_t n) -> double {
+        double f = (target - cum) / static_cast<double>(n);
+        return lo + f * (hi - lo);
+    };
+
+    // Interpolation works on bin edges, which can poke past the
+    // observed extremes (the top of the last occupied bucket is an
+    // edge, not a sample); clamp to keep the documented [min, max]
+    // guarantee.
+    double est = [&]() -> double {
+        if (_underflow > 0) {
+            if (target <= cum + static_cast<double>(_underflow))
+                return within(std::min(_min, _lo), _lo, _underflow);
+            cum += static_cast<double>(_underflow);
+        }
+        for (std::size_t i = 0; i < _buckets.size(); ++i) {
+            if (_buckets[i] == 0)
+                continue;
+            if (target <= cum + static_cast<double>(_buckets[i]))
+                return within(bucketLo(i), bucketHi(i), _buckets[i]);
+            cum += static_cast<double>(_buckets[i]);
+        }
+        if (_overflow > 0)
+            return within(_hi, std::max(_max, _hi), _overflow);
+        return max();
+    }();
+    return std::min(std::max(est, min()), max());
+}
+
 double
 Distribution::bucketLo(std::size_t i) const
 {
@@ -159,6 +210,98 @@ StatGroup::resetAll()
         s->reset();
     for (Distribution *d : distOrder)
         d->reset();
+}
+
+void
+StatRegistry::registerGroup(StatGroup &group)
+{
+    auto [it, inserted] = byPath.emplace(group.prefix(), &group);
+    (void)it;
+    if (!inserted)
+        panic("duplicate stat group path '%s'",
+              group.prefix().c_str());
+    order.push_back(&group);
+}
+
+StatGroup *
+StatRegistry::findGroup(const std::string &path) const
+{
+    auto it = byPath.find(path);
+    return it == byPath.end() ? nullptr : it->second;
+}
+
+StatGroup *
+StatRegistry::splitPath(const std::string &path,
+                        std::string &shortName) const
+{
+    // Stat short names never contain a dot, so the split point is the
+    // last one; group prefixes ("system.bus") keep theirs.
+    auto dot = path.rfind('.');
+    if (dot == std::string::npos)
+        return nullptr;
+    shortName = path.substr(dot + 1);
+    return findGroup(path.substr(0, dot));
+}
+
+const Stat *
+StatRegistry::lookup(const std::string &path) const
+{
+    std::string shortName;
+    StatGroup *g = splitPath(path, shortName);
+    return g ? g->find(shortName) : nullptr;
+}
+
+const Distribution *
+StatRegistry::lookupDistribution(const std::string &path) const
+{
+    std::string shortName;
+    StatGroup *g = splitPath(path, shortName);
+    return g ? g->findDistribution(shortName) : nullptr;
+}
+
+double
+StatRegistry::get(const std::string &path) const
+{
+    const Stat *s = lookup(path);
+    return s ? s->value() : 0.0;
+}
+
+void
+StatRegistry::visit(StatVisitor &visitor) const
+{
+    for (StatGroup *g : order) {
+        visitor.beginGroup(*g);
+        for (const Stat *s : g->all())
+            visitor.scalar(*g, *s);
+        for (const Distribution *d : g->allDistributions())
+            visitor.distribution(*g, *d);
+        visitor.endGroup(*g);
+    }
+}
+
+std::vector<std::string>
+StatRegistry::scalarPaths() const
+{
+    std::vector<std::string> paths;
+    for (const StatGroup *g : order) {
+        for (const Stat *s : g->all())
+            paths.push_back(s->name());
+    }
+    return paths;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const StatGroup *g : order)
+        g->dump(os);
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (StatGroup *g : order)
+        g->resetAll();
 }
 
 } // namespace genie

@@ -7,6 +7,13 @@
  * values are scalar aggregates per simulation run (all the paper's
  * headline results are); a binned Distribution covers quantities whose
  * shape matters, like cache miss latency and bus queue depth.
+ *
+ * The StatRegistry (Genie-Metrics) collects every StatGroup of one
+ * simulated system under its dotted path ("system.bus",
+ * "accel.cache", ...). Reports, exporters, the sampler, and the DSE
+ * tooling walk the registry with a StatVisitor instead of
+ * hand-plumbing individual counters; lookup() resolves a full dotted
+ * stat path such as "accel.cache.misses" to the live counter.
  */
 
 #ifndef GENIE_SIM_STATS_HH
@@ -47,11 +54,21 @@ class Stat
     double _value = 0.0;
 };
 
+/** One distribution bin: samples in [lo, hi). */
+struct DistBucket
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    std::uint64_t count = 0;
+};
+
 /**
  * A named, linearly-binned distribution statistic. Samples between
  * [lo, hi) land in one of @p numBuckets equal-width buckets;
  * out-of-range samples are counted in underflow/overflow. min, max,
- * and mean are tracked exactly regardless of binning.
+ * and mean are tracked exactly regardless of binning, so min()/max()
+ * are symmetric with the exported bin edges: exporters and tests read
+ * buckets()/percentile() instead of reimplementing the bin math.
  */
 class Distribution
 {
@@ -78,7 +95,29 @@ class Distribution
 
     std::uint64_t underflow() const { return _underflow; }
     std::uint64_t overflow() const { return _overflow; }
-    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+
+    /** All bins as (lo, hi, count) triples, in bin order. */
+    std::vector<DistBucket> buckets() const;
+
+    /** Raw per-bin counts (no bounds), in bin order. */
+    const std::vector<std::uint64_t> &
+    bucketCounts() const
+    {
+        return _buckets;
+    }
+
+    /**
+     * Estimate the @p p quantile (0..1) from the bins by linear
+     * interpolation within the covering bucket. Underflow mass is
+     * spread over [min, lo] and overflow mass over [hi, max], so the
+     * estimate always lands inside the observed [min, max] range.
+     * Returns 0 for an empty distribution.
+     */
+    double percentile(double p) const;
+
+    double p50() const { return percentile(0.50); }
+    double p95() const { return percentile(0.95); }
+    double p99() const { return percentile(0.99); }
 
     /** Inclusive lower bound of bucket @p i. */
     double bucketLo(std::size_t i) const;
@@ -163,6 +202,91 @@ class StatGroup
     std::vector<Stat *> order;
     std::map<std::string, Distribution> dists;
     std::vector<Distribution *> distOrder;
+};
+
+/**
+ * Double-dispatch walker over a StatRegistry. Implementations render
+ * or collect; the registry guarantees deterministic visitation order
+ * (groups in registration order, stats in declaration order).
+ */
+class StatVisitor
+{
+  public:
+    virtual ~StatVisitor() = default;
+
+    /** Called before/after the stats of one group. */
+    virtual void beginGroup(const StatGroup &group) { (void)group; }
+    virtual void endGroup(const StatGroup &group) { (void)group; }
+
+    virtual void scalar(const StatGroup &group, const Stat &stat) = 0;
+    virtual void distribution(const StatGroup &group,
+                              const Distribution &dist) = 0;
+};
+
+/**
+ * The hierarchical statistics registry of one simulated system
+ * (Genie-Metrics). Each StatGroup registers once under its dotted
+ * prefix; the registry never owns the groups — the owning Soc keeps
+ * both alive, exactly like the Tracer slot on the EventQueue.
+ *
+ * Every consumer of "all the stats" — the text report, the JSON/CSV
+ * exporters, the MetricsSampler, DSE post-processing — walks this
+ * registry instead of naming components one by one.
+ */
+class StatRegistry
+{
+  public:
+    StatRegistry() = default;
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+    /** Register @p group under its prefix; panics on a duplicate
+     * path (two components with the same name is a wiring bug). */
+    void registerGroup(StatGroup &group);
+
+    std::size_t numGroups() const { return order.size(); }
+
+    /** Groups in registration order. */
+    const std::vector<StatGroup *> &groups() const { return order; }
+
+    /** The group registered under @p path, or null. */
+    StatGroup *findGroup(const std::string &path) const;
+
+    /**
+     * Resolve a full dotted scalar path ("system.bus.packets"): the
+     * longest registered group prefix, then the stat's short name.
+     * Null if either part is unknown.
+     */
+    const Stat *lookup(const std::string &path) const;
+
+    /** Resolve a dotted distribution path; null if unknown. */
+    const Distribution *
+    lookupDistribution(const std::string &path) const;
+
+    /** Value at a dotted scalar path; 0 if absent. */
+    double get(const std::string &path) const;
+
+    /** Walk every stat in deterministic order. */
+    void visit(StatVisitor &visitor) const;
+
+    /** Full dotted paths of every scalar stat, in visit order. */
+    std::vector<std::string> scalarPaths() const;
+
+    /** Dump every group, gem5 stats.txt style (the registry-driven
+     * replacement for per-component dump loops). */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat to zero. */
+    void resetAll();
+
+  private:
+    /** Split @p path into (group prefix, short name) by its last
+     * dot; returns the group or null. */
+    StatGroup *splitPath(const std::string &path,
+                         std::string &shortName) const;
+
+    std::map<std::string, StatGroup *> byPath;
+    std::vector<StatGroup *> order;
 };
 
 } // namespace genie

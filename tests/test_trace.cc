@@ -361,8 +361,12 @@ TEST(DistributionStat, BucketsBoundsAndMoments)
     EXPECT_EQ(d.count(), 6u);
     EXPECT_EQ(d.underflow(), 1u);
     EXPECT_EQ(d.overflow(), 2u);
-    EXPECT_EQ(d.buckets()[0], 2u);
-    EXPECT_EQ(d.buckets()[9], 1u);
+    EXPECT_EQ(d.bucketCounts()[0], 2u);
+    EXPECT_EQ(d.bucketCounts()[9], 1u);
+    EXPECT_EQ(d.buckets()[0].count, 2u);
+    EXPECT_DOUBLE_EQ(d.buckets()[0].lo, 0.0);
+    EXPECT_DOUBLE_EQ(d.buckets()[0].hi, 10.0);
+    EXPECT_EQ(d.buckets()[9].count, 1u);
     EXPECT_DOUBLE_EQ(d.min(), -5.0);
     EXPECT_DOUBLE_EQ(d.max(), 250.0);
     EXPECT_DOUBLE_EQ(d.mean(), (-5.0 + 0.0 + 9.99 + 95.0 + 100.0 +

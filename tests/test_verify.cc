@@ -235,6 +235,49 @@ TEST(LintTraceSink, IgnoresMatchesInCommentsAndStrings)
         "trace-sink"));
 }
 
+TEST(LintTraceSink, MetricsSubsystemOwnsItsSinks)
+{
+    // src/metrics hosts the sanctioned stats/samples exporters; like
+    // src/trace, its own file streams are exempt.
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/metrics/export.cc",
+                    "std::ofstream out(path);\n"),
+        "trace-sink"));
+}
+
+TEST(LintStatPrint, FlagsBespokeStatDumpingOutsideMetrics)
+{
+    // Hand-plumbed per-component dumping is what the StatRegistry
+    // replaced; new call sites must go through the registry.
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/dse/foo.cc",
+                    "soc.bus().stats().dump(os);\n"),
+        "stat-print"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/mem/foo.cc", "stats().dump(std::cerr);\n"),
+        "stat-print"));
+}
+
+TEST(LintStatPrint, MetricsAndReportAreSanctioned)
+{
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/metrics/export.cc",
+                    "group.stats().dump(os);\n"),
+        "stat-print"));
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/core/report.cc",
+                    "soc.bus().stats().dump(os);\n"),
+        "stat-print"));
+}
+
+TEST(LintStatPrint, RegistryDumpIsTheBlessedPath)
+{
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/dse/foo.cc",
+                    "soc.statRegistry().dump(os);\n"),
+        "stat-print"));
+}
+
 TEST(LintSuppressions, SuppressesByRuleAndPathOnly)
 {
     auto s = lint::Suppressions::parse(

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * genie_bench: the self-profiling benchmark harness.
+ *
+ * Runs a fixed set of figure-style benchmark scenarios (workload +
+ * design point), times each one on the host, attaches a HostProfiler
+ * to count simulated events, and writes BENCH_genie.json:
+ *
+ *   genie_bench --quick                 # CI subset (3 scenarios)
+ *   genie_bench --out=BENCH_genie.json  # full set
+ *   genie_bench --quick --baseline=bench/BENCH_baseline.json \
+ *               --max-regress=20        # fail if MEPS drops >20%
+ *
+ * The JSON (schema "genie-bench-1") records, per scenario: wall-clock
+ * milliseconds, events executed, MEPS (millions of simulated events
+ * retired per host second), and the headline simulation metrics
+ * (latency, accelerator cycles, energy, EDP, bus utilization). The
+ * totals block carries the aggregate MEPS that the CI regression gate
+ * tracks against the checked-in baseline.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config_parse.hh"
+#include "core/soc.hh"
+#include "metrics/export.hh"
+#include "metrics/profiler.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace genie;
+
+struct Scenario
+{
+    const char *name;     ///< stable key in BENCH_genie.json
+    const char *workload; ///< workload registry name
+    const char *options;  ///< space-separated key=value config
+    bool quick;           ///< part of the --quick CI subset
+};
+
+// The paper's evaluation axes: DMA baseline, the optimized DMA flow
+// (Figure 6), and the cache interface (Figure 7), plus a wider spread
+// of kernels for the full run.
+const Scenario scenarios[] = {
+    {"stencil2d-dma-opt", "stencil-stencil2d",
+     "mem=dma lanes=8 partitions=8 pipelined=1 triggered=1", true},
+    {"gemm-dma-baseline", "gemm-ncubed",
+     "mem=dma lanes=4 partitions=4", true},
+    {"md-knn-cache", "md-knn",
+     "mem=cache lanes=4 cache_kb=16 cache_ports=2", true},
+    {"stencil3d-dma-opt", "stencil-stencil3d",
+     "mem=dma lanes=8 partitions=8 pipelined=1 triggered=1", false},
+    {"spmv-crs-cache", "spmv-crs",
+     "mem=cache lanes=4 cache_kb=32 cache_ports=2", false},
+    {"fft-dma-pipelined", "fft-transpose",
+     "mem=dma lanes=8 partitions=8 pipelined=1", false},
+};
+
+struct BenchResult
+{
+    const Scenario *scenario = nullptr;
+    double wallMs = 0.0;
+    std::uint64_t events = 0;
+    double meps = 0.0;
+    SocResults sim;
+};
+
+std::vector<std::string>
+splitOptions(const char *options)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(options);
+    std::string tok;
+    while (iss >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+BenchResult
+runScenario(const Scenario &s)
+{
+    auto workload = makeWorkload(s.workload);
+    auto out = workload->build();
+    Dddg dddg(out.trace);
+    SocConfig config = parseConfig(splitOptions(s.options));
+
+    Soc soc(config, out.trace, dddg);
+    HostProfiler profiler;
+    soc.eventQueue().setProfiler(&profiler);
+
+    auto t0 = std::chrono::steady_clock::now();
+    SocResults results = soc.run();
+    auto t1 = std::chrono::steady_clock::now();
+
+    BenchResult r;
+    r.scenario = &s;
+    r.wallMs = std::chrono::duration<double, std::milli>(t1 - t0)
+                   .count();
+    r.events = profiler.totalEvents();
+    r.meps = r.wallMs > 0
+                 ? static_cast<double>(r.events) / (r.wallMs * 1e3)
+                 : 0.0;
+    r.sim = results;
+    return r;
+}
+
+std::string
+benchJson(const std::vector<BenchResult> &results, bool quick)
+{
+    std::string j = "{\n  \"schema\": \"genie-bench-1\",\n";
+    j += format("  \"quick\": %s,\n", quick ? "true" : "false");
+    j += "  \"benches\": [\n";
+    double totalWallMs = 0.0;
+    std::uint64_t totalEvents = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        totalWallMs += r.wallMs;
+        totalEvents += r.events;
+        j += "    {";
+        j += format("\"name\": \"%s\", ", r.scenario->name);
+        j += format("\"workload\": \"%s\", ", r.scenario->workload);
+        j += format("\"config\": \"%s\",\n      ",
+                    r.scenario->options);
+        j += format("\"wall_ms\": %.3f, ", r.wallMs);
+        j += format("\"events\": %llu, ",
+                    (unsigned long long)r.events);
+        j += format("\"meps\": %.3f,\n      ", r.meps);
+        j += "\"sim\": {";
+        j += format("\"total_us\": %.3f, ", r.sim.totalUs());
+        j += format("\"accel_cycles\": %llu, ",
+                    (unsigned long long)r.sim.accelCycles);
+        j += format("\"energy_pj\": %.1f, ", r.sim.energyPj);
+        j += format("\"edp\": %s, ",
+                    formatStatNumber(r.sim.edp).c_str());
+        j += format("\"bus_utilization\": %.4f, ",
+                    r.sim.busUtilization);
+        j += format("\"dma_bytes\": %llu, ",
+                    (unsigned long long)r.sim.dmaBytes);
+        j += format("\"cache_miss_rate\": %.4f", r.sim.cacheMissRate);
+        j += "}}";
+        j += i + 1 < results.size() ? ",\n" : "\n";
+    }
+    j += "  ],\n";
+    double totalMeps =
+        totalWallMs > 0
+            ? static_cast<double>(totalEvents) / (totalWallMs * 1e3)
+            : 0.0;
+    j += format("  \"totals\": {\"wall_ms\": %.3f, \"events\": %llu, "
+                "\"meps\": %.3f}\n",
+                totalWallMs, (unsigned long long)totalEvents,
+                totalMeps);
+    j += "}\n";
+    return j;
+}
+
+/** Extract the totals-block MEPS from a BENCH_genie.json file.
+ * Returns a negative value when the file or field is missing. */
+double
+baselineTotalMeps(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return -1.0;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    std::size_t totals = text.find("\"totals\"");
+    if (totals == std::string::npos)
+        return -1.0;
+    std::size_t meps = text.find("\"meps\":", totals);
+    if (meps == std::string::npos)
+        return -1.0;
+    return std::strtod(text.c_str() + meps + 7, nullptr);
+}
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: genie_bench [--quick] [--out=FILE] "
+                 "[--baseline=FILE] [--max-regress=PCT]\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string outPath = "BENCH_genie.json";
+    std::string baselinePath;
+    double maxRegressPct = 20.0;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            outPath = argv[i] + 6;
+        else if (std::strncmp(argv[i], "--baseline=", 11) == 0)
+            baselinePath = argv[i] + 11;
+        else if (std::strncmp(argv[i], "--max-regress=", 14) == 0)
+            maxRegressPct = std::strtod(argv[i] + 14, nullptr);
+        else
+            return usage();
+    }
+
+    std::vector<BenchResult> results;
+    try {
+        for (const Scenario &s : scenarios) {
+            if (quick && !s.quick)
+                continue;
+            std::printf("bench %-20s %-18s %s\n", s.name, s.workload,
+                        s.options);
+            BenchResult r = runScenario(s);
+            std::printf("  wall %8.2f ms, %8llu events, %7.3f MEPS, "
+                        "sim %10.2f us\n",
+                        r.wallMs, (unsigned long long)r.events,
+                        r.meps, r.sim.totalUs());
+            results.push_back(r);
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+
+    std::string json = benchJson(results, quick);
+    std::ofstream out(outPath);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     outPath.c_str());
+        return 1;
+    }
+    out << json;
+    out.close();
+    std::printf("wrote %s (%zu benches)\n", outPath.c_str(),
+                results.size());
+
+    if (!baselinePath.empty()) {
+        double baseMeps = baselineTotalMeps(baselinePath);
+        if (baseMeps <= 0) {
+            std::fprintf(stderr,
+                         "error: no totals.meps in baseline %s\n",
+                         baselinePath.c_str());
+            return 1;
+        }
+        double curMeps = baselineTotalMeps(outPath);
+        double floor = baseMeps * (1.0 - maxRegressPct / 100.0);
+        std::printf("regression gate: %.3f MEPS vs baseline %.3f "
+                    "(floor %.3f)\n",
+                    curMeps, baseMeps, floor);
+        if (curMeps < floor) {
+            std::fprintf(stderr,
+                         "error: MEPS regressed more than %.0f%% "
+                         "(%.3f < %.3f)\n",
+                         maxRegressPct, curMeps, floor);
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -143,6 +143,17 @@ const TokenRule traceSinkTokens[] = {
                 "the Tracer API (src/trace)"},
 };
 
+// stat-print: statistics must reach the user through the StatRegistry
+// (visitors, the exporters in src/metrics, or core/report's
+// registry-driven dump), never by hand-plumbing per-component
+// StatGroup::dump calls — that is exactly the bespoke-loop pattern the
+// registry exists to delete.
+const TokenRule statPrintTokens[] = {
+    {"stats().dump(",
+     "hand-plumbed stat dump: route output through the StatRegistry "
+     "(statRegistry().dump() or the src/metrics exporters)"},
+};
+
 const TokenRule rawOutputTokens[] = {
     {"std::cout", "library code must log through sim/logging "
                   "(inform/warn), not std::cout"},
@@ -322,7 +333,12 @@ lintSource(const std::string &relPath, const std::string &contents)
     };
 
     const bool isRngHome = relPath == "src/sim/random.hh";
-    const bool isTraceHome = startsWith(relPath, "src/trace/");
+    // src/trace owns the trace sinks; src/metrics owns the stats and
+    // sample exporter sinks. Both write files by design.
+    const bool isSinkHome = startsWith(relPath, "src/trace/") ||
+                            startsWith(relPath, "src/metrics/");
+    const bool isStatHome = startsWith(relPath, "src/metrics/") ||
+                            relPath == "src/core/report.cc";
 
     for (std::size_t n = 0; n < lines.size(); ++n) {
         const std::string &line = lines[n];
@@ -344,11 +360,21 @@ lintSource(const std::string &relPath, const std::string &contents)
         }
 
         // trace-sink: event/telemetry file output must go through the
-        // Tracer API; only src/trace may open file sinks.
-        if (!isTraceHome) {
+        // Tracer API or the metrics exporters; only those subsystems
+        // may open file sinks.
+        if (!isSinkHome) {
             for (const auto &t : traceSinkTokens) {
                 if (findToken(line, t.token) != std::string::npos)
                     report("trace-sink", lineNo, t.message);
+            }
+        }
+
+        // stat-print: no hand-plumbed per-component stat dumping
+        // outside the registry-driven report path.
+        if (!isStatHome) {
+            for (const auto &t : statPrintTokens) {
+                if (findToken(line, t.token) != std::string::npos)
+                    report("stat-print", lineNo, t.message);
             }
         }
 
