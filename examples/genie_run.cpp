@@ -61,7 +61,16 @@ usage()
         "stdout)\n"
         "         --sample-period=N --samples-json=FILE "
         "--samples-csv=FILE\n"
-        "         --profile\n");
+        "         --profile\n"
+        "fault campaign (Genie-Resilience):\n"
+        "         --faults=SITE=RATE[,SITE=RATE...] with sites\n"
+        "           dram_read bus_resp dma_beat tlb_walk\n"
+        "         --fault-seed=N --fault-max-retries=N "
+        "--fault-backoff=N\n"
+        "         --watchdog-interval=N  (accel cycles between "
+        "progress checks)\n"
+        "exit:    0 ok, 1 error, 3 watchdog declared the run "
+        "stalled\n");
     return 2;
 }
 
@@ -117,6 +126,36 @@ main(int argc, char **argv)
         else if (std::strncmp(argv[i], "--samples-csv=", 14) == 0)
             options.emplace_back(std::string("samples_csv=") +
                                  (argv[i] + 14));
+        else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+            // Comma list of site=rate pairs, e.g.
+            //   --faults=dram_read=0.001,dma_beat=0.01
+            // Each expands to the matching fault_<site>= option, so
+            // the parser does all the validation.
+            std::string list = argv[i] + 9;
+            std::size_t pos = 0;
+            while (pos <= list.size()) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                std::string item = list.substr(pos, comma - pos);
+                if (!item.empty())
+                    options.emplace_back("fault_" + item);
+                pos = comma + 1;
+            }
+        } else if (std::strncmp(argv[i], "--fault-seed=", 13) == 0)
+            options.emplace_back(std::string("fault_seed=") +
+                                 (argv[i] + 13));
+        else if (std::strncmp(argv[i], "--fault-max-retries=", 20) ==
+                 0)
+            options.emplace_back(std::string("fault_max_retries=") +
+                                 (argv[i] + 20));
+        else if (std::strncmp(argv[i], "--fault-backoff=", 16) == 0)
+            options.emplace_back(std::string("fault_backoff=") +
+                                 (argv[i] + 16));
+        else if (std::strncmp(argv[i], "--watchdog-interval=", 20) ==
+                 0)
+            options.emplace_back(std::string("watchdog_interval=") +
+                                 (argv[i] + 20));
         else if (std::strncmp(argv[i], "--", 2) == 0)
             return usage();
         else
@@ -155,6 +194,12 @@ main(int argc, char **argv)
                         "ui.perfetto.dev or chrome://tracing)\n",
                         config.tracing.outPath.c_str(),
                         soc.tracer()->numEvents());
+        }
+        if (results.stalled) {
+            std::fprintf(stderr,
+                         "warning: watchdog declared the run stalled; "
+                         "results above are partial\n");
+            return 3;
         }
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

@@ -32,6 +32,31 @@ parseUnsigned(const std::string &key, const std::string &value)
     return static_cast<unsigned>(v);
 }
 
+std::uint64_t
+parseU64(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        fatal("option %s: expected a number, got '%s'", key.c_str(),
+              value.c_str());
+    return static_cast<std::uint64_t>(v);
+}
+
+double
+parseRate(const std::string &key, const std::string &value)
+{
+    char *end = nullptr;
+    double v = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatal("option %s: expected a probability, got '%s'",
+              key.c_str(), value.c_str());
+    if (v < 0.0 || v > 1.0)
+        fatal("option %s: probability %g outside [0, 1]", key.c_str(),
+              v);
+    return v;
+}
+
 } // namespace
 
 void
@@ -107,6 +132,26 @@ applyConfigOption(SocConfig &config, const std::string &option)
         config.metrics.samplesJsonPath = value;
     } else if (key == "samples_csv") {
         config.metrics.samplesCsvPath = value;
+    } else if (key == "fault_seed") {
+        config.faults.seed = parseU64(key, value);
+    } else if (key == "fault_dram_read") {
+        config.faults.rates[static_cast<unsigned>(
+            FaultSite::DramRead)] = parseRate(key, value);
+    } else if (key == "fault_bus_resp") {
+        config.faults.rates[static_cast<unsigned>(
+            FaultSite::BusResp)] = parseRate(key, value);
+    } else if (key == "fault_dma_beat") {
+        config.faults.rates[static_cast<unsigned>(
+            FaultSite::DmaBeat)] = parseRate(key, value);
+    } else if (key == "fault_tlb_walk") {
+        config.faults.rates[static_cast<unsigned>(
+            FaultSite::TlbWalk)] = parseRate(key, value);
+    } else if (key == "fault_max_retries") {
+        config.faults.maxRetries = parseUnsigned(key, value);
+    } else if (key == "fault_backoff") {
+        config.faults.backoffCycles = parseUnsigned(key, value);
+    } else if (key == "watchdog_interval") {
+        config.faults.watchdogCycles = parseU64(key, value);
     } else {
         fatal("unknown option '%s'", key.c_str());
     }
@@ -162,6 +207,24 @@ configToOptions(const SocConfig &c)
     if (!c.metrics.samplesCsvPath.empty()) {
         s += format(" samples_csv=%s",
                     c.metrics.samplesCsvPath.c_str());
+    }
+    if (c.faults.anyEnabled()) {
+        // %.17g round-trips any double exactly, so re-parsing the
+        // rendered options reproduces the campaign bit-for-bit.
+        s += format(" fault_seed=%llu fault_dram_read=%.17g "
+                    "fault_bus_resp=%.17g fault_dma_beat=%.17g "
+                    "fault_tlb_walk=%.17g fault_max_retries=%u "
+                    "fault_backoff=%u",
+                    (unsigned long long)c.faults.seed,
+                    c.faults.rate(FaultSite::DramRead),
+                    c.faults.rate(FaultSite::BusResp),
+                    c.faults.rate(FaultSite::DmaBeat),
+                    c.faults.rate(FaultSite::TlbWalk),
+                    c.faults.maxRetries, c.faults.backoffCycles);
+    }
+    if (c.faults.watchdogCycles > 0) {
+        s += format(" watchdog_interval=%llu",
+                    (unsigned long long)c.faults.watchdogCycles);
     }
     return s;
 }

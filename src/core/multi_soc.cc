@@ -1,5 +1,6 @@
 #include "multi_soc.hh"
 
+#include "core/validation.hh"
 #include "sim/logging.hh"
 
 namespace genie
@@ -34,6 +35,9 @@ MultiSoc::MultiSoc(SocConfig platformCfg,
 {
     if (specs.empty())
         fatal("MultiSoc needs at least one accelerator");
+    validateSocConfig(platform);
+    for (const auto &spec : specs)
+        validateSocConfig(spec.design);
 
     eventq.setStatRegistry(&registry);
     if (platform.tracing.enabled) {
@@ -188,7 +192,13 @@ MultiSoc::startComplex(std::size_t index)
             [this, index](int arrayId, Addr off, unsigned len) {
                 complexes[index]->feBits->fill(arrayId, off, len);
             },
-            [this, index] { onComplexInputDone(index); });
+            [this, index](bool ok) {
+                if (!ok)
+                    fatal("complex %zu input DMA failed permanently "
+                          "(fault retry budget exhausted)",
+                          index);
+                onComplexInputDone(index);
+            });
     };
     if (inBytes == 0) {
         eventq.scheduleIn(
@@ -230,7 +240,13 @@ MultiSoc::onComplexDatapathDone(std::size_t index)
         }
         dma->startTransaction(DmaEngine::Direction::AccelToMem,
                               std::move(segs), nullptr,
-                              [this, index] { finishComplex(index); });
+                              [this, index](bool ok) {
+                                  if (!ok)
+                                      fatal("complex %zu output DMA "
+                                            "failed permanently",
+                                            index);
+                                  finishComplex(index);
+                              });
         return;
     }
     finishComplex(index);

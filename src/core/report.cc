@@ -73,7 +73,10 @@ printRecord(std::ostream &os, const SocConfig &config,
        << static_cast<double>(r.breakdown.computeDma) * 1e-6
        << " compute_us="
        << static_cast<double>(r.breakdown.computeOnly) * 1e-6
-       << " miss_rate=" << r.cacheMissRate << '\n';
+       << " miss_rate=" << r.cacheMissRate;
+    if (r.stalled)
+        os << " stalled=1";
+    os << '\n';
 }
 
 } // namespace genie

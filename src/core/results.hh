@@ -64,6 +64,10 @@ struct SocResults
     std::uint64_t readyBitStalls = 0;
     std::uint64_t cacheToCacheTransfers = 0;
 
+    /** True when the watchdog aborted the run; the numbers above are
+     * the partial state at the moment of the stall. */
+    bool stalled = false;
+
     // Design descriptors used by the Kiviat comparison (Figure 9).
     std::uint64_t localSramBytes = 0;
     double localMemBandwidthBytesPerCycle = 0.0;

@@ -1,5 +1,6 @@
 #include "soc.hh"
 
+#include "core/validation.hh"
 #include "metrics/export.hh"
 #include "power/energy_model.hh"
 #include "sim/logging.hh"
@@ -46,6 +47,8 @@ class Soc::AccelDevice : public IoctlDevice
 Soc::Soc(SocConfig config, const Trace &trace_, const Dddg &dddg_)
     : cfg(std::move(config)), trace(trace_), dddg(dddg_)
 {
+    validateSocConfig(cfg);
+
     // Attach the registry before build() so every component
     // constructor self-registers its stat group.
     eventq.setStatRegistry(&registry);
@@ -54,7 +57,24 @@ Soc::Soc(SocConfig config, const Trace &trace_, const Dddg &dddg_)
             std::make_unique<Tracer>(eventq, cfg.tracing.categories);
         eventq.setTracer(eventTracer.get());
     }
+    // The injector must exist before build() so components could in
+    // principle consult it at construction; attaching it only when a
+    // rate is nonzero keeps zero-rate campaigns byte-identical to
+    // fault-free runs.
+    if (cfg.faults.anyEnabled()) {
+        injector = std::make_unique<FaultInjector>("fault.injector",
+                                                   eventq, cfg.faults);
+        eventq.setFaultInjector(injector.get());
+    }
     build();
+    if (cfg.faults.watchdogCycles > 0) {
+        Watchdog::Params wp;
+        wp.interval = cfg.faults.watchdogCycles *
+                      ClockDomain::fromMhz(cfg.accelMhz).period();
+        progressWatchdog = std::make_unique<Watchdog>(
+            "fault.watchdog", eventq, wp);
+        wireWatchdog();
+    }
     if (cfg.metrics.samplePeriod > 0) {
         MetricsSampler::Params sp;
         sp.period = cfg.metrics.samplePeriod *
@@ -67,6 +87,84 @@ Soc::Soc(SocConfig config, const Trace &trace_, const Dddg &dddg_)
 }
 
 Soc::~Soc() = default;
+
+void
+Soc::wireWatchdog()
+{
+    Watchdog &wd = *progressWatchdog;
+
+    // Progress = any counter that advances while the system does real
+    // work, across every phase of the flow: flush/invalidate lines,
+    // bus packets, DRAM services, DMA beats, committed datapath nodes
+    // and completed driver ops. Spin-wait ticks are deliberately NOT
+    // progress — a driver polling a completion flag that never comes
+    // is exactly the wedge the watchdog exists to catch.
+    auto stat = [](const StatGroup &g, const char *name) {
+        return static_cast<std::uint64_t>(g.get(name));
+    };
+    wd.addProgressSource("bus.packets", [this, stat] {
+        return stat(systemBus->stats(), "packets");
+    });
+    wd.addProgressSource("dram.services", [this, stat] {
+        return stat(dramCtrl->stats(), "reads") +
+               stat(dramCtrl->stats(), "writes");
+    });
+    wd.addProgressSource("flush.lines", [this, stat] {
+        return stat(flush->stats(), "linesFlushed") +
+               stat(flush->stats(), "linesInvalidated");
+    });
+    wd.addProgressSource("dma.beats", [this, stat] {
+        return stat(dma->stats(), "beats");
+    });
+    wd.addProgressSource("cpu.ops", [this, stat] {
+        return stat(driver->stats(), "ops");
+    });
+    wd.addProgressSource("datapath.nodes", [this, stat] {
+        return stat(accel->stats(), "nodes");
+    });
+    if (spad) {
+        wd.addProgressSource("spad.accesses", [this, stat] {
+            return stat(spad->stats(), "reads") +
+                   stat(spad->stats(), "writes");
+        });
+    }
+    if (cacheMem) {
+        wd.addProgressSource("cache.accesses", [this, stat] {
+            return stat(cacheMem->stats(), "reads") +
+                   stat(cacheMem->stats(), "writes");
+        });
+    }
+    if (accelTlb) {
+        wd.addProgressSource("tlb.lookups", [this, stat] {
+            return stat(accelTlb->stats(), "hits") +
+                   stat(accelTlb->stats(), "misses");
+        });
+    }
+
+    // Diagnostics rendered into the stall dump.
+    wd.addDiagnostic("dma", [this] {
+        return format("%u beats in flight", dma->inFlightBeats());
+    });
+    if (cacheMem) {
+        wd.addDiagnostic("accel.cache", [this] {
+            return format("%zu live MSHRs%s",
+                          cacheMem->outstandingMisses(),
+                          cacheMem->hasOutstanding() ? "" : " (idle)");
+        });
+    }
+    if (cpuL1) {
+        wd.addDiagnostic("cpu.l1d", [this] {
+            return format("%zu live MSHRs", cpuL1->outstandingMisses());
+        });
+    }
+    if (eventTracer) {
+        wd.addDiagnostic("trace", [this] {
+            return format("%zu open spans, %zu events recorded",
+                          eventTracer->openSpans(),
+                          eventTracer->numEvents());
+        });
+    }
+}
 
 void
 Soc::build()
@@ -353,7 +451,12 @@ Soc::beginInputPhase()
             [this, beat](std::size_t page) {
                 dma->startTransaction(
                     DmaEngine::Direction::MemToAccel,
-                    {inputPages[page]}, beat, [this] {
+                    {inputPages[page]}, beat, [this](bool ok) {
+                        if (!ok)
+                            fatal("input DMA page failed permanently "
+                                  "(fault retry budget exhausted) — "
+                                  "lower fault_dma_beat or raise "
+                                  "fault_max_retries");
                         if (++pagesDone == inputPages.size())
                             onInputPhaseDone();
                     });
@@ -378,7 +481,14 @@ Soc::beginInputPhase()
             }
             dma->startTransaction(DmaEngine::Direction::MemToAccel,
                                   std::move(segs), beat,
-                                  [this] { onInputPhaseDone(); });
+                                  [this](bool ok) {
+                                      if (!ok)
+                                          fatal("input DMA failed "
+                                                "permanently (fault "
+                                                "retry budget "
+                                                "exhausted)");
+                                      onInputPhaseDone();
+                                  });
         });
     }
 }
@@ -446,7 +556,13 @@ Soc::onDatapathDone()
                 segs.push_back(seg);
             }
             dma->startTransaction(DmaEngine::Direction::AccelToMem,
-                                  std::move(segs), nullptr, [this] {
+                                  std::move(segs), nullptr,
+                                  [this](bool ok) {
+                                      if (!ok)
+                                          fatal("output DMA failed "
+                                                "permanently (fault "
+                                                "retry budget "
+                                                "exhausted)");
                                       if (pendingFinish)
                                           pendingFinish();
                                   });
@@ -479,15 +595,30 @@ Soc::run()
     if (metricsSampler)
         metricsSampler->start();
 
+    bool stalled = false;
     if (cfg.isolated) {
         // Isolated design: the accelerator alone, data preloaded.
         bool done = false;
-        accel->start([&] { done = true; });
-        eventq.run();
-        GENIE_ASSERT(done, "isolated datapath did not finish");
+        accel->start([&] {
+            done = true;
+            if (progressWatchdog)
+                progressWatchdog->disarm();
+        });
+        if (progressWatchdog)
+            progressWatchdog->arm();
+        try {
+            eventq.run();
+        } catch (const SimulationStalledError &) {
+            stalled = true;
+        }
+        GENIE_ASSERT(done || stalled,
+                     "isolated datapath did not finish");
         writeTraceOutput();
         writeMetricsOutputs();
-        return collect(accel->computeBusy().hi());
+        SocResults r = collect(stalled ? eventq.curTick()
+                                       : accel->computeBusy().hi());
+        r.stalled = stalled;
+        return r;
     }
 
     std::vector<DriverOp> program;
@@ -509,12 +640,30 @@ Soc::run()
     driver->run(std::move(program), [&] {
         done = true;
         flowEndTick = eventq.curTick();
+        // Stop monitoring once the flow completes so the watchdog's
+        // self-rescheduling check lets the queue drain (and does not
+        // mistake post-flow quiet for a stall).
+        if (progressWatchdog)
+            progressWatchdog->disarm();
     });
-    eventq.run();
-    GENIE_ASSERT(done, "offload flow did not finish (deadlock?)");
+    if (progressWatchdog)
+        progressWatchdog->arm();
+    try {
+        eventq.run();
+    } catch (const SimulationStalledError &) {
+        // The watchdog already dumped its diagnosis via warn();
+        // salvage partial stats so the sweep point is not a total
+        // loss.
+        stalled = true;
+        flowEndTick = eventq.curTick();
+    }
+    GENIE_ASSERT(done || stalled,
+                 "offload flow did not finish (deadlock?)");
     writeTraceOutput();
     writeMetricsOutputs();
-    return collect(flowEndTick);
+    SocResults r = collect(flowEndTick);
+    r.stalled = stalled;
+    return r;
 }
 
 void

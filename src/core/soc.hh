@@ -27,6 +27,8 @@
 #include "cpu/driver_cpu.hh"
 #include "dma/dma_engine.hh"
 #include "dma/flush_model.hh"
+#include "fault/fault_injector.hh"
+#include "fault/watchdog.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
@@ -85,6 +87,18 @@ class Soc
         return metricsSampler.get();
     }
 
+    /** The fault injector, or null when every fault rate is zero. */
+    FaultInjector *faultInjector() { return injector.get(); }
+    const FaultInjector *faultInjector() const
+    {
+        return injector.get();
+    }
+
+    /** The forward-progress watchdog, or null when
+     * cfg.faults.watchdogCycles is zero. */
+    Watchdog *watchdog() { return progressWatchdog.get(); }
+    const Watchdog *watchdog() const { return progressWatchdog.get(); }
+
     const SocConfig &config() const { return cfg; }
 
   private:
@@ -127,6 +141,16 @@ class Soc
     StatRegistry registry;
     std::unique_ptr<Tracer> eventTracer;
     std::unique_ptr<MetricsSampler> metricsSampler;
+
+    // Resilience. The injector is constructed (and attached to the
+    // event queue) only when a fault rate is nonzero, so a zero-rate
+    // campaign is byte-identical to a fault-free run; likewise the
+    // watchdog only exists when an interval is configured.
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<Watchdog> progressWatchdog;
+
+    /** Register progress sources + diagnostics on the watchdog. */
+    void wireWatchdog();
 
     // Platform components.
     std::unique_ptr<SystemBus> systemBus;

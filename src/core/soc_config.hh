@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/fault_config.hh"
 #include "metrics/metrics_config.hh"
 #include "sim/types.hh"
 #include "trace/tracer.hh"
@@ -118,6 +119,11 @@ struct SocConfig
     /** Metrics sampling and export (observability only; never
      * affects results). */
     MetricsConfig metrics;
+
+    /** Fault campaign + watchdog (Genie-Resilience). All-zero rates
+     * (the default) construct no injector at all, so a zero-rate
+     * campaign is byte-identical to a fault-free run. */
+    FaultConfig faults;
 
     // ---- Study switches (not hardware knobs) ----
 

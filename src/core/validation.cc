@@ -9,6 +9,86 @@
 namespace genie
 {
 
+void
+validateSocConfig(const SocConfig &cfg)
+{
+    if (cfg.lanes == 0)
+        fatal("config: lanes=0 — the datapath needs at least one "
+              "lane (lanes=1..16)");
+    if (cfg.spadPartitions == 0)
+        fatal("config: partitions=0 — each array needs at least one "
+              "scratchpad partition (partitions=1..16)");
+    if (cfg.busWidthBits == 0 || cfg.busWidthBits % 8 != 0)
+        fatal("config: bus=%u bits — the bus width must be a "
+              "positive multiple of 8 (the paper sweeps 32 and 64)",
+              cfg.busWidthBits);
+    if (cfg.accelMhz == 0 || cfg.cpuMhz == 0 || cfg.busMhz == 0)
+        fatal("config: a clock is 0 MHz (accel_mhz=%llu cpu_mhz=%llu "
+              "bus_mhz=%llu) — every clock domain needs a nonzero "
+              "frequency",
+              (unsigned long long)cfg.accelMhz,
+              (unsigned long long)cfg.cpuMhz,
+              (unsigned long long)cfg.busMhz);
+
+    // cpuLineBytes doubles as the DMA beat size and the flush/ready
+    // bit granularity; zero would divide-by-zero the pump loop.
+    if (cfg.cpuLineBytes == 0 || !isPowerOf2(cfg.cpuLineBytes))
+        fatal("config: cpuLineBytes=%u — the CPU line (and DMA beat) "
+              "size must be a nonzero power of two",
+              cfg.cpuLineBytes);
+
+    if (cfg.dma.maxOutstanding == 0)
+        fatal("config: dma.maxOutstanding=0 — the DMA engine could "
+              "never issue a beat; use a window of at least 1");
+    if (cfg.dma.pageBytes == 0 || !isPowerOf2(cfg.dma.pageBytes))
+        fatal("config: dma.pageBytes=%u — the pipelined-DMA chunk "
+              "size must be a nonzero power of two (4096 in the "
+              "paper)",
+              cfg.dma.pageBytes);
+
+    if (cfg.memType == MemInterface::Cache) {
+        if (cfg.cache.lineBytes == 0 ||
+            !isPowerOf2(cfg.cache.lineBytes))
+            fatal("config: cache_line=%u — the cache line size must "
+                  "be a nonzero power of two (16/32/64 in the "
+                  "paper's sweeps)",
+                  cfg.cache.lineBytes);
+        if (cfg.cache.assoc == 0)
+            fatal("config: cache_assoc=0 — associativity must be at "
+                  "least 1");
+        if (cfg.cache.sizeBytes == 0 ||
+            cfg.cache.sizeBytes %
+                    (cfg.cache.lineBytes * cfg.cache.assoc) !=
+                0)
+            fatal("config: cache_kb/cache_line/cache_assoc mismatch "
+                  "— %u bytes is not divisible by line (%u) * assoc "
+                  "(%u)",
+                  cfg.cache.sizeBytes, cfg.cache.lineBytes,
+                  cfg.cache.assoc);
+        if (cfg.cache.ports == 0)
+            fatal("config: cache_ports=0 — the datapath needs at "
+                  "least one cache port");
+        if (cfg.cache.mshrs == 0)
+            fatal("config: cache_mshrs=0 — a non-blocking cache "
+                  "needs at least one MSHR");
+        if (cfg.tlbEntries == 0)
+            fatal("config: tlb_entries=0 — the accelerator TLB needs "
+                  "at least one entry");
+    }
+
+    for (unsigned i = 0; i < numFaultSites; ++i) {
+        double r = cfg.faults.rates[i];
+        if (r < 0.0 || r > 1.0)
+            fatal("config: fault_%s=%g — injection rates are "
+                  "probabilities in [0, 1]",
+                  faultSiteName(static_cast<FaultSite>(i)), r);
+    }
+    if (cfg.faults.anyEnabled() && cfg.faults.maxRetries == 0)
+        fatal("config: fault_max_retries=0 with nonzero fault rates "
+              "— a single injected error would instantly fail the "
+              "run; use at least 1");
+}
+
 Cycles
 ValidationModel::barrierCriticalPathCycles(const Trace &trace,
                                            const Dddg &dddg,

@@ -28,6 +28,18 @@
 namespace genie
 {
 
+/**
+ * Reject nonsensical design points with actionable messages (via
+ * fatal()) before any component is constructed. Catches the
+ * parameter combinations that would otherwise surface as undefined
+ * behavior deep in a run — zero beat sizes (divide-by-zero in the DMA
+ * pump loop), non-power-of-two line sizes (broken set indexing), a
+ * zero-size outstanding window (the engine could never issue a
+ * beat), out-of-range fault rates, and the like. Called by Soc and
+ * MultiSoc on every design point they build.
+ */
+void validateSocConfig(const SocConfig &cfg);
+
 struct ValidationPrediction
 {
     Tick invalidate = 0;

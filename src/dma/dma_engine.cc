@@ -1,5 +1,6 @@
 #include "dma_engine.hh"
 
+#include "fault/fault_injector.hh"
 #include "sim/logging.hh"
 
 namespace genie
@@ -15,7 +16,13 @@ DmaEngine::DmaEngine(std::string name, EventQueue &eq, ClockDomain domain,
       statBeats(stats().add("beats", "bus beats issued")),
       statBytes(stats().add("bytes", "payload bytes transferred")),
       statDescriptorFetches(stats().add("descriptorFetches",
-                                        "descriptor fetch reads"))
+                                        "descriptor fetch reads")),
+      statErrors(stats().add("errors", "beats observed failed")),
+      statRetries(stats().add("retries",
+                              "beats reissued after an error")),
+      statRetryExhausted(stats().add(
+          "retryExhausted",
+          "transactions failed after exhausting retries"))
 {
     if (params.beatBytes == 0 || params.maxOutstanding == 0)
         fatal("DMA beat size and window must be non-zero");
@@ -49,6 +56,7 @@ DmaEngine::startNext()
     current = std::move(pending.front());
     pending.pop_front();
     segIndex = 0;
+    txnFailed = false;
     txnStart = eventq.curTick();
     ++statTransactions;
 
@@ -88,10 +96,12 @@ DmaEngine::beginSegment()
             descSpan = t->begin(TraceCategory::Dma, name(),
                                 "descriptor");
         std::uint64_t id = nextReqId++;
-        inFlight.emplace(id, BeatInfo{0, 0, 0, /*isDescriptor=*/true});
+        Addr descAddr = current.segments[segIndex].busAddr;
+        inFlight.emplace(id, BeatInfo{0, 0, 0, /*isDescriptor=*/true,
+                                      descAddr, 0});
         Packet pkt;
         pkt.cmd = MemCmd::ReadShared;
-        pkt.addr = current.segments[segIndex].busAddr; // descriptor home
+        pkt.addr = descAddr; // descriptor home
         pkt.size = 16;
         pkt.reqId = id;
         ++outstanding;
@@ -104,6 +114,8 @@ DmaEngine::beginSegment()
 void
 DmaEngine::pump()
 {
+    if (txnFailed)
+        return;
     const Segment &seg = current.segments[segIndex];
     while (outstanding < params.maxOutstanding && segIssued < seg.len) {
         auto len = static_cast<unsigned>(std::min<std::uint64_t>(
@@ -111,7 +123,8 @@ DmaEngine::pump()
         std::uint64_t id = nextReqId++;
         inFlight.emplace(id, BeatInfo{seg.arrayId,
                                       seg.arrayOffset + segIssued, len,
-                                      /*isDescriptor=*/false});
+                                      /*isDescriptor=*/false,
+                                      seg.busAddr + segIssued, 0});
         Packet pkt;
         pkt.addr = seg.busAddr + segIssued;
         pkt.size = len;
@@ -134,6 +147,48 @@ DmaEngine::recvResponse(const Packet &pkt)
     BeatInfo info = it->second;
     inFlight.erase(it);
     GENIE_ASSERT(outstanding > 0, "DMA outstanding underflow");
+
+    // A beat fails if the memory system answered with an error, or if
+    // the engine-boundary fault site corrupts an otherwise-good beat.
+    bool failed = pkt.isError();
+    if (!failed && !info.isDescriptor) {
+        if (FaultInjector *fi = eventq.faultInjector();
+            fi && fi->shouldFault(FaultSite::DmaBeat))
+            failed = true;
+    }
+
+    if (txnFailed) {
+        // Already abandoning this transaction: just drain the window.
+        --outstanding;
+        maybeAbort();
+        return;
+    }
+
+    if (failed) {
+        ++statErrors;
+        if (info.retries >= faultMaxRetries(eventq)) {
+            ++statRetryExhausted;
+            warn("%s: %s at bus addr %#llx still failing after %u "
+                 "retries; failing the transaction",
+                 name().c_str(),
+                 info.isDescriptor ? "descriptor fetch" : "beat",
+                 (unsigned long long)info.busAddr, info.retries);
+            txnFailed = true;
+            --outstanding;
+            maybeAbort();
+            return;
+        }
+        // Reissue after bounded exponential backoff. The beat keeps
+        // its window slot through the backoff, so a burst of errors
+        // cannot over-subscribe the bus.
+        unsigned attempt = info.retries++;
+        ++statRetries;
+        scheduleCycles(
+            static_cast<Cycles>(faultBackoffCycles(eventq, attempt)),
+            [this, info] { reissue(info); }, "dma.retryBeat");
+        return;
+    }
+
     --outstanding;
 
     if (info.isDescriptor) {
@@ -172,7 +227,51 @@ DmaEngine::finishSegment()
 }
 
 void
-DmaEngine::finishTransaction()
+DmaEngine::reissue(BeatInfo info)
+{
+    if (txnFailed) {
+        // The transaction died while this beat waited out its
+        // backoff; release the window slot instead of re-sending.
+        GENIE_ASSERT(outstanding > 0, "DMA outstanding underflow");
+        --outstanding;
+        maybeAbort();
+        return;
+    }
+    std::uint64_t id = nextReqId++;
+    Packet pkt;
+    pkt.addr = info.busAddr;
+    pkt.size = info.isDescriptor ? 16 : info.len;
+    pkt.reqId = id;
+    pkt.cmd = (info.isDescriptor ||
+               current.dir == Direction::MemToAccel)
+                  ? MemCmd::ReadShared
+                  : MemCmd::WriteReq;
+    inFlight.emplace(id, info);
+    bus.sendRequest(busPort, pkt);
+}
+
+void
+DmaEngine::maybeAbort()
+{
+    GENIE_ASSERT(txnFailed, "maybeAbort on a healthy transaction");
+    if (outstanding > 0 || !inFlight.empty())
+        return;
+    // Close any open spans before abandoning the transaction.
+    if (Tracer *t = eventq.tracer()) {
+        if (descSpan != invalidTraceSpan) {
+            t->end(descSpan);
+            descSpan = invalidTraceSpan;
+        }
+        if (chunkSpan != invalidTraceSpan) {
+            t->end(chunkSpan);
+            chunkSpan = invalidTraceSpan;
+        }
+    }
+    finishTransaction(/*ok=*/false);
+}
+
+void
+DmaEngine::finishTransaction(bool ok)
 {
     if (Tracer *t = eventq.tracer()) {
         t->end(txnSpan);
@@ -183,8 +282,12 @@ DmaEngine::finishTransaction()
     DoneCallback done = std::move(current.onDone);
     current = Transaction{};
     if (done)
-        done();
-    startNext();
+        done(ok);
+    // The done callback may itself have enqueued and started the next
+    // transaction (startTransaction services an idle engine
+    // immediately), so only kick the queue if it did not.
+    if (!active)
+        startNext();
 }
 
 } // namespace genie

@@ -72,7 +72,10 @@ class DmaEngine : public SimObject, public BusClient, public Clocked
     /** Called as each beat lands in the accelerator's local memory. */
     using BeatCallback = std::function<void(int arrayId, Addr arrayOffset,
                                             unsigned len)>;
-    using DoneCallback = std::function<void()>;
+    /** Called when the transaction ends. @p ok is false when a beat
+     * (or descriptor fetch) exhausted its retry budget and the
+     * transaction was abandoned. */
+    using DoneCallback = std::function<void(bool ok)>;
 
     DmaEngine(std::string name, EventQueue &eq, ClockDomain domain,
               SystemBus &bus, Params params);
@@ -90,6 +93,11 @@ class DmaEngine : public SimObject, public BusClient, public Clocked
     const IntervalSet &busyIntervals() const { return busy; }
 
     double bytesTransferred() const { return statBytes.value(); }
+
+    /** Beats (and descriptor fetches) currently in flight — includes
+     * errored beats waiting out their retry backoff (watchdog
+     * diagnostic hook). */
+    unsigned inFlightBeats() const { return outstanding; }
 
     // BusClient interface.
     void recvResponse(const Packet &pkt) override;
@@ -109,6 +117,10 @@ class DmaEngine : public SimObject, public BusClient, public Clocked
         Addr arrayOffset;
         unsigned len;
         bool isDescriptor;
+        /** Bus address of the beat, kept for reissue after errors. */
+        Addr busAddr = 0;
+        /** Reissues performed after error responses. */
+        unsigned retries = 0;
     };
 
     /** Begin the next queued transaction, if any. */
@@ -123,7 +135,14 @@ class DmaEngine : public SimObject, public BusClient, public Clocked
     /** All beats of the segment done: advance to the next segment. */
     void finishSegment();
 
-    void finishTransaction();
+    void finishTransaction(bool ok = true);
+
+    /** Re-send a beat that errored, after its backoff elapsed. */
+    void reissue(BeatInfo info);
+
+    /** If the failing transaction's window has drained, abandon it
+     * and move on to the next queued transaction. */
+    void maybeAbort();
 
     Params params;
     SystemBus &bus;
@@ -137,6 +156,9 @@ class DmaEngine : public SimObject, public BusClient, public Clocked
     std::uint64_t segCompleted = 0;///< bytes completed in current segment
     unsigned outstanding = 0;
     Tick txnStart = 0;
+    /** Current transaction exhausted a retry budget; it is draining
+     * its window and will complete with ok=false. */
+    bool txnFailed = false;
 
     // Open trace spans (invalid when tracing is off).
     TraceSpanId txnSpan = invalidTraceSpan;   ///< whole transaction
@@ -153,6 +175,12 @@ class DmaEngine : public SimObject, public BusClient, public Clocked
     Stat &statBeats;
     Stat &statBytes;
     Stat &statDescriptorFetches;
+    /** Beats observed failed (injected faults). */
+    Stat &statErrors;
+    /** Beats reissued after an error. */
+    Stat &statRetries;
+    /** Transactions failed after exhausting the retry budget. */
+    Stat &statRetryExhausted;
 };
 
 } // namespace genie

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Configuration for the Genie-Resilience fault campaign.
+ *
+ * A campaign is described by a seed plus one injection probability per
+ * fault *site* — the memory-system boundaries where transient errors
+ * can be introduced. All randomness is drawn from the deterministic
+ * sim/random.hh Rng, one independent stream per site, so the same
+ * seed always reproduces the byte-identical run and enabling one site
+ * never perturbs the decisions of another.
+ */
+
+#ifndef GENIE_FAULT_FAULT_CONFIG_HH
+#define GENIE_FAULT_FAULT_CONFIG_HH
+
+#include <cstdint>
+
+namespace genie
+{
+
+/** Memory-system boundaries where transient faults can be injected. */
+enum class FaultSite : std::uint8_t
+{
+    /** DRAM read completes with an uncorrectable error (ErrorResp
+     * instead of ReadResp). */
+    DramRead,
+    /** The bus NACKs a response in flight: the original response is
+     * dropped and the requester sees an ErrorResp instead. */
+    BusResp,
+    /** A DMA beat fails at the engine even though the memory system
+     * answered (e.g. a corrupted beat detected at the boundary). */
+    DmaBeat,
+    /** A TLB page-table walk times out and must be re-walked. */
+    TlbWalk,
+};
+
+constexpr unsigned numFaultSites = 4;
+
+/** Stable lower-case site name for stats, config keys, and logs. */
+const char *faultSiteName(FaultSite site);
+
+/** One fault campaign: seed, per-site rates, and the retry policy
+ * components apply when they observe an injected error. */
+struct FaultConfig
+{
+    /** Campaign seed; per-site Rng streams are derived from it. */
+    std::uint64_t seed = 1;
+
+    /** Per-site injection probabilities in [0, 1]; index by
+     * static_cast<unsigned>(FaultSite). All-zero (the default) means
+     * no campaign: the Soc does not even construct an injector, so a
+     * zero-rate run is byte-identical to a fault-free build. */
+    double rates[numFaultSites] = {0.0, 0.0, 0.0, 0.0};
+
+    /** Maximum reissues of one request before the requester declares
+     * the transaction failed (cache fatal, DMA done(false)). */
+    unsigned maxRetries = 8;
+
+    /** Base backoff in component clock cycles; retry k waits
+     * backoffCycles << min(k, 16) cycles before reissuing. */
+    unsigned backoffCycles = 4;
+
+    /**
+     * Forward-progress watchdog check interval in accelerator-clock
+     * cycles; 0 (the default) disables the watchdog. Lives here so
+     * one struct carries the whole resilience configuration, but the
+     * watchdog is independent of injection — it also guards
+     * fault-free runs against wedged components.
+     */
+    std::uint64_t watchdogCycles = 0;
+
+    double
+    rate(FaultSite site) const
+    {
+        return rates[static_cast<unsigned>(site)];
+    }
+
+    /** True when any injection site has a nonzero probability. */
+    bool
+    anyEnabled() const
+    {
+        for (unsigned i = 0; i < numFaultSites; ++i)
+            if (rates[i] > 0.0)
+                return true;
+        return false;
+    }
+};
+
+} // namespace genie
+
+#endif // GENIE_FAULT_FAULT_CONFIG_HH

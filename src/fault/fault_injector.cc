@@ -1,0 +1,78 @@
+#include "fault_injector.hh"
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+const char *
+faultSiteName(FaultSite site)
+{
+    switch (site) {
+      case FaultSite::DramRead:
+        return "dram_read";
+      case FaultSite::BusResp:
+        return "bus_resp";
+      case FaultSite::DmaBeat:
+        return "dma_beat";
+      case FaultSite::TlbWalk:
+        return "tlb_walk";
+    }
+    return "unknown";
+}
+
+FaultInjector::FaultInjector(std::string name_, EventQueue &eq,
+                             const FaultConfig &cfg_)
+    : SimObject(std::move(name_)), cfg(cfg_)
+{
+    for (unsigned i = 0; i < numFaultSites; ++i) {
+        double r = cfg.rates[i];
+        if (r < 0.0 || r > 1.0) {
+            fatal("%s: fault rate for site %s is %g; must be within "
+                  "[0, 1]",
+                  name().c_str(),
+                  faultSiteName(static_cast<FaultSite>(i)), r);
+        }
+        // Independent per-site streams: decisions at one site never
+        // shift the draw sequence of another, so adding a second
+        // fault site to a campaign leaves the first site's injection
+        // pattern untouched.
+        streams[i] = Rng(cfg.seed ^
+                         (0x9e3779b97f4a7c15ull * (i + 1)));
+        const char *site = faultSiteName(static_cast<FaultSite>(i));
+        statChecks[i] = &stats().add(
+            std::string(site) + ".checks",
+            std::string("injection decisions made at ") + site);
+        statInjected[i] = &stats().add(
+            std::string(site) + ".injected",
+            std::string("faults injected at ") + site);
+    }
+    eq.registerStats(stats());
+}
+
+bool
+FaultInjector::shouldFault(FaultSite site)
+{
+    unsigned i = static_cast<unsigned>(site);
+    *statChecks[i] += 1;
+    if (!streams[i].chance(cfg.rates[i]))
+        return false;
+    *statInjected[i] += 1;
+    return true;
+}
+
+std::uint64_t
+FaultInjector::checks(FaultSite site) const
+{
+    return static_cast<std::uint64_t>(
+        statChecks[static_cast<unsigned>(site)]->value());
+}
+
+std::uint64_t
+FaultInjector::injections(FaultSite site) const
+{
+    return static_cast<std::uint64_t>(
+        statInjected[static_cast<unsigned>(site)]->value());
+}
+
+} // namespace genie

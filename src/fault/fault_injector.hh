@@ -1,0 +1,103 @@
+/**
+ * @file
+ * FaultInjector: the seeded fault-campaign engine.
+ *
+ * Components reach the injector through the EventQueue rendezvous
+ * slot (EventQueue::faultInjector(), same pattern as the Tracer and
+ * StatRegistry) so no constructor signature changes when faults are
+ * enabled. Every injection site is one line:
+ *
+ *   if (FaultInjector *fi = eventq.faultInjector();
+ *       fi && fi->shouldFault(FaultSite::DramRead)) { ... }
+ *
+ * Determinism contract: each site owns an independent Rng stream
+ * derived from the campaign seed, and shouldFault() draws exactly one
+ * value per call at that site (zero draws when the site's rate is 0
+ * or 1 — Rng::chance() short-circuits degenerate probabilities).
+ * Decisions therefore depend only on the seed and the per-site call
+ * sequence, which is itself deterministic because the event queue has
+ * a strict total order. The same seed always yields the byte-identical
+ * run.
+ */
+
+#ifndef GENIE_FAULT_FAULT_INJECTOR_HH
+#define GENIE_FAULT_FAULT_INJECTOR_HH
+
+#include <string>
+
+#include "fault/fault_config.hh"
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/sim_object.hh"
+
+namespace genie
+{
+
+class FaultInjector : public SimObject
+{
+  public:
+    FaultInjector(std::string name, EventQueue &eq,
+                  const FaultConfig &cfg);
+
+    /**
+     * Deterministically decide whether to inject a fault at @p site
+     * for the current operation. Counts the check and (on true) the
+     * injection in the stats registry.
+     */
+    bool shouldFault(FaultSite site);
+
+    const FaultConfig &config() const { return cfg; }
+
+    /** Retry budget components apply to injected errors. */
+    unsigned maxRetries() const { return cfg.maxRetries; }
+
+    /**
+     * Bounded exponential backoff: cycles to wait before reissue
+     * number @p attempt (0-based). Doubles per attempt, with the
+     * shift clamped so the delay cannot overflow.
+     */
+    std::uint64_t
+    backoffCycles(unsigned attempt) const
+    {
+        unsigned shift = attempt < 16 ? attempt : 16;
+        std::uint64_t base = cfg.backoffCycles ? cfg.backoffCycles : 1;
+        return base << shift;
+    }
+
+    std::uint64_t checks(FaultSite site) const;
+    std::uint64_t injections(FaultSite site) const;
+
+  private:
+    FaultConfig cfg;
+    Rng streams[numFaultSites];
+    Stat *statChecks[numFaultSites];
+    Stat *statInjected[numFaultSites];
+};
+
+/**
+ * Retry budget the component at @p eq should apply to error
+ * responses. Falls back to FaultConfig defaults when no injector is
+ * attached (errors can still arrive in unit tests that synthesize
+ * ErrorResp packets by hand).
+ */
+inline unsigned
+faultMaxRetries(const EventQueue &eq)
+{
+    const FaultInjector *fi = eq.faultInjector();
+    return fi ? fi->maxRetries() : FaultConfig{}.maxRetries;
+}
+
+/** Backoff (component cycles) before reissue @p attempt (0-based). */
+inline std::uint64_t
+faultBackoffCycles(const EventQueue &eq, unsigned attempt)
+{
+    if (const FaultInjector *fi = eq.faultInjector())
+        return fi->backoffCycles(attempt);
+    unsigned shift = attempt < 16 ? attempt : 16;
+    return static_cast<std::uint64_t>(FaultConfig{}.backoffCycles)
+           << shift;
+}
+
+} // namespace genie
+
+#endif // GENIE_FAULT_FAULT_INJECTOR_HH

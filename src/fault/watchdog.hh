@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Watchdog: forward-progress detection for wedged simulations.
+ *
+ * A simulation that stops making progress but keeps firing events
+ * (a component endlessly re-polling, a handshake dropped under fault
+ * injection) would otherwise spin forever — the worst possible
+ * failure mode for a thousand-point DSE sweep. The Watchdog sits on
+ * the EventQueue and re-checks a set of registered progress counters
+ * (committed datapath nodes, completed bus packets, DMA beats, DRAM
+ * services) every `interval` ticks. If one whole interval elapses
+ * with every counter frozen, it dumps a diagnosis — open trace spans,
+ * live MSHRs, the DMA in-flight window, the event-queue head — and
+ * aborts the run by throwing SimulationStalledError, a FatalError
+ * subclass the Soc catches to return partial stats gracefully.
+ *
+ * The watchdog never perturbs a healthy run: its periodic event reads
+ * counters only, so an armed watchdog over a progressing workload
+ * produces byte-identical stats to a run without one (its own checks
+ * stat lives in a separate group). Disarm it when the flow completes
+ * so the self-rescheduling check does not keep the queue alive.
+ */
+
+#ifndef GENIE_FAULT_WATCHDOG_HH
+#define GENIE_FAULT_WATCHDOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/sim_object.hh"
+
+namespace genie
+{
+
+/** Thrown when the watchdog detects a stalled simulation. Derives
+ * FatalError so existing catch sites (genie_run) handle it, while
+ * callers that care (Soc::run) can distinguish it and salvage
+ * partial results. what() carries the full diagnostic dump. */
+class SimulationStalledError : public FatalError
+{
+  public:
+    explicit SimulationStalledError(const std::string &msg)
+        : FatalError(msg)
+    {}
+};
+
+class Watchdog : public SimObject
+{
+  public:
+    struct Params
+    {
+        /** Ticks between forward-progress checks; must be > 0. */
+        Tick interval = 0;
+    };
+
+    Watchdog(std::string name, EventQueue &eq, Params params);
+    ~Watchdog() override;
+
+    /**
+     * Register a monotonic counter that advances whenever the system
+     * makes forward progress. The watchdog sums all sources; a stall
+     * is declared only when the *sum* freezes for a full interval.
+     */
+    void addProgressSource(std::string label,
+                           std::function<std::uint64_t()> counter);
+
+    /** Register a diagnostic line renderer included in the stall
+     * dump (open spans, MSHR occupancy, DMA window, ...). */
+    void addDiagnostic(std::string label,
+                       std::function<std::string()> render);
+
+    /** Start checking: schedules the first check one interval out. */
+    void arm();
+
+    /** Stop checking and cancel the pending check event; call when
+     * the flow completes so the queue can drain. */
+    void disarm();
+
+    bool armed() const { return _armed; }
+
+    /** Checks performed so far (test/diagnostic hook). */
+    std::uint64_t checksDone() const { return numChecks; }
+
+    /** Render the diagnostic dump (also what() of the throw). */
+    std::string diagnose() const;
+
+  private:
+    void check();
+    std::uint64_t totalProgress() const;
+
+    EventQueue &eventq;
+    Params params;
+
+    struct Source
+    {
+        std::string label;
+        std::function<std::uint64_t()> counter;
+    };
+    struct Diagnostic
+    {
+        std::string label;
+        std::function<std::string()> render;
+    };
+
+    std::vector<Source> sources;
+    std::vector<Diagnostic> diagnostics;
+
+    bool _armed = false;
+    EventId pendingCheck = invalidEventId;
+    std::uint64_t lastProgress = 0;
+    std::uint64_t numChecks = 0;
+
+    Stat &statChecks;
+    Stat &statStalls;
+};
+
+} // namespace genie
+
+#endif // GENIE_FAULT_WATCHDOG_HH

@@ -1,5 +1,6 @@
 #include "bus.hh"
 
+#include "fault/fault_injector.hh"
 #include "sim/logging.hh"
 #include "trace/tracer.hh"
 
@@ -15,6 +16,8 @@ SystemBus::SystemBus(std::string name, EventQueue &eq, ClockDomain domain,
       statSnoops(stats().add("snoops", "snooped coherent requests")),
       statCacheToCache(stats().add("cacheToCache",
                                    "owner-supplied data responses")),
+      statErrors(stats().add("errors",
+                             "responses NACKed by fault injection")),
       statQueueDepth(stats().addDistribution(
           "queueDepth", "queued packets seen at arbitration", 0.0,
           64.0, 16))
@@ -60,6 +63,19 @@ void
 SystemBus::sendResponse(Packet pkt)
 {
     GENIE_ASSERT(pkt.isResponse(), "sendResponse with non-response cmd");
+    // Fault site: the bus NACKs an in-flight response — the payload
+    // (if any) is dropped and the requester observes an ErrorResp
+    // carrying the same reqId, so the (port, reqId) pairing the
+    // ProtocolChecker audits stays intact and the requester's retry
+    // machinery takes over. Responses that already carry an error
+    // pass through untouched (no double injection).
+    if (!pkt.isError()) {
+        if (FaultInjector *fi = eventq.faultInjector();
+            fi && fi->shouldFault(FaultSite::BusResp)) {
+            pkt = pkt.makeError();
+            ++statErrors;
+        }
+    }
     if (checker)
         checker->onResponse(pkt);
     respQueue.push_back({pkt, true});

@@ -146,6 +146,8 @@ class SystemBus : public SimObject, public Clocked
     Stat &statBusyTicks;
     Stat &statSnoops;
     Stat &statCacheToCache;
+    /** Responses converted to ErrorResp NACKs by fault injection. */
+    Stat &statErrors;
     /** Packets waiting (including the winner) at each arbitration. */
     Distribution &statQueueDepth;
 };

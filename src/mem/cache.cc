@@ -1,5 +1,6 @@
 #include "cache.hh"
 
+#include "fault/fault_injector.hh"
 #include "mem/prefetcher.hh"
 #include "sim/logging.hh"
 
@@ -28,6 +29,13 @@ Cache::Cache(std::string name, EventQueue &eq, ClockDomain domain,
                                          "lines invalidated by snoops")),
       statTagAccesses(stats().add("tagAccesses", "tag array accesses")),
       statDataAccesses(stats().add("dataAccesses", "data array accesses")),
+      statErrors(stats().add("errors",
+                             "error responses received")),
+      statRetries(stats().add("retries",
+                              "requests reissued after an error")),
+      statRetryExhausted(stats().add(
+          "retryExhausted",
+          "requests abandoned after exhausting retries")),
       statMissLatency(stats().addDistribution(
           "missLatency", "demand miss lifetime (ns)", 0.0, 1000.0, 20))
 {
@@ -273,6 +281,7 @@ Cache::evict(Line &line, Addr line_addr)
         pkt.size = params.lineBytes;
         pkt.reqId = nextBusReqId++;
         ++outstandingWritebacks;
+        writebackRetries.emplace(pkt.reqId, 0u);
         bus.sendRequest(busPort, pkt);
     }
     transition(line, CoherenceState::Invalid, CoherenceEvent::Evict);
@@ -281,6 +290,11 @@ Cache::evict(Line &line, Addr line_addr)
 void
 Cache::recvResponse(const Packet &pkt)
 {
+    if (pkt.isError()) {
+        handleErrorResponse(pkt);
+        return;
+    }
+
     auto it = mshrTable.find(pkt.reqId);
     if (it == mshrTable.end()) {
         // Writeback acknowledgment.
@@ -289,6 +303,7 @@ Cache::recvResponse(const Packet &pkt)
         GENIE_ASSERT(outstandingWritebacks > 0,
                      "writeback ack with none outstanding");
         --outstandingWritebacks;
+        writebackRetries.erase(pkt.reqId);
         return;
     }
 
@@ -344,6 +359,94 @@ Cache::recvResponse(const Packet &pkt)
             respondToTarget(t, false);
         }, "cache.fillResponse");
     }
+}
+
+void
+Cache::handleErrorResponse(const Packet &pkt)
+{
+    ++statErrors;
+    const unsigned maxRetries = faultMaxRetries(eventq);
+
+    auto it = mshrTable.find(pkt.reqId);
+    if (it == mshrTable.end()) {
+        // A failed writeback: the dirty data must still reach memory,
+        // so reissue under the same bounded backoff as misses.
+        auto wit = writebackRetries.find(pkt.reqId);
+        GENIE_ASSERT(wit != writebackRetries.end(),
+                     "error response for unknown reqId %llu",
+                     (unsigned long long)pkt.reqId);
+        unsigned attempt = wit->second;
+        writebackRetries.erase(wit);
+        if (attempt >= maxRetries) {
+            ++statRetryExhausted;
+            fatal("%s: writeback of line %#llx still failing after "
+                  "%u retries — memory is unreachable; lower the "
+                  "fault rate or raise fault_max_retries=",
+                  name().c_str(), (unsigned long long)pkt.addr,
+                  attempt);
+        }
+        ++statRetries;
+        const Addr addr = pkt.addr;
+        const unsigned size = pkt.size;
+        const std::uint64_t newId = nextBusReqId++;
+        writebackRetries.emplace(newId, attempt + 1);
+        scheduleCycles(
+            static_cast<Cycles>(faultBackoffCycles(eventq, attempt)),
+            [this, addr, size, newId] {
+                Packet wb;
+                wb.cmd = MemCmd::Writeback;
+                wb.addr = addr;
+                wb.size = size;
+                wb.reqId = newId;
+                bus.sendRequest(busPort, wb);
+            },
+            "cache.retryWriteback");
+        return;
+    }
+
+    Mshr &mshr = it->second;
+    if (mshr.isPrefetch && mshr.targets.empty()) {
+        // A failed prefetch is just a dropped hint; no reissue.
+        Mshr dead = std::move(mshr);
+        mshrTable.erase(it);
+        mshrByLine.erase(dead.lineAddr);
+        if (Tracer *t = eventq.tracer())
+            t->end(dead.traceSpan);
+        return;
+    }
+
+    if (mshr.retries >= maxRetries) {
+        ++statRetryExhausted;
+        fatal("%s: miss for line %#llx still failing after %u "
+              "retries — memory is unreachable; lower the fault rate "
+              "or raise fault_max_retries=",
+              name().c_str(), (unsigned long long)mshr.lineAddr,
+              mshr.retries);
+    }
+
+    // Reissue under a fresh reqId after bounded exponential backoff.
+    // The MSHR keeps its slot (and its coalesced targets) during the
+    // backoff window, so new accesses to the line keep merging into
+    // it; no response can arrive for the new id until issueMshr runs.
+    const unsigned attempt = mshr.retries++;
+    ++statRetries;
+    Mshr moved = std::move(mshr);
+    mshrTable.erase(it);
+    const std::uint64_t newId = nextBusReqId++;
+    mshrByLine[moved.lineAddr] = newId;
+    auto [nit, ok] = mshrTable.emplace(newId, std::move(moved));
+    GENIE_ASSERT(ok, "duplicate bus reqId");
+    (void)nit;
+    scheduleCycles(
+        static_cast<Cycles>(faultBackoffCycles(eventq, attempt)),
+        [this, newId] {
+            auto rit = mshrTable.find(newId);
+            GENIE_ASSERT(rit != mshrTable.end(),
+                         "retried MSHR %llu vanished during backoff",
+                         (unsigned long long)newId);
+            issueMshr(newId, rit->second);
+        },
+        "cache.retryMiss");
 }
 
 void

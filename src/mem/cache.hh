@@ -118,6 +118,9 @@ class Cache : public SimObject, public BusClient, public Clocked
     /** Any misses or writebacks still in flight? */
     bool hasOutstanding() const;
 
+    /** Live MSHRs (demand + prefetch), for watchdog diagnostics. */
+    std::size_t outstandingMisses() const { return mshrTable.size(); }
+
     unsigned lineBytes() const { return params.lineBytes; }
     unsigned sizeBytes() const { return params.sizeBytes; }
     unsigned numPorts() const { return params.ports; }
@@ -148,6 +151,8 @@ class Cache : public SimObject, public BusClient, public Clocked
         bool isUpgrade = false;
         bool isPrefetch = false;
         std::vector<MshrTarget> targets;
+        /** Reissues performed after error responses. */
+        unsigned retries = 0;
         /** Tick the miss went out on the bus (for latency stats). */
         Tick issueTick = 0;
         /** Open trace span covering this miss's lifetime. */
@@ -182,6 +187,11 @@ class Cache : public SimObject, public BusClient, public Clocked
     /** Send the bus request for a fresh MSHR. */
     void issueMshr(std::uint64_t mshrId, const Mshr &mshr);
 
+    /** Handle an ErrorResp: reissue the MSHR or writeback under the
+     * bounded-backoff retry policy, or fail the run when the budget
+     * is exhausted. */
+    void handleErrorResponse(const Packet &pkt);
+
     /** Evict (and possibly write back) @p line. */
     void evict(Line &line, Addr line_addr);
 
@@ -205,6 +215,9 @@ class Cache : public SimObject, public BusClient, public Clocked
     std::unordered_map<std::uint64_t, Mshr> mshrTable;   // reqId -> MSHR
     std::unordered_map<Addr, std::uint64_t> mshrByLine;  // line -> reqId
     unsigned outstandingWritebacks = 0;
+    /** In-flight writebacks: reqId -> reissues so far. Needed to
+     * retry a writeback whose WriteResp came back as an error. */
+    std::unordered_map<std::uint64_t, unsigned> writebackRetries;
 
     // Per-cycle port accounting.
     mutable Cycles portCycleStamp = 0;
@@ -226,6 +239,12 @@ class Cache : public SimObject, public BusClient, public Clocked
     Stat &statSnoopInvalidations;
     Stat &statTagAccesses;
     Stat &statDataAccesses;
+    /** Error responses received (injected faults). */
+    Stat &statErrors;
+    /** Requests reissued after an error response. */
+    Stat &statRetries;
+    /** Requests abandoned after exhausting the retry budget. */
+    Stat &statRetryExhausted;
     /** Demand miss lifetime (issue to fill), in nanoseconds. */
     Distribution &statMissLatency;
 };

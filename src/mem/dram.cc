@@ -1,5 +1,6 @@
 #include "dram.hh"
 
+#include "fault/fault_injector.hh"
 #include "sim/logging.hh"
 #include "trace/tracer.hh"
 
@@ -15,7 +16,9 @@ DramCtrl::DramCtrl(std::string name, EventQueue &eq, ClockDomain domain,
       statRowHits(stats().add("rowHits", "row buffer hits")),
       statRowMisses(stats().add("rowMisses", "row buffer misses")),
       statQueueTicks(stats().add("queueTicks",
-                                 "total ticks requests spent queued"))
+                                 "total ticks requests spent queued")),
+      statReadErrors(stats().add("readErrors",
+                                 "reads failed by fault injection"))
 {
     if (!isPowerOf2(params.rowBytes) || !isPowerOf2(params.numBanks))
         fatal("DRAM rowBytes and numBanks must be powers of two");
@@ -140,15 +143,26 @@ DramCtrl::trySchedule()
 void
 DramCtrl::finish(const Request &req)
 {
-    switch (req.pkt.cmd) {
-      case MemCmd::ReadShared:
-      case MemCmd::ReadExclusive:
-        ++statReads;
-        break;
-      default:
-        ++statWrites;
-        break;
+    bool isRead = req.pkt.cmd == MemCmd::ReadShared ||
+                  req.pkt.cmd == MemCmd::ReadExclusive;
+
+    // Fault site: the read completes with an uncorrectable error —
+    // full access latency was paid, but the requester gets an
+    // ErrorResp instead of data and must reissue.
+    if (isRead) {
+        if (FaultInjector *fi = eventq.faultInjector();
+            fi && fi->shouldFault(FaultSite::DramRead)) {
+            ++statReadErrors;
+            bus.sendResponse(req.pkt.makeError());
+            trySchedule();
+            return;
+        }
     }
+
+    if (isRead)
+        ++statReads;
+    else
+        ++statWrites;
 
     Packet resp = req.pkt.makeResponse();
     // Writebacks are fire-and-forget from the cache's perspective, but

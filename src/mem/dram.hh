@@ -93,6 +93,8 @@ class DramCtrl : public SimObject, public BusTarget, public Clocked
     Stat &statRowHits;
     Stat &statRowMisses;
     Stat &statQueueTicks;
+    /** Reads completed with an injected uncorrectable error. */
+    Stat &statReadErrors;
 };
 
 } // namespace genie

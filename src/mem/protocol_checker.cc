@@ -46,7 +46,10 @@ ProtocolChecker::onResponse(const Packet &pkt)
     Packet req;
     req.cmd = it->second;
     MemCmd expected = req.makeResponse().cmd;
-    if (pkt.cmd != expected) {
+    // An ErrorResp legally terminates any outstanding request: fault
+    // injection may fail a read or a write at any memory boundary,
+    // and the requester's retry (if any) arrives as a fresh reqId.
+    if (pkt.cmd != expected && pkt.cmd != MemCmd::ErrorResp) {
         panic("protocol: wrong response pairing for port %d reqId "
               "%llu: request cmd %u expects response cmd %u, got %u",
               pkt.src, (unsigned long long)pkt.reqId,

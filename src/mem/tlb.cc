@@ -1,5 +1,6 @@
 #include "tlb.hh"
 
+#include "fault/fault_injector.hh"
 #include "sim/logging.hh"
 #include "trace/tracer.hh"
 
@@ -14,7 +15,13 @@ AladdinTlb::AladdinTlb(std::string name, EventQueue &eq,
       statMisses(stats().add("misses", "TLB misses")),
       statWalksCoalesced(stats().add("walksCoalesced",
                                      "misses merged onto an in-flight "
-                                     "page walk"))
+                                     "page walk")),
+      statErrors(stats().add("errors",
+                             "page walks timed out (injected)")),
+      statRetries(stats().add("retries", "page walks re-walked")),
+      statRetryExhausted(stats().add(
+          "retryExhausted",
+          "walks completed only after the full retry budget"))
 {
     if (params.entries == 0)
         fatal("TLB must have at least one entry");
@@ -89,10 +96,30 @@ AladdinTlb::translate(Addr vaddr, TranslateCallback cb)
 
     pendingWalks[page].emplace_back(offset, std::move(cb));
     Addr frame = frameOf(page);
+
+    // Fault site: the page walk times out and is re-walked. Each
+    // timeout costs one full walk latency; after maxRetries timeouts
+    // the walk is allowed to complete regardless (a wedged page table
+    // would otherwise hang the accelerator — the watchdog exists for
+    // genuine wedges, not injected delay).
+    Tick walkLatency = params.missLatency;
+    if (FaultInjector *fi = eventq.faultInjector()) {
+        unsigned timeouts = 0;
+        while (timeouts < fi->maxRetries() &&
+               fi->shouldFault(FaultSite::TlbWalk)) {
+            ++timeouts;
+            ++statErrors;
+            ++statRetries;
+            walkLatency += params.missLatency;
+        }
+        if (timeouts == fi->maxRetries())
+            ++statRetryExhausted;
+    }
+
     TraceSpanId span = invalidTraceSpan;
     if (Tracer *t = tracerFor(eventq, TraceCategory::Tlb))
         span = t->begin(TraceCategory::Tlb, name(), "miss");
-    eventq.scheduleIn(params.missLatency, [this, page, frame, span] {
+    eventq.scheduleIn(walkLatency, [this, page, frame, span] {
         if (Tracer *t = eventq.tracer())
             t->end(span);
         insert(page, frame);

@@ -92,6 +92,12 @@ class AladdinTlb : public SimObject, public Clocked
     Stat &statHits;
     Stat &statMisses;
     Stat &statWalksCoalesced;
+    /** Walk timeouts injected by the fault campaign. */
+    Stat &statErrors;
+    /** Walks reissued after a timeout. */
+    Stat &statRetries;
+    /** Walks that burned the whole retry budget before completing. */
+    Stat &statRetryExhausted;
 };
 
 } // namespace genie

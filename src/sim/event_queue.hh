@@ -37,6 +37,7 @@ namespace genie
 class Tracer;
 class StatGroup;
 class StatRegistry;
+class FaultInjector;
 
 /** Opaque handle identifying a scheduled event (for cancellation). */
 using EventId = std::uint64_t;
@@ -161,6 +162,20 @@ class EventQueue
     void registerStats(StatGroup &group);
 
     /**
+     * Attach this system's fault campaign engine (see
+     * fault/fault_injector.hh). Same rendezvous pattern as the Tracer
+     * and StatRegistry slots: the queue does not own the injector,
+     * and null (the default, and the only state in fault-free runs)
+     * means every injection site skips all work after one pointer
+     * test — a fault-free build and a zero-rate campaign execute the
+     * identical instruction stream.
+     */
+    void setFaultInjector(FaultInjector *f) { _faultInjector = f; }
+
+    /** The attached fault injector, or null when faults are off. */
+    FaultInjector *faultInjector() const { return _faultInjector; }
+
+    /**
      * Attach a host-side execution profiler; every fired event is
      * bracketed with beginEvent()/endEvent(). Null (the default)
      * disables profiling at the cost of one pointer test per event.
@@ -213,6 +228,7 @@ class EventQueue
     Tracer *_tracer = nullptr;
     StatRegistry *_statRegistry = nullptr;
     EventProfiler *_profiler = nullptr;
+    FaultInjector *_faultInjector = nullptr;
     std::uint64_t nextSeq = 0;
     EventId nextId = 1;
     std::uint64_t executed = 0;

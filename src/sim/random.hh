@@ -32,11 +32,41 @@ class Rng
         return z ^ (z >> 31);
     }
 
-    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    /**
+     * Uniform integer in [0, bound). @p bound must be non-zero.
+     *
+     * Uses rejection sampling: raw draws below `2^64 mod bound` are
+     * discarded so every residue class is equally likely. A plain
+     * `next() % bound` over-weights small values whenever bound does
+     * not divide 2^64.
+     */
     std::uint64_t
     below(std::uint64_t bound)
     {
-        return next() % bound;
+        // 2^64 mod bound, computed without 128-bit arithmetic:
+        // (0 - bound) wraps to 2^64 - bound, and
+        // (2^64 - bound) mod bound == 2^64 mod bound.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        std::uint64_t raw = next();
+        while (raw < threshold)
+            raw = next();
+        return raw % bound;
+    }
+
+    /**
+     * True with probability @p p. Degenerate probabilities (p <= 0,
+     * p >= 1) short-circuit without consuming generator state, so a
+     * zero-rate fault site draws nothing and cannot perturb the
+     * random stream of any other site.
+     */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return real() < p;
     }
 
     /** Uniform double in [0, 1). */

@@ -46,7 +46,7 @@ TEST_F(DmaFixture, TransfersAllBytes)
         DmaEngine::Direction::MemToAccel,
         {{0, 0x1000, 0, 4096}},
         [&](int, Addr, unsigned len) { beatBytes += len; },
-        [&] { done = true; });
+        [&](bool) { done = true; });
     eq.run();
     EXPECT_TRUE(done);
     EXPECT_EQ(beatBytes, 4096u);
@@ -91,10 +91,10 @@ TEST_F(DmaFixture, TransactionsServiceSerially)
     std::vector<int> order;
     dma.startTransaction(DmaEngine::Direction::MemToAccel,
                          {{0, 0x1000, 0, 2048}}, nullptr,
-                         [&] { order.push_back(1); });
+                         [&](bool) { order.push_back(1); });
     dma.startTransaction(DmaEngine::Direction::MemToAccel,
                          {{1, 0x8000, 0, 64}}, nullptr,
-                         [&] { order.push_back(2); });
+                         [&](bool) { order.push_back(2); });
     eq.run();
     ASSERT_EQ(order.size(), 2u);
     EXPECT_EQ(order[0], 1);
@@ -123,7 +123,7 @@ TEST_F(DmaFixture, WritesMoveDataToMemory)
     bool done = false;
     dma.startTransaction(DmaEngine::Direction::AccelToMem,
                          {{0, 0x3000, 0, 1024}}, nullptr,
-                         [&] { done = true; });
+                         [&](bool) { done = true; });
     eq.run();
     EXPECT_TRUE(done);
     EXPECT_GE(dram.stats().get("writes"), 16.0);
@@ -134,7 +134,7 @@ TEST_F(DmaFixture, EmptySegmentsAreDropped)
     bool done = false;
     dma.startTransaction(DmaEngine::Direction::MemToAccel,
                          {{0, 0x1000, 0, 0}}, nullptr,
-                         [&] { done = true; });
+                         [&](bool) { done = true; });
     eq.run();
     EXPECT_TRUE(done);
     EXPECT_DOUBLE_EQ(dma.bytesTransferred(), 0.0);

@@ -155,7 +155,7 @@ TEST(Stress, DmaAndCacheShareOneBus)
             dma.startTransaction(
                 DmaEngine::Direction::MemToAccel,
                 {{0, 0x100000, 0, 16 * 1024}}, nullptr,
-                [&] { dmaDone = eq.curTick(); });
+                [&](bool) { dmaDone = eq.curTick(); });
         }
         if (withCache) {
             for (Addr addr = 0; addr < 8 * 1024; addr += 64) {

@@ -93,6 +93,46 @@ TEST(LintDeterminism, DoesNotFlagIdentifiersContainingRand)
     EXPECT_FALSE(hasRule(fs, "determinism"));
 }
 
+TEST(LintFaultRng, FlagsForeignRandomnessInsideFaultSubsystem)
+{
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/fault/fault_injector.cc",
+                    "#include <random>\n"),
+        "fault-rng"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/fault/fault_injector.cc",
+                    "std::uniform_int_distribution<int> d(0, 9);\n"),
+        "fault-rng"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/fault/watchdog.cc",
+                    "std::bernoulli_distribution coin(0.5);\n"),
+        "fault-rng"));
+    // rand() in src/fault is already covered by the tree-wide
+    // determinism rule.
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/fault/fault_injector.cc",
+                    "int r = rand() % 2;\n"),
+        "determinism"));
+}
+
+TEST(LintFaultRng, OnlyAppliesToTheFaultSubsystem)
+{
+    // <random> elsewhere is a style question for other rules, not a
+    // fault-rng violation.
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/core/soc.cc", "#include <random>\n"),
+        "fault-rng"));
+}
+
+TEST(LintFaultRng, SanctionedRngUseIsClean)
+{
+    auto fs = lintSnippet("src/fault/fault_injector.cc",
+                          "#include \"sim/random.hh\"\n"
+                          "bool f(Rng &r) { return r.chance(0.5); }\n");
+    EXPECT_FALSE(hasRule(fs, "fault-rng"));
+    EXPECT_FALSE(hasRule(fs, "determinism"));
+}
+
 TEST(LintRawOutput, FlagsCoutAndPrintf)
 {
     EXPECT_TRUE(hasRule(

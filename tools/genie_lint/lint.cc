@@ -154,6 +154,25 @@ const TokenRule statPrintTokens[] = {
      "(statRegistry().dump() or the src/metrics exporters)"},
 };
 
+// fault-rng: the fault campaign's byte-identical-replay contract
+// hinges on every injection decision flowing through sim/random.hh's
+// seeded Rng streams. Any other randomness source inside src/fault —
+// even a "deterministic" <random> engine — forks the seeding
+// discipline and silently breaks campaign reproducibility.
+const TokenRule faultRngTokens[] = {
+    {"<random>", "src/fault must draw randomness only from genie::Rng "
+                 "(src/sim/random.hh); do not include <random>"},
+    {"std::uniform_int_distribution",
+     "src/fault must use genie::Rng::below(), not <random> "
+     "distributions"},
+    {"std::uniform_real_distribution",
+     "src/fault must use genie::Rng::real(), not <random> "
+     "distributions"},
+    {"std::bernoulli_distribution",
+     "src/fault must use genie::Rng::chance(), not <random> "
+     "distributions"},
+};
+
 const TokenRule rawOutputTokens[] = {
     {"std::cout", "library code must log through sim/logging "
                   "(inform/warn), not std::cout"},
@@ -350,6 +369,15 @@ lintSource(const std::string &relPath, const std::string &contents)
             for (const auto &t : determinismTokens) {
                 if (findToken(line, t.token) != std::string::npos)
                     report("determinism", lineNo, t.message);
+            }
+        }
+
+        // fault-rng: the fault subsystem may only draw randomness
+        // from the sanctioned seeded Rng.
+        if (startsWith(relPath, "src/fault/")) {
+            for (const auto &t : faultRngTokens) {
+                if (findToken(line, t.token) != std::string::npos)
+                    report("fault-rng", lineNo, t.message);
             }
         }
 
