@@ -2,18 +2,28 @@
  * @file
  * Example: a small co-design exploration for one kernel.
  *
- * Shows the DSE API: enumerate a design space, simulate every point,
- * extract the Pareto frontier and the EDP optimum, and quantify how
- * badly an accelerator designed in isolation behaves once real
- * system effects (cache flushes, DMA, bus contention) are applied —
- * the paper's central experiment, on any workload you pick.
+ * Shows the DSE API: enumerate a design space, simulate every point
+ * through the SweepEngine, extract the Pareto frontier and the EDP
+ * optimum, and quantify how badly an accelerator designed in
+ * isolation behaves once real system effects (cache flushes, DMA, bus
+ * contention) are applied — the paper's central experiment, on any
+ * workload you pick.
+ *
+ *   codesign_explorer [workload] [--threads=N] [--resume=FILE]
+ *
+ * Both sweeps share one ResultCache, and --resume=FILE adds a
+ * checkpoint journal: an interrupted exploration re-run with the same
+ * command line loads every already-simulated point from FILE and
+ * continues where it stopped (see dse/sweep_engine.hh).
  */
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "dse/pareto.hh"
 #include "dse/sweep.hh"
+#include "dse/sweep_engine.hh"
 #include "workloads/workload.hh"
 
 int
@@ -21,7 +31,25 @@ main(int argc, char **argv)
 {
     using namespace genie;
 
-    std::string name = argc > 1 ? argv[1] : "md-knn";
+    std::string name = "md-knn";
+    SweepOptions options;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+            options.threads = static_cast<unsigned>(
+                std::strtoul(argv[i] + 10, nullptr, 10));
+        } else if (std::strncmp(argv[i], "--resume=", 9) == 0) {
+            options.resumePath = argv[i] + 9;
+            options.journalPath = options.resumePath;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "usage: codesign_explorer [workload] "
+                         "[--threads=N] [--resume=FILE]\n");
+            return 2;
+        } else {
+            name = argv[i];
+        }
+    }
+
     auto out = makeWorkload(name)->build();
     Dddg dddg(out.trace);
 
@@ -29,10 +57,22 @@ main(int argc, char **argv)
 
     // Sweep the isolated space (compute phase only) and the
     // co-designed DMA space (full system, all DMA optimizations).
+    // One cache and one journal serve both sweeps: identical points
+    // dedupe, and a resumed exploration skips everything already
+    // journaled.
+    ResultCache cache;
+    options.cache = &cache;
     SocConfig base;
+    SweepEngine engine(std::move(options));
     auto isolated =
-        runSweep(DesignSpace::isolated(base), out.trace, dddg);
-    auto system = runSweep(DesignSpace::dma(base), out.trace, dddg);
+        engine.run(DesignSpace::isolated(base), out.trace, dddg);
+    auto system = engine.run(DesignSpace::dma(base), out.trace, dddg);
+    if (cache.hits() > 0) {
+        std::printf("(%llu of %zu points served from the result "
+                    "cache)\n\n",
+                    (unsigned long long)cache.hits(),
+                    isolated.size() + system.size());
+    }
 
     // Pareto frontier of the co-designed space.
     std::printf("co-designed Pareto frontier:\n");

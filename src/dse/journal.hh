@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The sweep checkpoint journal and the deterministic results export.
+ *
+ * Journal (schema `genie-sweep-1`): a JSON-lines file. The first line
+ * is a header object naming the schema; every subsequent line is one
+ * completed design point — canonical config key, fingerprint, and the
+ * full SocResults — appended and flushed the moment the point
+ * finishes. An interrupted sweep therefore loses at most the points
+ * still in flight; resuming loads the journal into the ResultCache
+ * and re-simulates only what is missing. The loader skips a torn
+ * final line (the kill-mid-write case) instead of failing.
+ *
+ * Results export (schema `genie-sweep-results-1`): the whole sweep in
+ * config order as one JSON document. Output is deterministic — field
+ * order is frozen and numbers use formatStatNumber's shortest-round-
+ * trip formatting — so exports byte-compare across runs, thread
+ * counts, and cold/warm caches (the golden-figure suite's contract).
+ *
+ * All doubles round-trip exactly through serialize/parse, so a result
+ * restored from a journal is bit-identical to the freshly simulated
+ * one.
+ */
+
+#ifndef GENIE_DSE_JOURNAL_HH
+#define GENIE_DSE_JOURNAL_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dse/sweep.hh"
+
+namespace genie
+{
+
+/** One journal line: a completed design point. */
+struct JournalRecord
+{
+    std::string key;          ///< configCanonicalKey of the point
+    std::uint64_t fingerprint = 0;
+    SocResults results;
+};
+
+/** The `genie-sweep-1` header line. */
+std::string journalHeaderLine();
+
+/** Serialize one completed point as a single JSON line (with
+ * trailing newline). */
+std::string journalRecordLine(const std::string &key,
+                              std::uint64_t fingerprint,
+                              const SocResults &results);
+
+/**
+ * Parse one journal line. Returns false (without touching @p out) for
+ * the header line, blank lines, and torn/corrupt lines — the caller
+ * just skips them.
+ */
+bool parseJournalLine(const std::string &line, JournalRecord &out);
+
+/**
+ * Load every complete record from @p path. A missing file is an empty
+ * journal (first run of a `--resume` path), but a file that exists
+ * and lacks the `genie-sweep-1` header is a user error: fatal().
+ */
+std::vector<JournalRecord> loadJournal(const std::string &path);
+
+/** Serialize @p results as the frozen `"results": {...}` object body
+ * used by both the journal and the results export. */
+std::string resultsJson(const SocResults &r);
+
+/**
+ * Write a full sweep as `genie-sweep-results-1` JSON, points in
+ * @p points order. @p workload is an optional label ("" omits it).
+ */
+void writeSweepResultsJson(std::ostream &os,
+                           const std::vector<DesignPoint> &points,
+                           const std::string &workload = "");
+
+} // namespace genie
+
+#endif // GENIE_DSE_JOURNAL_HH

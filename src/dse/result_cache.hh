@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ResultCache: a thread-safe memo of simulated design points.
+ *
+ * Keys are the canonical config strings from configCanonicalKey(), so
+ * equality of keys is exactly equality of result-affecting
+ * configuration — a fingerprint hash collision can never produce a
+ * false hit. One cache can be shared across sweeps (the Fig. 6 and
+ * Fig. 8 spaces overlap in their all-optimizations DMA points) and
+ * across repeated explorer invocations via the checkpoint journal.
+ */
+
+#ifndef GENIE_DSE_RESULT_CACHE_HH
+#define GENIE_DSE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/results.hh"
+
+namespace genie
+{
+
+class ResultCache
+{
+  public:
+    /** If @p key is cached, copy its results into @p out. Counts a
+     * hit or a miss either way. */
+    bool lookup(const std::string &key, SocResults &out);
+
+    /** Memoize @p results under @p key. The first writer wins; a
+     * concurrent duplicate simulation of the same point produced the
+     * identical results, so dropping the second copy is lossless. */
+    void insert(const std::string &key, const SocResults &results);
+
+    std::size_t size() const;
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+
+  private:
+    mutable std::mutex mutex;
+    std::map<std::string, SocResults> entries;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace genie
+
+#endif // GENIE_DSE_RESULT_CACHE_HH

@@ -1,8 +1,9 @@
 #include "sweep.hh"
 
-#include <atomic>
-#include <thread>
+#include <algorithm>
+#include <cstdlib>
 
+#include "dse/sweep_engine.hh"
 #include "sim/logging.hh"
 
 namespace genie
@@ -161,43 +162,117 @@ DesignSpace::isolatedAsCache(const SocConfig &isolated,
     return c;
 }
 
+namespace
+{
+
+bool
+axisAccepts(const std::vector<unsigned> &allowed, unsigned value)
+{
+    return allowed.empty() ||
+           std::find(allowed.begin(), allowed.end(), value) !=
+               allowed.end();
+}
+
+std::vector<unsigned>
+parseAxisValues(const std::string &axis, const std::string &csv)
+{
+    std::vector<unsigned> values;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        std::string item = csv.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        char *end = nullptr;
+        unsigned long v = std::strtoul(item.c_str(), &end, 10);
+        if (end == item.c_str() || *end != '\0') {
+            fatal("filter axis %s: expected a number, got '%s'",
+                  axis.c_str(), item.c_str());
+        }
+        values.push_back(static_cast<unsigned>(v));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return values;
+}
+
+} // namespace
+
+bool
+SpaceFilter::accepts(const SocConfig &c) const
+{
+    if (!axisAccepts(lanes, c.lanes) ||
+        !axisAccepts(partitions, c.spadPartitions))
+        return false;
+    if (c.memType != MemInterface::Cache)
+        return true;
+    return axisAccepts(cacheKb, c.cache.sizeBytes / 1024) &&
+           axisAccepts(cacheLine, c.cache.lineBytes) &&
+           axisAccepts(cachePorts, c.cache.ports) &&
+           axisAccepts(cacheAssoc, c.cache.assoc);
+}
+
+SpaceFilter
+SpaceFilter::parse(const std::string &spec)
+{
+    SpaceFilter f;
+    std::size_t start = 0;
+    while (start < spec.size()) {
+        std::size_t semi = spec.find(';', start);
+        std::string clause = spec.substr(
+            start, semi == std::string::npos ? std::string::npos
+                                             : semi - start);
+        if (!clause.empty()) {
+            std::size_t eq = clause.find('=');
+            if (eq == std::string::npos) {
+                fatal("filter clause '%s': expected axis=v1,v2,...",
+                      clause.c_str());
+            }
+            std::string axis = clause.substr(0, eq);
+            std::string csv = clause.substr(eq + 1);
+            if (axis == "lanes")
+                f.lanes = parseAxisValues(axis, csv);
+            else if (axis == "partitions")
+                f.partitions = parseAxisValues(axis, csv);
+            else if (axis == "cache_kb")
+                f.cacheKb = parseAxisValues(axis, csv);
+            else if (axis == "cache_line")
+                f.cacheLine = parseAxisValues(axis, csv);
+            else if (axis == "cache_ports")
+                f.cachePorts = parseAxisValues(axis, csv);
+            else if (axis == "cache_assoc")
+                f.cacheAssoc = parseAxisValues(axis, csv);
+            else
+                fatal("unknown filter axis '%s'", axis.c_str());
+        }
+        if (semi == std::string::npos)
+            break;
+        start = semi + 1;
+    }
+    return f;
+}
+
+std::vector<SocConfig>
+filterConfigs(const std::vector<SocConfig> &configs,
+              const SpaceFilter &filter)
+{
+    std::vector<SocConfig> out;
+    for (const auto &c : configs) {
+        if (filter.accepts(c))
+            out.push_back(c);
+    }
+    return out;
+}
+
 std::vector<DesignPoint>
 runSweep(const std::vector<SocConfig> &configs, const Trace &trace,
          const Dddg &dddg, unsigned threads)
 {
-    std::vector<DesignPoint> points(configs.size());
-    if (threads == 0) {
-        threads = std::thread::hardware_concurrency();
-        if (threads == 0)
-            threads = 4;
-    }
-    threads = std::min<unsigned>(
-        threads, static_cast<unsigned>(configs.size()));
-    if (threads <= 1) {
-        for (std::size_t i = 0; i < configs.size(); ++i) {
-            points[i].config = configs[i];
-            points[i].results = runDesign(configs[i], trace, dddg);
-        }
-        return points;
-    }
-
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        while (true) {
-            std::size_t i = next.fetch_add(1);
-            if (i >= configs.size())
-                return;
-            points[i].config = configs[i];
-            points[i].results = runDesign(configs[i], trace, dddg);
-        }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t)
-        pool.emplace_back(worker);
-    for (auto &t : pool)
-        t.join();
-    return points;
+    SweepOptions options;
+    options.threads = threads;
+    SweepEngine engine(std::move(options));
+    return engine.run(configs, trace, dddg);
 }
 
 } // namespace genie

@@ -67,8 +67,41 @@ class DesignSpace
 };
 
 /**
+ * An axis-value subset of a design space, used to carve small,
+ * reproducible slices of the Figure 3 spaces (golden-figure tests,
+ * CI smoke sweeps, the genie_sweep --filter flag). An empty value
+ * list leaves that axis unconstrained; the cache axes only constrain
+ * cache-mode configs, so a mixed DMA+cache space filters sanely.
+ */
+struct SpaceFilter
+{
+    std::vector<unsigned> lanes;
+    std::vector<unsigned> partitions;
+    std::vector<unsigned> cacheKb;
+    std::vector<unsigned> cacheLine;
+    std::vector<unsigned> cachePorts;
+    std::vector<unsigned> cacheAssoc;
+
+    bool accepts(const SocConfig &config) const;
+
+    /**
+     * Parse a spec such as "lanes=1,4;partitions=1,4;cache_kb=2,16".
+     * Axes: lanes, partitions, cache_kb, cache_line, cache_ports,
+     * cache_assoc. fatal() on unknown axes or malformed values.
+     */
+    static SpaceFilter parse(const std::string &spec);
+};
+
+/** The subset of @p configs accepted by @p filter, in order. */
+std::vector<SocConfig> filterConfigs(
+    const std::vector<SocConfig> &configs, const SpaceFilter &filter);
+
+/**
  * Simulate every configuration (in parallel when @p threads > 1).
- * Results are returned in the order of @p configs.
+ * Results are returned in the order of @p configs. A thin wrapper
+ * over SweepEngine (see dse/sweep_engine.hh) with default options:
+ * private cache, no journal, worker exceptions rethrown as
+ * SweepError.
  */
 std::vector<DesignPoint> runSweep(const std::vector<SocConfig> &configs,
                                   const Trace &trace, const Dddg &dddg,

@@ -1,0 +1,334 @@
+#include "sweep_engine.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "core/fingerprint.hh"
+#include "core/soc.hh"
+#include "dse/journal.hh"
+#include "metrics/profiler.hh"
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+/** Per-run scheduler and journal state, private to run(). */
+struct SweepEngine::Impl
+{
+    // Inputs resolved for this run.
+    std::vector<std::string> keys; ///< canonical key per index
+    ResultCache *cache = nullptr;  ///< external or owned
+    ResultCache ownedCache;
+
+    // Work-stealing deques: the owner pops from the front, thieves
+    // pop from the back, so a thief takes the victim's cheapest
+    // remaining point and the owner keeps its expensive head.
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> items;
+    };
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+
+    // Shared counters.
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> cachedHits{0};
+    std::atomic<std::size_t> failed{0};
+    std::atomic<std::size_t> freshStarted{0};
+    std::atomic<bool> stopped{false};
+    std::atomic<std::uint64_t> events{0};
+    std::atomic<std::uint64_t> wallNs{0};
+
+    std::mutex failureMutex;
+    std::vector<FailedPoint> failures;
+
+    std::mutex progressMutex; ///< serializes the user callback
+
+    std::mutex journalMutex;
+    std::ofstream journal;
+
+    /** Pop the next index: own deque first, then steal. Returns
+     * npos when every deque is empty. */
+    std::size_t
+    take(std::size_t self)
+    {
+        {
+            WorkerQueue &own = *queues[self];
+            std::lock_guard<std::mutex> lock(own.mutex);
+            if (!own.items.empty()) {
+                std::size_t i = own.items.front();
+                own.items.pop_front();
+                return i;
+            }
+        }
+        for (std::size_t v = 0; v < queues.size(); ++v) {
+            if (v == self)
+                continue;
+            WorkerQueue &victim = *queues[v];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.items.empty()) {
+                std::size_t i = victim.items.back();
+                victim.items.pop_back();
+                return i;
+            }
+        }
+        return static_cast<std::size_t>(-1);
+    }
+};
+
+SweepEngine::SweepEngine(SweepOptions options)
+    : opts(std::move(options))
+{
+    statTotal = &statGroup.add("points_total",
+                               "design points in the sweep");
+    statDone = &statGroup.add("points_done",
+                              "points freshly simulated");
+    statCached = &statGroup.add("points_cached",
+                                "points served from the result cache");
+    statFailed = &statGroup.add("points_failed",
+                                "points whose simulation threw");
+    statEvents = &statGroup.add("events",
+                                "simulated events retired");
+    statMeps = &statGroup.add(
+        "meps", "aggregate simulated events per host second, "
+                "in millions");
+}
+
+SweepEngine::~SweepEngine() = default;
+
+double
+SweepEngine::configCost(const SocConfig &config)
+{
+    // Relative, not absolute: cache-mode points carry the coherence
+    // protocol, MSHRs, and TLB walks (~4x a DMA point on the Fig. 8
+    // spaces); within a mode the datapath dominates, and halving the
+    // lanes roughly doubles the simulated compute cycles.
+    double base = config.memType == MemInterface::Cache ? 4.0 : 1.0;
+    double laneFactor =
+        16.0 / static_cast<double>(std::max(1u, config.lanes));
+    return base * (1.0 + laneFactor);
+}
+
+SweepProgress
+SweepEngine::progress() const
+{
+    SweepProgress p;
+    p.total = statTotal ? static_cast<std::size_t>(
+                              statTotal->value())
+                        : 0;
+    if (impl) {
+        p.done = impl->done.load();
+        p.cached = impl->cachedHits.load();
+        p.failed = impl->failed.load();
+        std::uint64_t ns = impl->wallNs.load();
+        p.meps = ns > 0 ? static_cast<double>(impl->events.load()) *
+                              1e3 / static_cast<double>(ns)
+                        : 0.0;
+    } else {
+        p.done = static_cast<std::size_t>(statDone->value());
+        p.cached = static_cast<std::size_t>(statCached->value());
+        p.failed = static_cast<std::size_t>(statFailed->value());
+        p.meps = statMeps->value();
+    }
+    return p;
+}
+
+double
+SweepEngine::meps() const
+{
+    return _wallNs > 0 ? static_cast<double>(_events) * 1e3 /
+                             static_cast<double>(_wallNs)
+                       : 0.0;
+}
+
+void
+SweepEngine::registerStats(StatRegistry &registry)
+{
+    registry.registerGroup(statGroup);
+}
+
+void
+SweepEngine::publishStats()
+{
+    *statDone = static_cast<double>(impl->done.load());
+    *statCached = static_cast<double>(impl->cachedHits.load());
+    *statFailed = static_cast<double>(impl->failed.load());
+    *statEvents = static_cast<double>(impl->events.load());
+    *statMeps = meps();
+}
+
+std::vector<DesignPoint>
+SweepEngine::run(const std::vector<SocConfig> &configs,
+                 const Trace &trace, const Dddg &dddg)
+{
+    std::vector<DesignPoint> points(configs.size());
+    _failures.clear();
+    _interrupted = false;
+    _events = 0;
+    _wallNs = 0;
+
+    impl = std::make_unique<Impl>();
+    Impl &st = *impl;
+    *statTotal = static_cast<double>(configs.size());
+
+    st.cache = opts.cache ? opts.cache : &st.ownedCache;
+
+    // Resume: preload every journaled point into the cache. Points
+    // of other spaces/workloads cost a map entry and nothing else —
+    // keys only hit when the config truly matches.
+    if (!opts.resumePath.empty()) {
+        for (auto &rec : loadJournal(opts.resumePath))
+            st.cache->insert(rec.key, rec.results);
+    }
+
+    // Journal: append when restarting onto the same file, otherwise
+    // start a fresh one with the schema header.
+    if (!opts.journalPath.empty()) {
+        bool appending = opts.journalPath == opts.resumePath &&
+                         std::ifstream(opts.journalPath).good();
+        st.journal.open(opts.journalPath,
+                        appending ? std::ios::app : std::ios::trunc);
+        if (!st.journal) {
+            fatal("sweep journal %s: cannot open for writing",
+                  opts.journalPath.c_str());
+        }
+        if (!appending)
+            st.journal << journalHeaderLine() << std::flush;
+    }
+
+    st.keys.resize(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        points[i].config = configs[i];
+        st.keys[i] = configCanonicalKey(configs[i]);
+    }
+
+    unsigned threads = opts.threads;
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 4;
+    }
+    threads = std::max<unsigned>(
+        1, std::min<unsigned>(threads, static_cast<unsigned>(
+                                           configs.size())));
+    if (configs.empty())
+        threads = 1;
+
+    // Longest-job-first: sort by descending cost (stable tiebreak on
+    // index keeps the deal deterministic), then deal round-robin so
+    // every worker starts with a heavy point and keeps a cost-sorted
+    // deque for thieves to take from the cheap end.
+    std::vector<std::size_t> order(configs.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return configCost(configs[a]) >
+                                configCost(configs[b]);
+                     });
+    st.queues.resize(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        st.queues[t] = std::make_unique<Impl::WorkerQueue>();
+    for (std::size_t n = 0; n < order.size(); ++n)
+        st.queues[n % threads]->items.push_back(order[n]);
+
+    auto reportProgress = [&] {
+        if (!opts.onProgress)
+            return;
+        SweepProgress p = progress();
+        std::lock_guard<std::mutex> lock(st.progressMutex);
+        opts.onProgress(p);
+    };
+
+    auto process = [&](std::size_t i, HostProfiler &profiler) {
+        SocResults cachedResults;
+        if (st.cache->lookup(st.keys[i], cachedResults)) {
+            points[i].results = cachedResults;
+            st.cachedHits.fetch_add(1);
+            reportProgress();
+            return;
+        }
+        if (opts.maxFreshPoints != 0 &&
+            st.freshStarted.fetch_add(1) >= opts.maxFreshPoints) {
+            st.stopped.store(true);
+            return;
+        }
+        std::uint64_t eventsBefore = profiler.totalEvents();
+        std::uint64_t nsBefore = profiler.totalWallNs();
+        try {
+            Soc soc(configs[i], trace, dddg);
+            soc.eventQueue().setProfiler(&profiler);
+            points[i].results = soc.run();
+        } catch (const std::exception &e) {
+            std::lock_guard<std::mutex> lock(st.failureMutex);
+            st.failures.push_back({i, configs[i], e.what()});
+            st.failed.fetch_add(1);
+            reportProgress();
+            return;
+        }
+        st.events.fetch_add(profiler.totalEvents() - eventsBefore);
+        st.wallNs.fetch_add(profiler.totalWallNs() - nsBefore);
+        st.cache->insert(st.keys[i], points[i].results);
+        if (st.journal.is_open()) {
+            std::string line = journalRecordLine(
+                st.keys[i], configFingerprint(configs[i]),
+                points[i].results);
+            std::lock_guard<std::mutex> lock(st.journalMutex);
+            st.journal << line << std::flush;
+        }
+        st.done.fetch_add(1);
+        reportProgress();
+    };
+
+    auto worker = [&](std::size_t self) {
+        HostProfiler profiler;
+        while (!st.stopped.load()) {
+            std::size_t i = st.take(self);
+            if (i == static_cast<std::size_t>(-1))
+                break;
+            process(i, profiler);
+        }
+    };
+
+    if (threads == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker, t);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    _interrupted = st.stopped.load();
+    _events = st.events.load();
+    _wallNs = st.wallNs.load();
+    _failures = st.failures;
+    std::sort(_failures.begin(), _failures.end(),
+              [](const FailedPoint &a, const FailedPoint &b) {
+                  return a.index < b.index;
+              });
+    publishStats();
+    if (st.journal.is_open())
+        st.journal.close();
+    impl.reset();
+
+    if (!_failures.empty() && !opts.continueOnError) {
+        const FailedPoint &first = _failures.front();
+        throw SweepError(
+            format("sweep: %zu of %zu design points failed; first: "
+                   "point %zu [%s]: %s",
+                   _failures.size(), configs.size(), first.index,
+                   configCanonicalKey(first.config).c_str(),
+                   first.message.c_str()),
+            _failures);
+    }
+    return points;
+}
+
+} // namespace genie

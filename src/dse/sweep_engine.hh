@@ -1,0 +1,201 @@
+/**
+ * @file
+ * SweepEngine: the work-stealing, memoizing, resumable sweep runner.
+ *
+ * The engine replaces the old static-partition thread pool with a
+ * scheduler built for the paper-figure spaces:
+ *
+ *  - scheduling: design points are ordered longest-job-first by a
+ *    config cost heuristic and dealt round-robin into per-thread
+ *    deques; an idle worker pops its own deque from the front and
+ *    steals from the back of a victim's, so one expensive cache-mode
+ *    point never serializes the tail of a sweep.
+ *  - memoization: every point is keyed by configCanonicalKey() and
+ *    looked up in a ResultCache before simulating. The Fig. 6 and
+ *    Fig. 8 DMA spaces overlap in their all-optimizations points, and
+ *    explorer invocations repeat whole spaces; both dedupe to cache
+ *    hits. Pass a shared cache in SweepOptions to dedupe across
+ *    sweeps; otherwise the engine uses a private one.
+ *  - checkpointing: with a journal path set, each freshly simulated
+ *    point is appended (and flushed) as a `genie-sweep-1` JSON line;
+ *    with a resume path set, the journal is preloaded into the cache
+ *    so an interrupted sweep redoes only the missing points.
+ *  - failure: a throw inside a worker never terminates the process
+ *    and never silently drops the point. Failures are collected with
+ *    the offending config attached and rethrown as one SweepError
+ *    after the sweep (or reported in progress counters with
+ *    continueOnError).
+ *
+ * Determinism: a design point's results depend only on its config
+ * (each Soc owns its event queue), so sweep output is byte-identical
+ * across thread counts, cold vs. warm caches, and interrupted-then-
+ * resumed vs. uninterrupted runs — the golden-figure suite asserts
+ * all three. Host time is read only through the sanctioned
+ * HostProfiler, for the MEPS throughput report; it never enters
+ * results or the journal (the sweep-determinism lint rule).
+ */
+
+#ifndef GENIE_DSE_SWEEP_ENGINE_HH
+#define GENIE_DSE_SWEEP_ENGINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dse/result_cache.hh"
+#include "dse/sweep.hh"
+#include "sim/stats.hh"
+
+namespace genie
+{
+
+/** Live counters reported through SweepOptions::onProgress and
+ * mirrored into the "sweep" StatGroup. */
+struct SweepProgress
+{
+    std::size_t total = 0;  ///< points in the sweep
+    std::size_t done = 0;   ///< freshly simulated
+    std::size_t cached = 0; ///< served from the ResultCache/journal
+    std::size_t failed = 0; ///< worker exceptions (see failures())
+    /** Aggregate simulator throughput so far: millions of simulated
+     * events retired per host-second, summed over workers. */
+    double meps = 0.0;
+};
+
+/** One design point whose simulation threw, with the offending
+ * config attached. */
+struct FailedPoint
+{
+    std::size_t index = 0; ///< position in the swept config vector
+    SocConfig config;
+    std::string message;
+};
+
+/** Thrown after the sweep when any worker failed (unless
+ * SweepOptions::continueOnError). Carries every failure. */
+class SweepError : public std::runtime_error
+{
+  public:
+    SweepError(const std::string &what,
+               std::vector<FailedPoint> failedPoints)
+        : std::runtime_error(what), _failures(std::move(failedPoints))
+    {}
+
+    const std::vector<FailedPoint> &failures() const
+    {
+        return _failures;
+    }
+
+  private:
+    std::vector<FailedPoint> _failures;
+};
+
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+
+    /** Append a `genie-sweep-1` record per fresh simulation; "" =
+     * no journal. Truncated unless it is also the resume path. */
+    std::string journalPath;
+
+    /** Preload this journal into the cache before sweeping; "" =
+     * cold start. May equal journalPath (the restart case). */
+    std::string resumePath;
+
+    /** Stop cleanly after this many fresh simulations (0 = no
+     * limit). Used to test and exercise interruption/resume. */
+    std::size_t maxFreshPoints = 0;
+
+    /** Collect failures in progress counters instead of throwing
+     * SweepError after the sweep. */
+    bool continueOnError = false;
+
+    /** Share a cache across sweeps/invocations; null = private. */
+    ResultCache *cache = nullptr;
+
+    /** Called after every completed/cached/failed point. Invoked
+     * under a lock: implementations need not be thread-safe. */
+    std::function<void(const SweepProgress &)> onProgress;
+};
+
+class SweepEngine
+{
+  public:
+    explicit SweepEngine(SweepOptions options = {});
+    ~SweepEngine();
+
+    SweepEngine(const SweepEngine &) = delete;
+    SweepEngine &operator=(const SweepEngine &) = delete;
+
+    /**
+     * Simulate every configuration; results return in @p configs
+     * order regardless of scheduling. Throws SweepError if any
+     * worker threw (unless continueOnError). The trace and DDDG are
+     * shared read-only across workers.
+     */
+    std::vector<DesignPoint> run(const std::vector<SocConfig> &configs,
+                                 const Trace &trace, const Dddg &dddg);
+
+    /** Counters of the last run (live during a run). */
+    SweepProgress progress() const;
+
+    /** Failures of the last run (always populated, also with
+     * continueOnError). */
+    const std::vector<FailedPoint> &failures() const
+    {
+        return _failures;
+    }
+
+    /** True when maxFreshPoints stopped the last run early. */
+    bool interrupted() const { return _interrupted; }
+
+    /** Simulated events retired across all workers (HostProfiler). */
+    std::uint64_t simulatedEvents() const { return _events; }
+
+    /** Host nanoseconds spent inside event actions, summed across
+     * workers. */
+    std::uint64_t hostWallNs() const { return _wallNs; }
+
+    /** Aggregate MEPS of the last run. */
+    double meps() const;
+
+    /** Register the engine's "sweep" StatGroup (points_total/done/
+     * cached/failed, events, meps) with @p registry. */
+    void registerStats(StatRegistry &registry);
+
+    /**
+     * Relative host-cost heuristic for longest-job-first ordering.
+     * Cache-mode points simulate the full coherence machinery and
+     * cost several DMA points; within a mode, fewer lanes mean more
+     * simulated compute cycles. Only the ordering matters.
+     */
+    static double configCost(const SocConfig &config);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+
+    SweepOptions opts;
+    StatGroup statGroup{"sweep"};
+    Stat *statTotal = nullptr;
+    Stat *statDone = nullptr;
+    Stat *statCached = nullptr;
+    Stat *statFailed = nullptr;
+    Stat *statEvents = nullptr;
+    Stat *statMeps = nullptr;
+
+    std::vector<FailedPoint> _failures;
+    bool _interrupted = false;
+    std::uint64_t _events = 0;
+    std::uint64_t _wallNs = 0;
+
+    void publishStats();
+};
+
+} // namespace genie
+
+#endif // GENIE_DSE_SWEEP_ENGINE_HH

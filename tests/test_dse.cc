@@ -7,8 +7,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/fingerprint.hh"
+#include "dse/journal.hh"
 #include "dse/pareto.hh"
 #include "dse/sweep.hh"
+#include "dse/sweep_engine.hh"
 #include "workloads/workload.hh"
 
 namespace genie
@@ -194,6 +201,284 @@ TEST(Pareto, CodesignComparisonImprovesEdp)
            "isolated design evaluated under system effects";
     EXPECT_GT(cmp.isolatedUnderSystem.results.totalTicks,
               cmp.isolatedOptimal.results.totalTicks);
+}
+
+// ---------------------------------------------------------------------
+// SweepEngine: scheduling, memoization, checkpointing, failure
+// ---------------------------------------------------------------------
+
+/** Byte-comparable rendering of a whole sweep. */
+std::string
+sweepJson(const std::vector<DesignPoint> &points)
+{
+    std::ostringstream os;
+    writeSweepResultsJson(os, points, "test");
+    return os.str();
+}
+
+TEST(SweepEngine, WorkerExceptionCarriesOffendingConfig)
+{
+    // The old runSweep lost worker exceptions (std::terminate via an
+    // unjoined throw or a silently default-constructed result). The
+    // engine must surface the throw as SweepError with the failing
+    // config attached, after finishing the rest of the sweep.
+    const auto &s = space();
+    std::vector<SocConfig> configs = s.configs;
+    SocConfig bad = configs.front();
+    bad.lanes = 0; // validateSocConfig: fatal
+    configs.insert(configs.begin() + 3, bad);
+
+    SweepEngine engine;
+    try {
+        engine.run(configs, s.trace, s.dddg);
+        FAIL() << "a failing design point must raise SweepError";
+    } catch (const SweepError &e) {
+        ASSERT_EQ(e.failures().size(), 1u);
+        const FailedPoint &f = e.failures().front();
+        EXPECT_EQ(f.index, 3u);
+        EXPECT_EQ(f.config.lanes, 0u)
+            << "the offending config must ride along";
+        EXPECT_NE(f.message.find("lanes"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("lanes"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(engine.progress().failed, 1u);
+}
+
+TEST(SweepEngine, ContinueOnErrorCompletesRemainingPoints)
+{
+    const auto &s = space();
+    std::vector<SocConfig> configs = s.configs;
+    SocConfig bad = configs.front();
+    bad.lanes = 0;
+    configs.insert(configs.begin() + 2, bad);
+
+    SweepOptions options;
+    options.continueOnError = true;
+    options.threads = 4;
+    SweepEngine engine(std::move(options));
+    auto points = engine.run(configs, s.trace, s.dddg);
+
+    ASSERT_EQ(points.size(), configs.size());
+    ASSERT_EQ(engine.failures().size(), 1u);
+    EXPECT_EQ(engine.failures().front().index, 2u);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i == 2)
+            continue;
+        EXPECT_GT(points[i].results.totalTicks, 0u)
+            << "every healthy point must still be simulated";
+    }
+}
+
+TEST(SweepEngine, ResultCacheDedupesAcrossRuns)
+{
+    const auto &s = space();
+    ResultCache cache;
+    SweepOptions options;
+    options.cache = &cache;
+    SweepEngine engine(std::move(options));
+
+    auto cold = engine.run(s.configs, s.trace, s.dddg);
+    EXPECT_EQ(engine.progress().done, s.configs.size());
+    EXPECT_EQ(cache.hits(), 0u);
+
+    auto warm = engine.run(s.configs, s.trace, s.dddg);
+    EXPECT_EQ(engine.progress().done, 0u)
+        << "a warm cache must satisfy every repeated point";
+    EXPECT_EQ(engine.progress().cached, s.configs.size());
+    EXPECT_GT(cache.hits(), 0u);
+    EXPECT_EQ(sweepJson(warm), sweepJson(cold))
+        << "cached results must be byte-identical to simulated ones";
+}
+
+TEST(SweepEngine, CacheDedupesOverlappingSpaces)
+{
+    // Fig. 6 (dmaOptions) contains the Fig. 8 DMA space as its
+    // all-optimizations subset: sweeping both through one cache must
+    // dedupe every Fig. 8 point.
+    const auto &s = space();
+    SpaceFilter filter = SpaceFilter::parse("lanes=1,4;partitions=4");
+    SocConfig base;
+    auto fig6 = filterConfigs(DesignSpace::dmaOptions(base), filter);
+    auto fig8 = filterConfigs(DesignSpace::dma(base), filter);
+    ASSERT_FALSE(fig6.empty());
+    ASSERT_FALSE(fig8.empty());
+
+    ResultCache cache;
+    SweepOptions options;
+    options.cache = &cache;
+    SweepEngine engine(std::move(options));
+    engine.run(fig6, s.trace, s.dddg);
+    engine.run(fig8, s.trace, s.dddg);
+    EXPECT_EQ(cache.hits(), fig8.size());
+    EXPECT_EQ(engine.progress().done, 0u);
+}
+
+TEST(SweepEngine, JournalRoundTripsExactResults)
+{
+    const auto &s = space();
+    const std::string path =
+        ::testing::TempDir() + "genie_sweep_journal.jsonl";
+    std::remove(path.c_str());
+
+    SweepOptions options;
+    options.journalPath = path;
+    SweepEngine engine(std::move(options));
+    auto points = engine.run(s.configs, s.trace, s.dddg);
+
+    auto records = loadJournal(path);
+    ASSERT_EQ(records.size(), s.configs.size());
+    for (const auto &rec : records) {
+        bool matched = false;
+        for (std::size_t i = 0; i < s.configs.size(); ++i) {
+            if (rec.key != configCanonicalKey(s.configs[i]))
+                continue;
+            matched = true;
+            EXPECT_EQ(rec.fingerprint,
+                      configFingerprint(s.configs[i]));
+            EXPECT_EQ(resultsJson(rec.results),
+                      resultsJson(points[i].results))
+                << "journaled doubles must round-trip bit-exactly";
+        }
+        EXPECT_TRUE(matched) << "unknown journal key " << rec.key;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(SweepEngine, JournalLoaderSkipsTornFinalLine)
+{
+    const auto &s = space();
+    const std::string path =
+        ::testing::TempDir() + "genie_sweep_torn.jsonl";
+    std::remove(path.c_str());
+
+    SweepOptions options;
+    options.journalPath = path;
+    SweepEngine engine(std::move(options));
+    engine.run(s.configs, s.trace, s.dddg);
+
+    // Simulate a kill mid-write: append half a record.
+    {
+        std::ofstream torn(path, std::ios::app);
+        torn << "{\"key\": \"mem=dma lanes=2\", \"fingerprint\":";
+    }
+    auto records = loadJournal(path);
+    EXPECT_EQ(records.size(), s.configs.size())
+        << "a torn trailing line is skipped, not fatal";
+
+    JournalRecord rec;
+    EXPECT_FALSE(parseJournalLine(journalHeaderLine(), rec));
+    EXPECT_FALSE(parseJournalLine("", rec));
+    EXPECT_FALSE(parseJournalLine("{\"key\": \"x\", \"fing", rec));
+    std::remove(path.c_str());
+}
+
+TEST(SweepEngine, InterruptedSweepResumesFromJournal)
+{
+    const auto &s = space();
+    const std::string path =
+        ::testing::TempDir() + "genie_sweep_resume.jsonl";
+    std::remove(path.c_str());
+
+    // Uninterrupted reference run.
+    SweepEngine reference;
+    auto expected = reference.run(s.configs, s.trace, s.dddg);
+
+    // Interrupted run: stop cleanly after two fresh points.
+    {
+        SweepOptions options;
+        options.journalPath = path;
+        options.maxFreshPoints = 2;
+        SweepEngine engine(std::move(options));
+        engine.run(s.configs, s.trace, s.dddg);
+        EXPECT_TRUE(engine.interrupted());
+        EXPECT_EQ(engine.progress().done, 2u);
+    }
+    ASSERT_EQ(loadJournal(path).size(), 2u);
+
+    // Resume: same journal file preloads the two finished points.
+    SweepOptions options;
+    options.journalPath = path;
+    options.resumePath = path;
+    SweepEngine engine(std::move(options));
+    auto resumed = engine.run(s.configs, s.trace, s.dddg);
+
+    EXPECT_FALSE(engine.interrupted());
+    EXPECT_EQ(engine.progress().cached, 2u);
+    EXPECT_EQ(engine.progress().done, s.configs.size() - 2);
+    EXPECT_EQ(sweepJson(resumed), sweepJson(expected))
+        << "resumed results must be byte-identical to an "
+           "uninterrupted sweep";
+    EXPECT_EQ(loadJournal(path).size(), s.configs.size())
+        << "the resumed run appends the missing points";
+    std::remove(path.c_str());
+}
+
+TEST(SweepEngine, ProgressCallbackCoversEveryPoint)
+{
+    const auto &s = space();
+    std::size_t calls = 0;
+    SweepProgress last;
+    SweepOptions options;
+    options.threads = 4;
+    options.onProgress = [&](const SweepProgress &p) {
+        ++calls;
+        last = p;
+    };
+    SweepEngine engine(std::move(options));
+    engine.run(s.configs, s.trace, s.dddg);
+    EXPECT_EQ(calls, s.configs.size());
+    EXPECT_EQ(last.done + last.cached, s.configs.size());
+    EXPECT_GT(engine.simulatedEvents(), 0u);
+    EXPECT_GT(engine.meps(), 0.0);
+}
+
+TEST(SweepEngine, ConfigCostPrefersCacheAndNarrowDatapaths)
+{
+    SocConfig dma;
+    dma.memType = MemInterface::ScratchpadDma;
+    dma.lanes = 16;
+    SocConfig cacheCfg = dma;
+    cacheCfg.memType = MemInterface::Cache;
+    EXPECT_GT(SweepEngine::configCost(cacheCfg),
+              SweepEngine::configCost(dma))
+        << "cache-mode points simulate more machinery";
+    SocConfig narrow = dma;
+    narrow.lanes = 1;
+    EXPECT_GT(SweepEngine::configCost(narrow),
+              SweepEngine::configCost(dma))
+        << "fewer lanes mean more simulated compute cycles";
+}
+
+TEST(SpaceFilter, ParsesAxesAndRejectsGarbage)
+{
+    SpaceFilter f = SpaceFilter::parse(
+        "lanes=1,4;partitions=2;cache_kb=2,16");
+    EXPECT_EQ(f.lanes, (std::vector<unsigned>{1, 4}));
+    EXPECT_EQ(f.partitions, (std::vector<unsigned>{2}));
+    EXPECT_EQ(f.cacheKb, (std::vector<unsigned>{2, 16}));
+    EXPECT_TRUE(f.cacheLine.empty());
+    EXPECT_THROW(SpaceFilter::parse("bogus=1"), FatalError);
+    EXPECT_THROW(SpaceFilter::parse("lanes=abc"), FatalError);
+}
+
+TEST(SpaceFilter, CacheAxesOnlyConstrainCacheConfigs)
+{
+    SocConfig base;
+    SpaceFilter f = SpaceFilter::parse(
+        "lanes=1,4;cache_kb=2;cache_line=64;cache_ports=1;"
+        "cache_assoc=4");
+    auto dma = filterConfigs(DesignSpace::dma(base), f);
+    // DMA configs carry no cache: only the lanes axis applies.
+    EXPECT_EQ(dma.size(), 2u * DesignSpace::partitionValues().size());
+    auto cached = filterConfigs(DesignSpace::cache(base), f);
+    EXPECT_EQ(cached.size(), 2u);
+    for (const auto &c : cached) {
+        EXPECT_EQ(c.cache.sizeBytes, 2u * 1024u);
+        EXPECT_EQ(c.cache.lineBytes, 64u);
+        EXPECT_EQ(c.cache.ports, 1u);
+        EXPECT_EQ(c.cache.assoc, 4u);
+    }
 }
 
 } // namespace

@@ -7,7 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
+#include "core/fingerprint.hh"
 #include "core/soc.hh"
+#include "dse/sweep.hh"
 #include "workloads/workload.hh"
 
 namespace genie
@@ -197,6 +202,156 @@ TEST_P(PropertyTest, DeterministicAcrossRuns)
     SocResults b = runDesign(cfg, w().trace, w().dddg);
     EXPECT_EQ(a.totalTicks, b.totalTicks);
     EXPECT_DOUBLE_EQ(a.energyPj, b.energyPj);
+}
+
+// ---------------------------------------------------------------------
+// DesignSpace enumeration and config-identity properties
+// ---------------------------------------------------------------------
+
+/** Every Figure 3 space the sweeps enumerate, concatenated. */
+std::vector<SocConfig>
+allEnumeratedConfigs()
+{
+    SocConfig base;
+    std::vector<SocConfig> all = DesignSpace::isolated(base);
+    for (auto space :
+         {DesignSpace::dma(base), DesignSpace::dmaOptions(base),
+          DesignSpace::cache(base)})
+        all.insert(all.end(), space.begin(), space.end());
+    return all;
+}
+
+TEST(DesignSpaceProperties, EnumerationSizesAreAxisCrossProducts)
+{
+    // Derived from the published axis value lists, not hard-coded
+    // counts: adding a Figure 3 value must grow every space that
+    // sweeps the axis.
+    SocConfig base;
+    std::size_t lanes = DesignSpace::laneValues().size();
+    std::size_t parts = DesignSpace::partitionValues().size();
+    EXPECT_EQ(DesignSpace::isolated(base).size(), lanes * parts);
+    EXPECT_EQ(DesignSpace::dma(base).size(), lanes * parts);
+    EXPECT_EQ(DesignSpace::dmaOptions(base).size(),
+              lanes * parts * 2 * 2);
+    EXPECT_EQ(DesignSpace::cache(base).size(),
+              lanes * DesignSpace::cacheSizeValues().size() *
+                  DesignSpace::cacheLineValues().size() *
+                  DesignSpace::cachePortValues().size() *
+                  DesignSpace::cacheAssocValues().size());
+}
+
+TEST(DesignSpaceProperties, EnumerationsContainNoDuplicates)
+{
+    SocConfig base;
+    for (auto space :
+         {DesignSpace::isolated(base), DesignSpace::dma(base),
+          DesignSpace::dmaOptions(base), DesignSpace::cache(base)}) {
+        std::set<std::string> keys;
+        for (const auto &c : space)
+            keys.insert(configCanonicalKey(c));
+        EXPECT_EQ(keys.size(), space.size())
+            << "a space enumerated the same design point twice";
+    }
+}
+
+TEST(DesignSpaceProperties, IsolatedAsCacheLandsInSweepableRange)
+{
+    const auto &sizes = DesignSpace::cacheSizeValues();
+    const auto &ports = DesignSpace::cachePortValues();
+    for (const SocConfig &iso : DesignSpace::isolated(SocConfig{})) {
+        for (std::uint64_t ws :
+             {std::uint64_t(1), std::uint64_t(1500),
+              std::uint64_t(3 * 1024), std::uint64_t(20 * 1024),
+              std::uint64_t(48 * 1024), std::uint64_t(1 << 20)}) {
+            SocConfig mapped = DesignSpace::isolatedAsCache(iso, ws);
+            EXPECT_EQ(mapped.memType, MemInterface::Cache);
+            EXPECT_FALSE(mapped.isolated);
+            EXPECT_NE(std::find(sizes.begin(), sizes.end(),
+                                mapped.cache.sizeBytes),
+                      sizes.end())
+                << "cache size " << mapped.cache.sizeBytes
+                << " is not a sweepable Figure 3 value (ws=" << ws
+                << ")";
+            if (ws <= sizes.back()) {
+                EXPECT_GE(mapped.cache.sizeBytes, ws)
+                    << "an in-range working set must fit";
+            }
+            EXPECT_NE(std::find(ports.begin(), ports.end(),
+                                mapped.cache.ports),
+                      ports.end())
+                << "ports " << mapped.cache.ports
+                << " is not a sweepable value";
+        }
+    }
+}
+
+TEST(ConfigIdentity, FingerprintInjectiveOverEnumeratedSpaces)
+{
+    // The ResultCache keys on the canonical string, so a fingerprint
+    // collision could never corrupt results — but the journal stores
+    // the fingerprint as the compact identity, so prove it injective
+    // over everything the sweeps enumerate: distinct keys must never
+    // share a fingerprint, and equal keys must (trivially) agree.
+    std::map<std::uint64_t, std::string> byFingerprint;
+    std::size_t distinct = 0;
+    for (const SocConfig &c : allEnumeratedConfigs()) {
+        std::string key = configCanonicalKey(c);
+        std::uint64_t fp = configFingerprint(c);
+        auto it = byFingerprint.find(fp);
+        if (it == byFingerprint.end()) {
+            byFingerprint.emplace(fp, key);
+            ++distinct;
+        } else {
+            EXPECT_EQ(it->second, key)
+                << "fingerprint collision between distinct configs";
+        }
+    }
+    EXPECT_EQ(byFingerprint.size(), distinct);
+    EXPECT_GT(distinct, 100u);
+}
+
+TEST(ConfigIdentity, CrossSpaceDuplicatesShareOneKey)
+{
+    // The Fig. 8 DMA space is the all-optimizations slice of the
+    // Fig. 6 space: every one of its points must hash to a key that
+    // the Fig. 6 enumeration also produces, which is what makes the
+    // shared-cache dedupe between the two sweeps work.
+    SocConfig base;
+    std::set<std::string> fig6Keys;
+    for (const auto &c : DesignSpace::dmaOptions(base))
+        fig6Keys.insert(configCanonicalKey(c));
+    for (const auto &c : DesignSpace::dma(base)) {
+        EXPECT_TRUE(fig6Keys.count(configCanonicalKey(c)))
+            << "Fig. 8 DMA point missing from the Fig. 6 space: "
+            << configCanonicalKey(c);
+    }
+}
+
+TEST(ConfigIdentity, ObservabilityKnobsNeverChangeTheKey)
+{
+    // Tracing and metrics are passive by contract (a traced run
+    // byte-matches a plain run), so they must not defeat the result
+    // cache.
+    SocConfig plain;
+    plain.lanes = 4;
+    SocConfig traced = plain;
+    traced.tracing.enabled = true;
+    traced.tracing.outPath = "/tmp/spans.json";
+    traced.metrics.samplePeriod = 100;
+    traced.metrics.statsJsonPath = "/tmp/stats.json";
+    EXPECT_EQ(configCanonicalKey(plain), configCanonicalKey(traced));
+    EXPECT_EQ(configFingerprint(plain), configFingerprint(traced));
+
+    // Every result-affecting knob must move the key.
+    SocConfig other = plain;
+    other.lanes = 8;
+    EXPECT_NE(configCanonicalKey(plain), configCanonicalKey(other));
+    SocConfig wider = plain;
+    wider.busWidthBits = 64;
+    EXPECT_NE(configCanonicalKey(plain), configCanonicalKey(wider));
+    SocConfig piped = plain;
+    piped.dma.pipelined = true;
+    EXPECT_NE(configCanonicalKey(plain), configCanonicalKey(piped));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -285,6 +285,60 @@ TEST(LintTraceSink, MetricsSubsystemOwnsItsSinks)
         "trace-sink"));
 }
 
+TEST(LintSweepDeterminism, FlagsThreadIdentityInsideDse)
+{
+    // Sweep results and journal records must be byte-identical
+    // across thread counts, so nothing in src/dse may observe which
+    // thread or process ran a point.
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/dse/sweep_engine.cc",
+                    "auto id = std::this_thread::get_id();\n"),
+        "sweep-determinism"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/dse/journal.cc",
+                    "std::thread::id owner;\n"),
+        "sweep-determinism"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/dse/sweep.cc",
+                    "auto t = pthread_self();\n"),
+        "sweep-determinism"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/dse/sweep_engine.cc",
+                    "record.worker = gettid();\n"),
+        "sweep-determinism"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/dse/journal.cc",
+                    "header.pid = getpid();\n"),
+        "sweep-determinism"));
+}
+
+TEST(LintSweepDeterminism, OnlyAppliesToDseAndSkipsNonCode)
+{
+    // Outside src/dse the tokens are legitimate (tests spawn
+    // threads; tools may report identity), so the rule is scoped.
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/sim/event_queue.cc",
+                    "auto id = std::this_thread::get_id();\n"),
+        "sweep-determinism"));
+    EXPECT_FALSE(hasRule(
+        lintSnippet("tools/genie_sweep/main.cc",
+                    "auto t = pthread_self();\n"),
+        "sweep-determinism"));
+    // Comments and strings never trip the rule.
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/dse/sweep_engine.cc",
+                    "// never call std::this_thread::get_id() here\n"
+                    "log(\"worker gettid( trace\");\n"),
+        "sweep-determinism"));
+    // std::thread itself (spawning workers) is fine; only identity
+    // observation is banned.
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/dse/sweep_engine.cc",
+                    "std::vector<std::thread> pool;\n"
+                    "pool.emplace_back(worker, t);\n"),
+        "sweep-determinism"));
+}
+
 TEST(LintStatPrint, FlagsBespokeStatDumpingOutsideMetrics)
 {
     // Hand-plumbed per-component dumping is what the StatRegistry

@@ -29,6 +29,8 @@
 
 #include "core/config_parse.hh"
 #include "core/soc.hh"
+#include "dse/sweep.hh"
+#include "dse/sweep_engine.hh"
 #include "metrics/export.hh"
 #include "metrics/profiler.hh"
 #include "workloads/workload.hh"
@@ -112,8 +114,58 @@ runScenario(const Scenario &s)
     return r;
 }
 
+/** SweepEngine throughput on a reduced Fig. 6 + Fig. 8 DMA space.
+ * The two spaces overlap in their all-optimizations points, so the
+ * result cache dedupes part of the second sweep — cached > 0 proves
+ * the memoization path is live in the measured configuration. */
+struct SweepBench
+{
+    std::size_t points = 0;    ///< design points swept (both spaces)
+    std::size_t simulated = 0; ///< fresh simulations
+    std::size_t cached = 0;    ///< served from the result cache
+    double wallMs = 0.0;
+    std::uint64_t events = 0;
+    double meps = 0.0;
+};
+
+SweepBench
+runSweepBench()
+{
+    auto workload = makeWorkload("stencil-stencil2d")->build();
+    Dddg dddg(workload.trace);
+    SpaceFilter filter =
+        SpaceFilter::parse("lanes=1,4;partitions=1,4");
+    SocConfig base;
+    auto fig6 = filterConfigs(DesignSpace::dmaOptions(base), filter);
+    auto fig8dma = filterConfigs(DesignSpace::dma(base), filter);
+
+    ResultCache cache;
+    SweepOptions options;
+    options.cache = &cache;
+    SweepEngine engine(std::move(options));
+
+    SweepBench b;
+    auto t0 = std::chrono::steady_clock::now();
+    engine.run(fig6, workload.trace, dddg);
+    b.simulated += engine.progress().done;
+    b.events += engine.simulatedEvents();
+    engine.run(fig8dma, workload.trace, dddg);
+    auto t1 = std::chrono::steady_clock::now();
+    b.simulated += engine.progress().done;
+    b.events += engine.simulatedEvents();
+    b.points = fig6.size() + fig8dma.size();
+    b.cached = cache.hits();
+    b.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    b.meps = b.wallMs > 0 ? static_cast<double>(b.events) /
+                                (b.wallMs * 1e3)
+                          : 0.0;
+    return b;
+}
+
 std::string
-benchJson(const std::vector<BenchResult> &results, bool quick)
+benchJson(const std::vector<BenchResult> &results,
+          const SweepBench &sweep, bool quick)
 {
     std::string j = "{\n  \"schema\": \"genie-bench-1\",\n";
     j += format("  \"quick\": %s,\n", quick ? "true" : "false");
@@ -149,6 +201,13 @@ benchJson(const std::vector<BenchResult> &results, bool quick)
         j += i + 1 < results.size() ? ",\n" : "\n";
     }
     j += "  ],\n";
+    j += format("  \"sweep\": {\"workload\": \"stencil-stencil2d\", "
+                "\"points\": %zu, \"simulated\": %zu, "
+                "\"cached\": %zu,\n    \"wall_ms\": %.3f, "
+                "\"events\": %llu, \"meps\": %.3f},\n",
+                sweep.points, sweep.simulated, sweep.cached,
+                sweep.wallMs, (unsigned long long)sweep.events,
+                sweep.meps);
     double totalMeps =
         totalWallMs > 0
             ? static_cast<double>(totalEvents) / (totalWallMs * 1e3)
@@ -214,6 +273,7 @@ main(int argc, char **argv)
     }
 
     std::vector<BenchResult> results;
+    SweepBench sweep;
     try {
         for (const Scenario &s : scenarios) {
             if (quick && !s.quick)
@@ -227,12 +287,19 @@ main(int argc, char **argv)
                         r.meps, r.sim.totalUs());
             results.push_back(r);
         }
+        std::printf("bench %-20s reduced fig6+fig8 DMA spaces\n",
+                    "sweep-engine");
+        sweep = runSweepBench();
+        std::printf("  wall %8.2f ms, %8llu events, %7.3f MEPS, "
+                    "%zu points (%zu cached)\n",
+                    sweep.wallMs, (unsigned long long)sweep.events,
+                    sweep.meps, sweep.points, sweep.cached);
     } catch (const FatalError &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
 
-    std::string json = benchJson(results, quick);
+    std::string json = benchJson(results, sweep, quick);
     std::ofstream out(outPath);
     if (!out) {
         std::fprintf(stderr, "error: cannot write %s\n",

@@ -173,6 +173,30 @@ const TokenRule faultRngTokens[] = {
      "distributions"},
 };
 
+// sweep-determinism: sweep results and the checkpoint journal must be
+// byte-identical across thread counts and runs, so nothing in src/dse
+// may observe which thread or process computed a point. Wall-clock
+// reads are already banned tree-wide by the determinism rule; this
+// rule adds the scheduler-identity sources. (Host time for the MEPS
+// report is read only through the sanctioned HostProfiler.)
+const TokenRule sweepDeterminismTokens[] = {
+    {"std::this_thread::get_id",
+     "thread identity must not influence sweep results or the "
+     "journal; results depend only on the config"},
+    {"std::thread::id",
+     "thread identity must not influence sweep results or the "
+     "journal; results depend only on the config"},
+    {"pthread_self(",
+     "thread identity must not influence sweep results or the "
+     "journal"},
+    {"gettid(",
+     "thread identity must not influence sweep results or the "
+     "journal"},
+    {"getpid(",
+     "process identity must not influence sweep results or the "
+     "journal"},
+};
+
 const TokenRule rawOutputTokens[] = {
     {"std::cout", "library code must log through sim/logging "
                   "(inform/warn), not std::cout"},
@@ -378,6 +402,16 @@ lintSource(const std::string &relPath, const std::string &contents)
             for (const auto &t : faultRngTokens) {
                 if (findToken(line, t.token) != std::string::npos)
                     report("fault-rng", lineNo, t.message);
+            }
+        }
+
+        // sweep-determinism: the DSE layer may not observe thread or
+        // process identity — DesignPoint results and journal records
+        // must depend only on the config.
+        if (startsWith(relPath, "src/dse/")) {
+            for (const auto &t : sweepDeterminismTokens) {
+                if (findToken(line, t.token) != std::string::npos)
+                    report("sweep-determinism", lineNo, t.message);
             }
         }
 

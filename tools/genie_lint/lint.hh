@@ -29,6 +29,13 @@
  *                     documented owning-pointer heap
  *                     (src/sim/event_queue.cc); everything else uses
  *                     RAII ownership.
+ *  - sweep-determinism: src/dse may not observe thread or process
+ *                     identity (`std::this_thread::get_id`,
+ *                     `pthread_self`, `gettid`, `getpid`). Sweep
+ *                     results and genie-sweep-1 journal records must
+ *                     be byte-identical across thread counts, so
+ *                     nothing scheduler-dependent may reach a
+ *                     DesignPoint or the journal.
  *
  * The scan is line-based over comment- and string-stripped text: fast,
  * dependency-free, and deliberately heuristic. Grandfathered or

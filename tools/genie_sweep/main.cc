@@ -1,0 +1,247 @@
+/**
+ * @file
+ * genie_sweep: the restartable design-space-sweep service CLI.
+ *
+ * Runs one of the paper's Figure 3 design spaces for a workload under
+ * the SweepEngine — work-stealing scheduling, result-cache dedupe,
+ * and a checkpoint journal so an interrupted sweep resumes where it
+ * stopped:
+ *
+ *   genie_sweep stencil-stencil2d --space=fig6 --out=results.json
+ *   genie_sweep md-knn --space=fig8 --filter="lanes=1,4" \
+ *               --journal=sweep.jsonl
+ *   genie_sweep md-knn --space=fig8 --filter="lanes=1,4" \
+ *               --resume=sweep.jsonl --out=results.json
+ *
+ * Spaces: isolated (compute-only lanes x partitions), dma (Fig. 8 DMA
+ * space, all optimizations), fig6 (DMA optimization cross-product),
+ * cache (Fig. 8 cache space), fig8 (dma + cache concatenated).
+ * `key=value` pairs (core/config_parse.hh) set the base config the
+ * space is enumerated around; --filter carves an axis-value subset.
+ *
+ * --resume=FILE preloads FILE into the result cache and, unless
+ * --journal names a different file, keeps appending to it, so the
+ * same command line is simply re-run after an interruption.
+ * --max-points=N stops cleanly after N fresh simulations (exit code
+ * 4) — the deterministic way to exercise interruption in CI.
+ *
+ * Results (--out, "-" = stdout) are the deterministic
+ * genie-sweep-results-1 JSON in enumeration order: byte-identical
+ * across thread counts and cold/warm/resumed runs. --stats-json
+ * exports the engine's StatRegistry block (points done/cached/failed,
+ * events, MEPS).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/config_parse.hh"
+#include "dse/journal.hh"
+#include "dse/pareto.hh"
+#include "dse/sweep.hh"
+#include "dse/sweep_engine.hh"
+#include "metrics/export.hh"
+#include "workloads/workload.hh"
+
+namespace
+{
+
+using namespace genie;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: genie_sweep <workload> [key=value ...]\n"
+        "         [--space=isolated|dma|fig6|cache|fig8]\n"
+        "         [--filter=\"lanes=1,4;partitions=1,4;...\"]\n"
+        "         [--threads=N] [--journal=FILE] [--resume=FILE]\n"
+        "         [--out=FILE] [--stats-json=FILE] "
+        "[--max-points=N]\n"
+        "         [--progress] [--pareto]\n"
+        "       genie_sweep --list\n"
+        "exit:  0 ok, 1 error, 2 usage, 4 interrupted by "
+        "--max-points\n");
+    return 2;
+}
+
+std::vector<SocConfig>
+enumerateSpace(const std::string &space, const SocConfig &base)
+{
+    if (space == "isolated")
+        return DesignSpace::isolated(base);
+    if (space == "dma")
+        return DesignSpace::dma(base);
+    if (space == "fig6" || space == "dma-options")
+        return DesignSpace::dmaOptions(base);
+    if (space == "cache")
+        return DesignSpace::cache(base);
+    if (space == "fig8") {
+        auto configs = DesignSpace::dma(base);
+        auto cacheConfigs = DesignSpace::cache(base);
+        configs.insert(configs.end(), cacheConfigs.begin(),
+                       cacheConfigs.end());
+        return configs;
+    }
+    fatal("unknown space '%s' (isolated|dma|fig6|cache|fig8)",
+          space.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    std::string space = "fig6";
+    std::string filterSpec;
+    std::string outPath;
+    std::string statsJsonPath;
+    bool progress = false;
+    bool pareto = false;
+    SweepOptions options;
+    std::vector<std::string> baseOptions;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--list") == 0) {
+            for (const auto &name : genie::workloadNames())
+                std::printf("%s\n", name.c_str());
+            return 0;
+        } else if (std::strncmp(arg, "--space=", 8) == 0) {
+            space = arg + 8;
+        } else if (std::strncmp(arg, "--filter=", 9) == 0) {
+            filterSpec = arg + 9;
+        } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+            options.threads = static_cast<unsigned>(
+                std::strtoul(arg + 10, nullptr, 10));
+        } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+            options.journalPath = arg + 10;
+        } else if (std::strncmp(arg, "--resume=", 9) == 0) {
+            options.resumePath = arg + 9;
+        } else if (std::strncmp(arg, "--out=", 6) == 0) {
+            outPath = arg + 6;
+        } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
+            statsJsonPath = arg + 13;
+        } else if (std::strncmp(arg, "--max-points=", 13) == 0) {
+            options.maxFreshPoints =
+                std::strtoul(arg + 13, nullptr, 10);
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            progress = true;
+        } else if (std::strcmp(arg, "--pareto") == 0) {
+            pareto = true;
+        } else if (arg[0] == '-') {
+            return usage();
+        } else if (workload.empty()) {
+            workload = arg;
+        } else {
+            baseOptions.push_back(arg);
+        }
+    }
+    if (workload.empty())
+        return usage();
+
+    // Resuming without an explicit journal keeps extending the same
+    // file, so the identical command line continues an interrupted
+    // sweep.
+    if (options.journalPath.empty() && !options.resumePath.empty())
+        options.journalPath = options.resumePath;
+
+    try {
+        auto built = makeWorkload(workload)->build();
+        Dddg dddg(built.trace);
+        SocConfig base = parseConfig(baseOptions);
+        auto configs = enumerateSpace(space, base);
+        if (!filterSpec.empty()) {
+            configs = filterConfigs(configs,
+                                    SpaceFilter::parse(filterSpec));
+        }
+        if (configs.empty())
+            fatal("the filter rejected every design point");
+
+        if (progress) {
+            options.onProgress = [](const SweepProgress &p) {
+                std::printf("\r  %zu/%zu done, %zu cached, %zu "
+                            "failed",
+                            p.done, p.total, p.cached, p.failed);
+                std::fflush(stdout);
+            };
+        }
+
+        const std::string journalPath = options.journalPath;
+        SweepEngine engine(std::move(options));
+        auto t0 = std::chrono::steady_clock::now();
+        auto points = engine.run(configs, built.trace, dddg);
+        auto t1 = std::chrono::steady_clock::now();
+        if (progress)
+            std::printf("\n");
+
+        SweepProgress final = engine.progress();
+        double wallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+        std::printf("sweep %s %s: %zu points — %zu simulated, %zu "
+                    "cached, %zu failed\n",
+                    workload.c_str(), space.c_str(), final.total,
+                    final.done, final.cached, final.failed);
+        std::printf("  wall %.1f ms, %llu events, %.3f MEPS\n",
+                    wallMs,
+                    (unsigned long long)engine.simulatedEvents(),
+                    engine.meps());
+
+        if (!statsJsonPath.empty()) {
+            StatRegistry registry;
+            engine.registerStats(registry);
+            writeStatsJsonFile(statsJsonPath, registry);
+        }
+
+        if (engine.interrupted()) {
+            std::printf("interrupted after %zu fresh points; resume "
+                        "with --resume=%s\n",
+                        final.done,
+                        journalPath.empty() ? "JOURNAL"
+                                            : journalPath.c_str());
+            return 4;
+        }
+
+        if (pareto) {
+            std::printf("Pareto frontier:\n");
+            for (std::size_t i : paretoFrontier(points)) {
+                const auto &p = points[i];
+                std::printf("  %10.1f us %8.2f mW   %s\n",
+                            p.results.totalUs(),
+                            p.results.avgPowerMw,
+                            p.config.describe().c_str());
+            }
+        }
+
+        if (!outPath.empty()) {
+            if (outPath == "-") {
+                writeSweepResultsJson(std::cout, points, workload);
+            } else {
+                std::ofstream out(outPath);
+                if (!out) {
+                    std::fprintf(stderr, "error: cannot write %s\n",
+                                 outPath.c_str());
+                    return 1;
+                }
+                writeSweepResultsJson(out, points, workload);
+                std::printf("wrote %s (%zu points)\n",
+                            outPath.c_str(), points.size());
+            }
+        }
+        return 0;
+    } catch (const SweepError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
