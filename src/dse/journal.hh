@@ -31,12 +31,13 @@
 #include <vector>
 
 #include "dse/sweep.hh"
+#include "sim/thread_safety.hh"
 
 namespace genie
 {
 
 /** One journal line: a completed design point. */
-struct JournalRecord
+struct JournalRecord GENIE_THREAD_LOCAL_OK
 {
     std::string key;          ///< configCanonicalKey of the point
     std::uint64_t fingerprint = 0;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dse/sweep.hh"
+#include "sim/thread_safety.hh"
 
 namespace genie
 {
@@ -27,7 +28,7 @@ std::size_t edpOptimal(const std::vector<DesignPoint> &points);
 
 /** The Figure 9 Kiviat axes for one design point, normalized to a
  * reference design. */
-struct KiviatAxes
+struct KiviatAxes GENIE_THREAD_LOCAL_OK
 {
     double lanes = 0.0;
     double sramSize = 0.0;
@@ -43,7 +44,7 @@ KiviatAxes kiviatAxes(const DesignPoint &point,
  *  - re-evaluate its parameters under full system effects,
  *  - compare against the EDP-optimal co-designed point.
  */
-struct CodesignComparison
+struct CodesignComparison GENIE_THREAD_LOCAL_OK
 {
     DesignPoint isolatedOptimal;      ///< compute-only metrics
     DesignPoint isolatedUnderSystem;  ///< same design, system effects

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/results.hh"
+#include "sim/thread_safety.hh"
 
 namespace genie
 {
@@ -41,9 +42,9 @@ class ResultCache
 
   private:
     mutable std::mutex mutex;
-    std::map<std::string, SocResults> entries;
-    std::uint64_t _hits = 0;
-    std::uint64_t _misses = 0;
+    std::map<std::string, SocResults> entries GENIE_GUARDED_BY(mutex);
+    std::uint64_t _hits GENIE_GUARDED_BY(mutex) = 0;
+    std::uint64_t _misses GENIE_GUARDED_BY(mutex) = 0;
 };
 
 } // namespace genie

@@ -18,11 +18,12 @@
 #include <vector>
 
 #include "core/soc.hh"
+#include "sim/thread_safety.hh"
 
 namespace genie
 {
 
-struct DesignPoint
+struct DesignPoint GENIE_THREAD_LOCAL_OK
 {
     SocConfig config;
     SocResults results;
@@ -73,7 +74,7 @@ class DesignSpace
  * list leaves that axis unconstrained; the cache axes only constrain
  * cache-mode configs, so a mixed DMA+cache space filters sanely.
  */
-struct SpaceFilter
+struct SpaceFilter GENIE_THREAD_LOCAL_OK
 {
     std::vector<unsigned> lanes;
     std::vector<unsigned> partitions;

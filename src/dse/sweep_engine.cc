@@ -20,9 +20,15 @@ namespace genie
 struct SweepEngine::Impl
 {
     // Inputs resolved for this run.
-    std::vector<std::string> keys; ///< canonical key per index
-    ResultCache *cache = nullptr;  ///< external or owned
-    ResultCache ownedCache;
+    /** Canonical key per index. */
+    std::vector<std::string> keys GENIE_SHARED_OK(filled before
+                                                  workers spawn and
+                                                  read-only after);
+    /** External or owned; the cache synchronizes internally. */
+    ResultCache *cache GENIE_SHARED_OK(bound before workers spawn;
+                                       pointee internally
+                                       synchronized) = nullptr;
+    ResultCache ownedCache GENIE_SHARED_OK(internally synchronized);
 
     // Work-stealing deques: the owner pops from the front, thieves
     // pop from the back, so a thief takes the victim's cheapest
@@ -30,26 +36,32 @@ struct SweepEngine::Impl
     struct WorkerQueue
     {
         std::mutex mutex;
-        std::deque<std::size_t> items;
+        std::deque<std::size_t> items GENIE_GUARDED_BY(mutex);
     };
-    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    std::vector<std::unique_ptr<WorkerQueue>> queues
+        GENIE_SHARED_OK(sized and filled before workers spawn; the
+                        elements lock themselves);
 
     // Shared counters.
-    std::atomic<std::size_t> done{0};
-    std::atomic<std::size_t> cachedHits{0};
-    std::atomic<std::size_t> failed{0};
-    std::atomic<std::size_t> freshStarted{0};
-    std::atomic<bool> stopped{false};
-    std::atomic<std::uint64_t> events{0};
-    std::atomic<std::uint64_t> wallNs{0};
+    std::atomic<std::size_t> done GENIE_SHARED_OK(atomic){0};
+    std::atomic<std::size_t> cachedHits GENIE_SHARED_OK(atomic){0};
+    std::atomic<std::size_t> failed GENIE_SHARED_OK(atomic){0};
+    std::atomic<std::size_t> freshStarted GENIE_SHARED_OK(atomic){0};
+    std::atomic<bool> stopped GENIE_SHARED_OK(atomic){false};
+    std::atomic<std::uint64_t> events GENIE_SHARED_OK(atomic){0};
+    std::atomic<std::uint64_t> wallNs GENIE_SHARED_OK(atomic){0};
 
     std::mutex failureMutex;
-    std::vector<FailedPoint> failures;
+    std::vector<FailedPoint> failures GENIE_GUARDED_BY(failureMutex);
 
     std::mutex progressMutex; ///< serializes the user callback
 
     std::mutex journalMutex;
-    std::ofstream journal;
+    std::ofstream journal GENIE_GUARDED_BY(journalMutex);
+    /** Whether this run journals at all; the stream itself is only
+     * touched under journalMutex. */
+    bool journalEnabled GENIE_SHARED_OK(set before workers spawn and
+                                        read-only after) = false;
 
     /** Pop the next index: own deque first, then steal. Returns
      * npos when every deque is empty. */
@@ -190,6 +202,7 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
     if (!opts.journalPath.empty()) {
         bool appending = opts.journalPath == opts.resumePath &&
                          std::ifstream(opts.journalPath).good();
+        std::lock_guard<std::mutex> lock(st.journalMutex);
         st.journal.open(opts.journalPath,
                         appending ? std::ios::app : std::ios::trunc);
         if (!st.journal) {
@@ -198,6 +211,7 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
         }
         if (!appending)
             st.journal << journalHeaderLine() << std::flush;
+        st.journalEnabled = true;
     }
 
     st.keys.resize(configs.size());
@@ -233,15 +247,20 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
     st.queues.resize(threads);
     for (unsigned t = 0; t < threads; ++t)
         st.queues[t] = std::make_unique<Impl::WorkerQueue>();
-    for (std::size_t n = 0; n < order.size(); ++n)
-        st.queues[n % threads]->items.push_back(order[n]);
+    for (std::size_t n = 0; n < order.size(); ++n) {
+        Impl::WorkerQueue &q = *st.queues[n % threads];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        q.items.push_back(order[n]);
+    }
 
     auto reportProgress = [&] {
         if (!opts.onProgress)
             return;
-        SweepProgress p = progress();
+        // Snapshot inside the lock: taking it outside lets two
+        // workers deliver reordered snapshots, so a callback could
+        // observe counters going backwards.
         std::lock_guard<std::mutex> lock(st.progressMutex);
-        opts.onProgress(p);
+        opts.onProgress(progress());
     };
 
     auto process = [&](std::size_t i, HostProfiler &profiler) {
@@ -264,8 +283,15 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
             soc.eventQueue().setProfiler(&profiler);
             points[i].results = soc.run();
         } catch (const std::exception &e) {
-            std::lock_guard<std::mutex> lock(st.failureMutex);
-            st.failures.push_back({i, configs[i], e.what()});
+            // Scope the lock to the push_back: reportProgress runs
+            // the user callback, and calling out under failureMutex
+            // imposes a lock order (failureMutex before
+            // progressMutex) on every other path and deadlocks any
+            // callback that reaches back into failure state.
+            {
+                std::lock_guard<std::mutex> lock(st.failureMutex);
+                st.failures.push_back({i, configs[i], e.what()});
+            }
             st.failed.fetch_add(1);
             reportProgress();
             return;
@@ -273,7 +299,7 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
         st.events.fetch_add(profiler.totalEvents() - eventsBefore);
         st.wallNs.fetch_add(profiler.totalWallNs() - nsBefore);
         st.cache->insert(st.keys[i], points[i].results);
-        if (st.journal.is_open()) {
+        if (st.journalEnabled) {
             std::string line = journalRecordLine(
                 st.keys[i], configFingerprint(configs[i]),
                 points[i].results);
@@ -308,14 +334,22 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
     _interrupted = st.stopped.load();
     _events = st.events.load();
     _wallNs = st.wallNs.load();
-    _failures = st.failures;
+    {
+        // The join is a happens-before edge, but take the lock
+        // anyway: it keeps the guarded-by contract provable and
+        // costs nothing post-join.
+        std::lock_guard<std::mutex> lock(st.failureMutex);
+        _failures = st.failures;
+    }
     std::sort(_failures.begin(), _failures.end(),
               [](const FailedPoint &a, const FailedPoint &b) {
                   return a.index < b.index;
               });
     publishStats();
-    if (st.journal.is_open())
+    if (st.journalEnabled) {
+        std::lock_guard<std::mutex> lock(st.journalMutex);
         st.journal.close();
+    }
     impl.reset();
 
     if (!_failures.empty() && !opts.continueOnError) {

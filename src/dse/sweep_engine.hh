@@ -48,13 +48,14 @@
 #include "dse/result_cache.hh"
 #include "dse/sweep.hh"
 #include "sim/stats.hh"
+#include "sim/thread_safety.hh"
 
 namespace genie
 {
 
 /** Live counters reported through SweepOptions::onProgress and
  * mirrored into the "sweep" StatGroup. */
-struct SweepProgress
+struct SweepProgress GENIE_THREAD_LOCAL_OK
 {
     std::size_t total = 0;  ///< points in the sweep
     std::size_t done = 0;   ///< freshly simulated
@@ -67,7 +68,7 @@ struct SweepProgress
 
 /** One design point whose simulation threw, with the offending
  * config attached. */
-struct FailedPoint
+struct FailedPoint GENIE_THREAD_LOCAL_OK
 {
     std::size_t index = 0; ///< position in the swept config vector
     SocConfig config;
@@ -76,7 +77,7 @@ struct FailedPoint
 
 /** Thrown after the sweep when any worker failed (unless
  * SweepOptions::continueOnError). Carries every failure. */
-class SweepError : public std::runtime_error
+class SweepError GENIE_THREAD_LOCAL_OK : public std::runtime_error
 {
   public:
     SweepError(const std::string &what,
@@ -93,7 +94,8 @@ class SweepError : public std::runtime_error
     std::vector<FailedPoint> _failures;
 };
 
-struct SweepOptions
+struct SweepOptions GENIE_SHARED_OK(written before run starts and
+                                    read-only while workers exist)
 {
     /** Worker threads; 0 = hardware concurrency. */
     unsigned threads = 0;
@@ -177,21 +179,36 @@ class SweepEngine
 
   private:
     struct Impl;
-    std::unique_ptr<Impl> impl;
+    /** Set before workers spawn, reset after they join; workers reach
+     * shared run state only through this pointer. */
+    std::unique_ptr<Impl> impl GENIE_SHARED_OK(set before workers
+                                               spawn and reset after
+                                               the join);
 
-    SweepOptions opts;
-    StatGroup statGroup{"sweep"};
-    Stat *statTotal = nullptr;
-    Stat *statDone = nullptr;
-    Stat *statCached = nullptr;
-    Stat *statFailed = nullptr;
-    Stat *statEvents = nullptr;
-    Stat *statMeps = nullptr;
+    SweepOptions opts GENIE_SHARED_OK(written before run and
+                                      read-only while workers exist);
+    /** Stats are registered/written outside the worker phase; during
+     * a run workers read only the pre-published points_total. */
+    StatGroup statGroup GENIE_SHARED_OK(mutated only outside the
+                                        worker phase){"sweep"};
+    Stat *statTotal GENIE_SHARED_OK(bound in ctor; pointee written
+                                    before workers spawn) = nullptr;
+    Stat *statDone GENIE_SHARED_OK(bound in ctor; pointee written
+                                   after workers join) = nullptr;
+    Stat *statCached GENIE_SHARED_OK(bound in ctor; pointee written
+                                     after workers join) = nullptr;
+    Stat *statFailed GENIE_SHARED_OK(bound in ctor; pointee written
+                                     after workers join) = nullptr;
+    Stat *statEvents GENIE_SHARED_OK(bound in ctor; pointee written
+                                     after workers join) = nullptr;
+    Stat *statMeps GENIE_SHARED_OK(bound in ctor; pointee written
+                                   after workers join) = nullptr;
 
-    std::vector<FailedPoint> _failures;
-    bool _interrupted = false;
-    std::uint64_t _events = 0;
-    std::uint64_t _wallNs = 0;
+    /** Owner-thread mirrors of the last run, copied after the join. */
+    std::vector<FailedPoint> _failures GENIE_THREAD_LOCAL_OK;
+    bool _interrupted GENIE_THREAD_LOCAL_OK = false;
+    std::uint64_t _events GENIE_THREAD_LOCAL_OK = 0;
+    std::uint64_t _wallNs GENIE_THREAD_LOCAL_OK = 0;
 
     void publishStats();
 };

@@ -1,4 +1,5 @@
 #include "export.hh"
+#include "sim/thread_safety.hh"
 
 #include <charconv>
 #include <cmath>
@@ -52,7 +53,7 @@ csvField(const std::string &s)
 }
 
 /** Collects one JSON object member list with deterministic order. */
-struct JsonStatsWriter : StatVisitor
+struct JsonStatsWriter GENIE_THREAD_LOCAL_OK : StatVisitor
 {
     std::string scalars;
     std::string dists;
@@ -106,7 +107,7 @@ struct JsonStatsWriter : StatVisitor
     }
 };
 
-struct CsvStatsWriter : StatVisitor
+struct CsvStatsWriter GENIE_THREAD_LOCAL_OK : StatVisitor
 {
     std::string out = "stat,value\n";
 

@@ -10,12 +10,14 @@
 #include <cstddef>
 #include <string>
 
+#include "sim/thread_safety.hh"
+
 #include "sim/types.hh"
 
 namespace genie
 {
 
-struct MetricsConfig
+struct MetricsConfig GENIE_THREAD_LOCAL_OK
 {
     /**
      * Time-series sampling period in accelerator-clock cycles; 0

@@ -28,11 +28,12 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/thread_safety.hh"
 
 namespace genie
 {
 
-class HostProfiler : public EventProfiler
+class HostProfiler GENIE_THREAD_LOCAL_OK : public EventProfiler
 {
   public:
     /** Accumulated attribution for one event kind. */

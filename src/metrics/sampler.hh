@@ -25,12 +25,13 @@
 
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
+#include "sim/thread_safety.hh"
 #include "sim/types.hh"
 
 namespace genie
 {
 
-class MetricsSampler
+class MetricsSampler GENIE_THREAD_LOCAL_OK
 {
   public:
     struct Params

@@ -4,12 +4,16 @@
 #include <cstdlib>
 #include <vector>
 
+#include "thread_safety.hh"
+
 namespace genie
 {
 
 namespace
 {
-std::atomic<bool> quietFlag{false};
+std::atomic<bool> quietFlag GENIE_SHARED_OK(atomic quiet switch
+                                            flipped by sweep drivers
+                                            and tests){false};
 } // namespace
 
 std::string

@@ -25,11 +25,13 @@
 #include <string>
 #include <vector>
 
+#include "sim/thread_safety.hh"
+
 namespace genie
 {
 
 /** A named scalar statistic. */
-class Stat
+class Stat GENIE_THREAD_LOCAL_OK
 {
   public:
     Stat() = default;
@@ -55,7 +57,7 @@ class Stat
 };
 
 /** One distribution bin: samples in [lo, hi). */
-struct DistBucket
+struct DistBucket GENIE_THREAD_LOCAL_OK
 {
     double lo = 0.0;
     double hi = 0.0;
@@ -70,7 +72,7 @@ struct DistBucket
  * are symmetric with the exported bin edges: exporters and tests read
  * buckets()/percentile() instead of reimplementing the bin math.
  */
-class Distribution
+class Distribution GENIE_THREAD_LOCAL_OK
 {
   public:
     Distribution() = default;
@@ -150,7 +152,7 @@ class Distribution
  * Registration returns references that stay valid for the group's
  * lifetime (stats are stored in a deque-like stable container).
  */
-class StatGroup
+class StatGroup GENIE_THREAD_LOCAL_OK
 {
   public:
     explicit StatGroup(std::string prefix)
@@ -233,7 +235,7 @@ class StatVisitor
  * exporters, the MetricsSampler, DSE post-processing — walks this
  * registry instead of naming components one by one.
  */
-class StatRegistry
+class StatRegistry GENIE_THREAD_LOCAL_OK
 {
   public:
     StatRegistry() = default;

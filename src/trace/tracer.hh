@@ -45,6 +45,7 @@
 #include "sim/event_queue.hh"
 #include "sim/interval_set.hh"
 #include "sim/types.hh"
+#include "sim/thread_safety.hh"
 
 namespace genie
 {
@@ -90,7 +91,7 @@ TraceCategoryMask parseTraceCategories(const std::string &csv);
 std::string traceCategoriesToString(TraceCategoryMask mask);
 
 /** Tracing knobs threaded through SocConfig. */
-struct TraceConfig
+struct TraceConfig GENIE_THREAD_LOCAL_OK
 {
     /** Master switch: when false no Tracer is constructed at all. */
     bool enabled = false;
@@ -106,7 +107,7 @@ using TraceSpanId = std::uint64_t;
 constexpr TraceSpanId invalidTraceSpan = 0;
 
 /** Span-duration summary for one category (or one span name). */
-struct TraceDurations
+struct TraceDurations GENIE_THREAD_LOCAL_OK
 {
     std::uint64_t count = 0;
     Tick minTicks = 0;
@@ -128,7 +129,7 @@ struct TraceDurations
  * (one Tracer per EventQueue per Soc), so sweeps tracing thousands of
  * concurrent design points never contend or interleave.
  */
-class Tracer
+class Tracer GENIE_THREAD_LOCAL_OK
 {
   public:
     explicit Tracer(const EventQueue &eq,

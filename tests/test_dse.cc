@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -431,6 +432,123 @@ TEST(SweepEngine, ProgressCallbackCoversEveryPoint)
     EXPECT_EQ(last.done + last.cached, s.configs.size());
     EXPECT_GT(engine.simulatedEvents(), 0u);
     EXPECT_GT(engine.meps(), 0.0);
+}
+
+TEST(SweepEngine, ProgressSnapshotsAreMonotonicUnderContention)
+{
+    // Regression: reportProgress used to build its snapshot outside
+    // progressMutex, so two workers finishing together could deliver
+    // reordered snapshots and a callback would observe done/cached
+    // counters going backwards. The snapshot is now taken under the
+    // callback lock; every observed counter must be non-decreasing.
+    const auto &s = space();
+    // Prewarm a shared cache with half the space so cached and done
+    // both move under contention (duplicates inside one run can race
+    // past each other before either inserts, so prewarming is the
+    // only way to guarantee hits).
+    ResultCache cache;
+    std::vector<SocConfig> half(s.configs.begin(),
+                                s.configs.begin() + 3);
+    {
+        SweepOptions warmup;
+        warmup.cache = &cache;
+        SweepEngine prime(std::move(warmup));
+        prime.run(half, s.trace, s.dddg);
+    }
+    std::vector<SocConfig> configs = s.configs;
+    configs.insert(configs.end(), s.configs.begin(), s.configs.end());
+
+    SweepProgress prev;
+    std::size_t calls = 0;
+    SweepOptions options;
+    options.cache = &cache;
+    options.threads = 4;
+    options.onProgress = [&](const SweepProgress &p) {
+        EXPECT_GE(p.done, prev.done)
+            << "done went backwards across callbacks";
+        EXPECT_GE(p.cached, prev.cached)
+            << "cached went backwards across callbacks";
+        EXPECT_GE(p.failed, prev.failed)
+            << "failed went backwards across callbacks";
+        EXPECT_LE(p.done + p.cached + p.failed, p.total);
+        prev = p;
+        ++calls;
+    };
+    SweepEngine engine(std::move(options));
+    engine.run(configs, s.trace, s.dddg);
+    EXPECT_EQ(calls, configs.size());
+    EXPECT_EQ(prev.done + prev.cached, configs.size());
+    EXPECT_GE(prev.cached, 2 * half.size())
+        << "every occurrence of a prewarmed config must be a hit";
+    EXPECT_GE(prev.done, s.configs.size() - half.size())
+        << "the cold configs must still be simulated";
+}
+
+TEST(SweepEngine, CallbackMayReenterEngineOnFailurePath)
+{
+    // Regression: the failure path used to run the user callback
+    // while still holding failureMutex, imposing a lock order that
+    // deadlocked callbacks reaching back into the engine. The lock
+    // is now scoped to the push_back; a callback that calls
+    // progress() and failures() on every delivery — including
+    // failure deliveries — must complete.
+    const auto &s = space();
+    std::vector<SocConfig> configs = s.configs;
+    for (std::size_t at : {std::size_t{1}, std::size_t{4}}) {
+        SocConfig bad = s.configs.front();
+        bad.lanes = 0; // validateSocConfig: fatal
+        configs.insert(configs.begin() + at, bad);
+    }
+
+    SweepOptions options;
+    options.threads = 4;
+    options.continueOnError = true;
+    SweepEngine *eng = nullptr;
+    std::size_t maxFailedSeen = 0;
+    options.onProgress = [&](const SweepProgress &p) {
+        SweepProgress again = eng->progress();
+        EXPECT_GE(again.done + again.cached + again.failed,
+                  p.done + p.cached + p.failed);
+        (void)eng->failures(); // stale during the run, but safe
+        maxFailedSeen = std::max(maxFailedSeen, p.failed);
+    };
+    SweepEngine engine(std::move(options));
+    eng = &engine;
+    auto points = engine.run(configs, s.trace, s.dddg);
+
+    ASSERT_EQ(points.size(), configs.size());
+    EXPECT_EQ(maxFailedSeen, 2u);
+    ASSERT_EQ(engine.failures().size(), 2u);
+    EXPECT_EQ(engine.failures()[0].index, 1u);
+    EXPECT_EQ(engine.failures()[1].index, 4u)
+        << "failures must come back sorted by point index";
+}
+
+TEST(SweepEngine, EveryPointFailingStillCountsAndSortsFailures)
+{
+    // Regression: the dealing loop used to fill the per-worker
+    // deques without their locks and the owner read st.failures
+    // without failureMutex after the join. All-failure sweeps at
+    // threads=4 are the densest exercise of both paths.
+    const auto &s = space();
+    std::vector<SocConfig> configs = s.configs;
+    for (auto &c : configs)
+        c.lanes = 0; // every point fails validation
+
+    SweepOptions options;
+    options.threads = 4;
+    options.continueOnError = true;
+    SweepEngine engine(std::move(options));
+    auto points = engine.run(configs, s.trace, s.dddg);
+
+    ASSERT_EQ(points.size(), configs.size());
+    ASSERT_EQ(engine.failures().size(), configs.size());
+    EXPECT_EQ(engine.progress().failed, configs.size());
+    EXPECT_EQ(engine.progress().done, 0u);
+    for (std::size_t i = 0; i < engine.failures().size(); ++i) {
+        EXPECT_EQ(engine.failures()[i].index, i);
+        EXPECT_EQ(engine.failures()[i].config.lanes, 0u);
+    }
 }
 
 TEST(SweepEngine, ConfigCostPrefersCacheAndNarrowDatapaths)

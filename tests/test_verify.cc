@@ -14,7 +14,9 @@
 #include <algorithm>
 
 #include "accel/dddg.hh"
+#include "concurrency.hh"
 #include "core/soc.hh"
+#include "index.hh"
 #include "lint.hh"
 #include "mem/bus.hh"
 #include "mem/coherence.hh"
@@ -397,6 +399,376 @@ TEST(LintStrip, PreservesLineStructure)
     EXPECT_EQ(out.find("tail"), std::string::npos);
     EXPECT_NE(out.find('a'), std::string::npos);
     EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+// --- cross-TU declaration index -------------------------------------
+
+lint::DeclIndex
+indexOf(std::vector<std::pair<std::string, std::string>> files)
+{
+    lint::DeclIndex idx;
+    for (const auto &[path, code] : files)
+        idx.addFile(path, code);
+    return idx;
+}
+
+std::vector<lint::Finding>
+findingsFor(std::vector<std::pair<std::string, std::string>> files,
+            const std::string &rule)
+{
+    auto idx = indexOf(std::move(files));
+    std::vector<lint::Finding> out;
+    for (auto &f : lint::analyzeConcurrency(idx)) {
+        if (f.rule == rule)
+            out.push_back(std::move(f));
+    }
+    return out;
+}
+
+TEST(DeclIndex, IndexesClassesFieldsMethodsAndStatics)
+{
+    auto idx = indexOf(
+        {{"src/mem/widget.hh",
+          "#include \"sim/types.hh\"\n"
+          "namespace genie {\n"
+          "class Widget {\n"
+          "  public:\n"
+          "    void tick();\n"
+          "    int size() const { return n; }\n"
+          "  private:\n"
+          "    int n = 0;\n"
+          "    const int limit = 8;\n"
+          "    static unsigned live;\n"
+          "    std::mutex mutex;\n"
+          "    std::atomic<int> refs{0};\n"
+          "};\n"
+          "int spare = 3;\n"
+          "} // namespace genie\n"},
+         {"src/mem/widget.cc",
+          "#include \"mem/widget.hh\"\n"
+          "namespace genie {\n"
+          "unsigned Widget::live = 0;\n"
+          "void Widget::tick() { ++n; }\n"
+          "} // namespace genie\n"}});
+
+    const lint::ClassDecl *w = idx.findClass("Widget");
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->file, "src/mem/widget.hh");
+    ASSERT_EQ(w->fields.size(), 5u);
+    EXPECT_EQ(w->fields[0].name, "n");
+    EXPECT_TRUE(w->fields[1].isConst);
+    EXPECT_TRUE(w->fields[2].isStatic);
+    EXPECT_TRUE(w->fields[3].isSync);
+    EXPECT_TRUE(w->fields[4].isAtomic);
+
+    // Methods with and without inline bodies both register; the
+    // out-of-line definition lands in functions() with its class.
+    ASSERT_EQ(w->methods.size(), 2u);
+    bool sawOutOfLine = false;
+    for (const auto &fn : idx.functions()) {
+        if (fn.name == "tick" && fn.className == "Widget" &&
+            fn.file == "src/mem/widget.cc")
+            sawOutOfLine = true;
+    }
+    EXPECT_TRUE(sawOutOfLine);
+
+    // Initialized namespace-scope variables count as statics; the
+    // include graph is harvested from the raw text.
+    bool sawSpare = false;
+    for (const auto &s : idx.statics())
+        sawSpare |= s.name == "spare" && s.scope == "namespace";
+    EXPECT_TRUE(sawSpare);
+    ASSERT_NE(idx.file("src/mem/widget.hh"), nullptr);
+    EXPECT_EQ(idx.file("src/mem/widget.hh")->includes,
+              std::vector<std::string>{"sim/types.hh"});
+}
+
+TEST(DeclIndex, CollectsAnnotationsThroughTheEnclosingChain)
+{
+    auto idx = indexOf(
+        {{"src/dse/outer.hh",
+          "namespace genie {\n"
+          "class Outer GENIE_THREAD_LOCAL_OK {\n"
+          "    struct Inner { int x = 0; };\n"
+          "    int guardedValue GENIE_GUARDED_BY(mutex) = 0;\n"
+          "    std::mutex mutex;\n"
+          "};\n"
+          "} // namespace genie\n"}});
+
+    const lint::ClassDecl *outer = idx.findClass("Outer");
+    const lint::ClassDecl *inner = idx.findClass("Outer::Inner");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(inner->enclosing, "Outer");
+    EXPECT_TRUE(
+        idx.classHasAnnotation(*outer, "GENIE_THREAD_LOCAL_OK"));
+    // Nested classes inherit the enclosing class's coverage.
+    EXPECT_TRUE(
+        idx.classHasAnnotation(*inner, "GENIE_THREAD_LOCAL_OK"));
+
+    bool sawGuarded = false;
+    for (const auto &f : outer->fields) {
+        if (f.name != "guardedValue")
+            continue;
+        ASSERT_EQ(f.annotations.size(), 1u);
+        EXPECT_EQ(f.annotations[0].name, "GENIE_GUARDED_BY");
+        EXPECT_EQ(f.annotations[0].arg, "mutex");
+        sawGuarded = true;
+    }
+    EXPECT_TRUE(sawGuarded);
+}
+
+TEST(DeclIndex, InitializersDoNotLeakIntoDeclaredNames)
+{
+    // Regression: `bool on = false;` once indexed a field named
+    // "false" because the name scan included initializer tokens.
+    auto idx = indexOf({{"src/dse/cfg.hh",
+                         "namespace genie {\n"
+                         "struct Cfg {\n"
+                         "    bool on = false;\n"
+                         "    unsigned depth = kDefault;\n"
+                         "};\n"
+                         "} // namespace genie\n"}});
+    const lint::ClassDecl *c = idx.findClass("Cfg");
+    ASSERT_NE(c, nullptr);
+    ASSERT_EQ(c->fields.size(), 2u);
+    EXPECT_EQ(c->fields[0].name, "on");
+    EXPECT_EQ(c->fields[1].name, "depth");
+}
+
+// --- concurrency rules over the index -------------------------------
+
+TEST(LintSharedState, FlagsUnannotatedStaticsAndSharedSetFields)
+{
+    auto fs = findingsFor(
+        {{"src/mem/counters.cc",
+          "namespace genie { namespace {\n"
+          "unsigned long totalPackets = 0;\n"
+          "} }\n"},
+         {"src/dse/tally.hh",
+          "namespace genie {\n"
+          "struct Tally { unsigned hits = 0; };\n"
+          "} // namespace genie\n"}},
+        "shared-state");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].file, "src/dse/tally.hh");
+    EXPECT_NE(fs[0].message.find("Tally::hits"), std::string::npos);
+    EXPECT_EQ(fs[1].file, "src/mem/counters.cc");
+    EXPECT_NE(fs[1].message.find("totalPackets"), std::string::npos);
+}
+
+TEST(LintSharedState, AnnotationsAndExemptKindsSatisfyTheRule)
+{
+    auto fs = findingsFor(
+        {{"src/dse/tally.hh",
+          "namespace genie {\n"
+          "struct Tally {\n"
+          "    unsigned hits GENIE_GUARDED_BY(mutex) = 0;\n"
+          "    std::atomic<unsigned> misses GENIE_SHARED_OK(atomic){0};\n"
+          "    const unsigned cap = 8;\n"
+          "    std::mutex mutex;\n"
+          "};\n"
+          "struct Scratch GENIE_THREAD_LOCAL_OK {\n"
+          "    unsigned covered = 0;\n"
+          "};\n"
+          "} // namespace genie\n"},
+         {"src/mem/counters.cc",
+          "namespace genie { namespace {\n"
+          "unsigned hits GENIE_SHARED_OK(atomic counter) = 0;\n"
+          "} }\n"}},
+        "shared-state");
+    EXPECT_TRUE(fs.empty()) << (fs.empty() ? "" : fs[0].message);
+}
+
+TEST(LintSharedState, OutsideTheSharedSetOnlyStaticsAreChecked)
+{
+    // src/mem is not in the shared set: bare members pass, but
+    // mutable statics are still everyone's problem.
+    auto fs = findingsFor({{"src/mem/bus.hh",
+                            "namespace genie {\n"
+                            "struct Bus { unsigned inflight = 0; };\n"
+                            "} // namespace genie\n"}},
+                          "shared-state");
+    EXPECT_TRUE(fs.empty());
+    EXPECT_FALSE(lint::inSharedSet("src/mem/bus.hh"));
+    EXPECT_TRUE(lint::inSharedSet("src/dse/sweep_engine.hh"));
+    EXPECT_TRUE(lint::inSharedSet("src/sim/stats.hh"));
+}
+
+TEST(LintGuardedBy, LockRequiresAndCtorSatisfyTheContract)
+{
+    const char *code =
+        "namespace genie {\n"
+        "class Box {\n"
+        "  public:\n"
+        "    Box() { value = 1; }\n" // single-owner construction
+        "    void addLocked() {\n"
+        "        std::lock_guard<std::mutex> lock(mutex);\n"
+        "        ++value;\n"
+        "    }\n"
+        "    int readRequired() GENIE_REQUIRES(mutex)\n"
+        "    { return value; }\n"
+        "    void addDirect() { mutex.lock(); ++value; }\n"
+        "  private:\n"
+        "    int value GENIE_GUARDED_BY(mutex) = 0;\n"
+        "    std::mutex mutex;\n"
+        "};\n"
+        "} // namespace genie\n";
+    auto fs = findingsFor({{"src/dse/box.hh", code}}, "guarded-by");
+    EXPECT_TRUE(fs.empty()) << (fs.empty() ? "" : fs[0].message);
+}
+
+TEST(LintGuardedBy, FlagsAccessWithNoLockInScope)
+{
+    const char *code =
+        "namespace genie {\n"
+        "class Box {\n"
+        "  public:\n"
+        "    void addUnlocked() { ++value; }\n"
+        "  private:\n"
+        "    int value GENIE_GUARDED_BY(mutex) = 0;\n"
+        "    std::mutex mutex;\n"
+        "};\n"
+        "} // namespace genie\n";
+    auto fs = findingsFor({{"src/dse/box.hh", code}}, "guarded-by");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_NE(fs[0].message.find("addUnlocked"), std::string::npos);
+    EXPECT_NE(fs[0].message.find("GENIE_GUARDED_BY(mutex)"),
+              std::string::npos);
+}
+
+TEST(LintGuardedBy, OutOfLineMethodsAreInScope)
+{
+    auto fs = findingsFor(
+        {{"src/dse/box.hh",
+          "namespace genie {\n"
+          "class Box {\n"
+          "    void bump();\n"
+          "    int value GENIE_GUARDED_BY(mutex) = 0;\n"
+          "    std::mutex mutex;\n"
+          "};\n"
+          "} // namespace genie\n"},
+         {"src/dse/box.cc",
+          "#include \"dse/box.hh\"\n"
+          "namespace genie {\n"
+          "void Box::bump() { ++value; }\n"
+          "} // namespace genie\n"}},
+        "guarded-by");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].file, "src/dse/box.cc");
+}
+
+TEST(LintEventAffinity, KindTaggedScheduleSitesAreWhitelisted)
+{
+    // The tagged call keeps its third-argument comma even after
+    // string stripping, and it licenses deschedule in the same TU.
+    const char *code =
+        "namespace genie {\n"
+        "void Watchdog::arm() {\n"
+        "    eventQueue.scheduleIn(period, check, \"watchdog.check\");\n"
+        "    eventQueue.deschedule(pending);\n"
+        "}\n"
+        "} // namespace genie\n";
+    auto fs = findingsFor({{"src/fault/watchdog.cc", code}},
+                          "event-affinity");
+    EXPECT_TRUE(fs.empty()) << (fs.empty() ? "" : fs[0].message);
+}
+
+TEST(LintEventAffinity, FlagsUntaggedScheduleAndOrphanDeschedule)
+{
+    auto fs = findingsFor(
+        {{"src/accel/unit.cc",
+          "namespace genie {\n"
+          "void Unit::go() { eq.schedule(when, action); }\n"
+          "} // namespace genie\n"},
+         {"src/accel/other.cc",
+          "namespace genie {\n"
+          "void Other::halt() { eq.deschedule(evt); }\n"
+          "} // namespace genie\n"}},
+        "event-affinity");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_NE(fs[0].message.find("deschedule"), std::string::npos);
+    EXPECT_NE(fs[1].message.find("un-tagged"), std::string::npos);
+}
+
+TEST(LintEventAffinity, RendezvousSettersNeedAnOwningContext)
+{
+    const char *offender =
+        "namespace genie {\n"
+        "void Probe::attach(EventQueue &eq) {\n"
+        "    eq.setProfiler(&profiler);\n"
+        "}\n"
+        "} // namespace genie\n";
+    const char *owner =
+        "namespace genie {\n"
+        "void runPoint(const SocConfig &cfg) {\n"
+        "    Soc soc(cfg, trace, dddg);\n"
+        "    soc.eventQueue().setProfiler(&profiler);\n"
+        "}\n"
+        "} // namespace genie\n";
+    auto bad = findingsFor({{"src/metrics/probe.cc", offender}},
+                           "event-affinity");
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_NE(bad[0].message.find("setProfiler"), std::string::npos);
+    // Constructing the Soc locally, or living in src/core, is the
+    // single-owner setup phase the rule licenses.
+    EXPECT_TRUE(findingsFor({{"src/dse/runner.cc", owner}},
+                            "event-affinity")
+                    .empty());
+    EXPECT_TRUE(findingsFor({{"src/core/soc.cc", offender}},
+                            "event-affinity")
+                    .empty());
+}
+
+TEST(LintAmbient, FlagsEnvLocaleAndPointerKeyedContainers)
+{
+    auto fs = findingsFor(
+        {{"src/core/cfg.cc",
+          "const char *home = std::getenv(\"HOME\");\n"
+          "std::map<const Node *, int> order;\n"
+          "std::map<std::string, int> byName;\n"
+          "std::set<Event *> pending;\n"}},
+        "ambient-nondeterminism");
+    ASSERT_EQ(fs.size(), 3u);
+    EXPECT_NE(fs[0].message.find("environment"), std::string::npos);
+    EXPECT_EQ(fs[1].line, 2);
+    EXPECT_NE(fs[1].message.find("pointer-keyed"), std::string::npos);
+    EXPECT_EQ(fs[2].line, 4);
+}
+
+TEST(LintAmbient, ValueKeyedContainersAndToolsSuppressionsWork)
+{
+    // Value-keyed maps are fine; suppression entries take the
+    // rule+path pair just like the per-file rules.
+    auto fs = findingsFor(
+        {{"src/core/tbl.cc", "std::map<unsigned, Row> rows;\n"}},
+        "ambient-nondeterminism");
+    EXPECT_TRUE(fs.empty());
+
+    auto s = lint::Suppressions::parse(
+        "ambient-nondeterminism tools/genie_sweep/main.cc\n");
+    EXPECT_TRUE(s.matches("ambient-nondeterminism",
+                          "tools/genie_sweep/main.cc"));
+    EXPECT_FALSE(
+        s.matches("ambient-nondeterminism", "src/core/tbl.cc"));
+}
+
+TEST(SharedStateInventory, ReportsAnnotatedStateAsJson)
+{
+    auto idx = indexOf(
+        {{"src/dse/tally.hh",
+          "namespace genie {\n"
+          "struct Tally {\n"
+          "    unsigned hits GENIE_GUARDED_BY(mutex) = 0;\n"
+          "    std::mutex mutex;\n"
+          "};\n"
+          "} // namespace genie\n"}});
+    std::string json = lint::sharedStateInventoryJson(idx);
+    EXPECT_NE(json.find("\"schema\": \"genie-analyze-1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("Tally"), std::string::npos);
+    EXPECT_NE(json.find("GENIE_GUARDED_BY"), std::string::npos);
+    EXPECT_NE(json.find("mutex"), std::string::npos);
 }
 
 // --- runtime layer: bus protocol checker ----------------------------

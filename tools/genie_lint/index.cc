@@ -1,0 +1,802 @@
+#include "index.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint.hh"
+
+namespace genie
+{
+namespace lint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isAnnotationName(const std::string &s)
+{
+    return s == "GENIE_GUARDED_BY" || s == "GENIE_REQUIRES" ||
+           s == "GENIE_THREAD_LOCAL_OK" || s == "GENIE_SHARED_OK";
+}
+
+/**
+ * The token-stream parser for one file. Tracks a cursor over the
+ * stripped token vector and appends declarations into the index's
+ * containers. Heuristic by design; see index.hh.
+ */
+class Parser
+{
+  public:
+    Parser(const std::string &path, const std::vector<Token> &tokens,
+           std::vector<ClassDecl> &classes,
+           std::vector<StaticDecl> &statics,
+           std::vector<FunctionDef> &functions)
+        : path(path), toks(tokens), classes(classes),
+          statics(statics), functions(functions)
+    {}
+
+    void
+    run()
+    {
+        std::size_t i = 0;
+        parseScope(i, toks.size(), "");
+    }
+
+  private:
+    const std::string &path;
+    const std::vector<Token> &toks;
+    std::vector<ClassDecl> &classes;
+    std::vector<StaticDecl> &statics;
+    std::vector<FunctionDef> &functions;
+
+    const std::string &
+    text(std::size_t i) const
+    {
+        static const std::string empty;
+        return i < toks.size() ? toks[i].text : empty;
+    }
+
+    int
+    line(std::size_t i) const
+    {
+        return i < toks.size() ? toks[i].line : 0;
+    }
+
+    /** Index just past the brace/paren group opening at @p i. */
+    std::size_t
+    skipBalanced(std::size_t i, const char *open,
+                 const char *close) const
+    {
+        int depth = 0;
+        for (; i < toks.size(); ++i) {
+            if (text(i) == open) {
+                ++depth;
+            } else if (text(i) == close) {
+                if (--depth == 0)
+                    return i + 1;
+            }
+        }
+        return toks.size();
+    }
+
+    /** Skip a template parameter list starting at '<'. `>>` closes
+     * two levels (the tokenizer emits single '>' tokens). */
+    std::size_t
+    skipAngles(std::size_t i) const
+    {
+        int depth = 0;
+        for (; i < toks.size(); ++i) {
+            if (text(i) == "<")
+                ++depth;
+            else if (text(i) == ">" && --depth == 0)
+                return i + 1;
+        }
+        return toks.size();
+    }
+
+    /** Collect GENIE_* annotations at @p i; advances past them. */
+    bool
+    collectAnnotation(std::size_t &i, std::vector<Annotation> &out)
+    {
+        if (!isAnnotationName(text(i)))
+            return false;
+        Annotation a;
+        a.name = text(i);
+        a.line = line(i);
+        ++i;
+        if (text(i) == "(") {
+            std::size_t end = skipBalanced(i, "(", ")");
+            std::string arg;
+            for (std::size_t k = i + 1; k + 1 < end; ++k) {
+                if (!arg.empty())
+                    arg += ' ';
+                arg += text(k);
+            }
+            a.arg = arg;
+            i = end;
+        }
+        out.push_back(std::move(a));
+        return true;
+    }
+
+    /**
+     * Parse declarations at namespace or class scope between @p i
+     * and @p end. @p enclosingClass is the qualified class name when
+     * parsing a class body, "" at namespace scope.
+     */
+    void
+    parseScope(std::size_t &i, std::size_t end,
+               const std::string &enclosingClass)
+    {
+        const bool classScope = !enclosingClass.empty();
+        while (i < end) {
+            const std::string &t = text(i);
+            if (t == ";" || t == "}") {
+                ++i;
+            } else if (t == "namespace") {
+                ++i;
+                while (i < end && text(i) != "{" && text(i) != ";")
+                    ++i;
+                if (text(i) == "{")
+                    ++i; // transparent: members parse at this scope
+                else
+                    ++i; // namespace alias
+            } else if (t == "class" || t == "struct" ||
+                       t == "union") {
+                parseClass(i, end, enclosingClass);
+            } else if (t == "enum") {
+                ++i;
+                while (i < end && text(i) != "{" && text(i) != ";")
+                    ++i;
+                if (text(i) == "{")
+                    i = skipBalanced(i, "{", "}");
+                while (i < end && text(i) != ";")
+                    ++i;
+            } else if (t == "using" || t == "typedef" ||
+                       t == "friend") {
+                while (i < end && text(i) != ";")
+                    ++i;
+            } else if (t == "template") {
+                ++i;
+                if (text(i) == "<")
+                    i = skipAngles(i);
+            } else if (classScope &&
+                       (t == "public" || t == "private" ||
+                        t == "protected") &&
+                       text(i + 1) == ":") {
+                i += 2;
+            } else if (t == "extern" || t == "inline") {
+                ++i;
+            } else {
+                parseDeclaration(i, end, enclosingClass);
+            }
+        }
+    }
+
+    /** Qualified function name ending just before the '(' at
+     * @p paren: walks back over `ident`, `::`, `~`, `operator`. */
+    void
+    functionNameAt(std::size_t paren, std::string &name,
+                   std::string &qualifier) const
+    {
+        name.clear();
+        qualifier.clear();
+        if (paren == 0)
+            return;
+        std::size_t k = paren - 1;
+        // operator+, operator(), operator= ...: name everything from
+        // the `operator` keyword to the paren.
+        for (std::size_t back = 0; back < 4 && k >= back; ++back) {
+            if (text(k - back) == "operator") {
+                name = "operator";
+                for (std::size_t m = k - back + 1; m < paren; ++m)
+                    name += text(m);
+                if (k >= back + 2 && text(k - back - 1) == "::" &&
+                    !text(k - back - 2).empty())
+                    qualifier = text(k - back - 2);
+                return;
+            }
+        }
+        if (!identStart(text(k).empty() ? ' ' : text(k)[0]))
+            return;
+        name = text(k);
+        if (k >= 1 && text(k - 1) == "~") {
+            name = "~" + name;
+            if (k >= 2)
+                k -= 1;
+        }
+        if (k >= 2 && text(k - 1) == "::" &&
+            identStart(text(k - 2).empty() ? ' ' : text(k - 2)[0]))
+            qualifier = text(k - 2);
+    }
+
+    /**
+     * Parse one member/namespace-scope declaration (field, variable,
+     * function declaration, or function definition with body).
+     */
+    void
+    parseDeclaration(std::size_t &i, std::size_t end,
+                     const std::string &enclosingClass)
+    {
+        const bool classScope = !enclosingClass.empty();
+        const std::size_t start = i;
+        const int startLine = line(i);
+
+        std::vector<std::string> declToks;
+        std::vector<Annotation> annotations;
+        std::size_t parenTok = toks.size(); // first top-level '('
+        bool sawAssign = false;
+        bool isDefinition = false; // function with body
+        std::size_t bodyOpen = 0;
+        int angleDepth = 0;
+
+        while (i < end) {
+            if (collectAnnotation(i, annotations))
+                continue;
+            const std::string &t = text(i);
+            if (t == "<") {
+                ++angleDepth;
+                declToks.push_back(t);
+                ++i;
+            } else if (t == ">") {
+                if (angleDepth > 0)
+                    --angleDepth;
+                declToks.push_back(t);
+                ++i;
+            } else if (t == "(" && angleDepth == 0) {
+                if (parenTok == toks.size() && !sawAssign)
+                    parenTok = declToks.size();
+                std::size_t close = skipBalanced(i, "(", ")");
+                for (std::size_t k = i; k < close; ++k)
+                    declToks.push_back(text(k));
+                i = close;
+            } else if (t == "{") {
+                if (parenTok != toks.size() && !sawAssign) {
+                    // Function body.
+                    isDefinition = true;
+                    bodyOpen = i;
+                    i = skipBalanced(i, "{", "}");
+                    break;
+                }
+                // Brace initializer: part of a variable declaration.
+                std::size_t close = skipBalanced(i, "{", "}");
+                sawAssign = true;
+                i = close;
+            } else if (t == "=" && angleDepth == 0) {
+                sawAssign = true;
+                declToks.push_back(t);
+                ++i;
+            } else if (t == ";") {
+                ++i;
+                break;
+            } else if (t == "}" || (classScope &&
+                                    (t == "public" || t == "private" ||
+                                     t == "protected") &&
+                                    text(i + 1) == ":")) {
+                break; // malformed/end of scope; let caller handle
+            } else {
+                declToks.push_back(t);
+                ++i;
+            }
+        }
+
+        if (declToks.empty() && !isDefinition)
+            return;
+
+        if (parenTok != toks.size()) {
+            recordFunction(start, startLine, parenTok, annotations,
+                           enclosingClass, isDefinition, bodyOpen);
+            return;
+        }
+
+        recordVariable(startLine, declToks, annotations,
+                       enclosingClass, sawAssign);
+    }
+
+    void
+    recordFunction(std::size_t startTok, int startLine,
+                   std::size_t parenIdx,
+                   const std::vector<Annotation> &annotations,
+                   const std::string &enclosingClass,
+                   bool isDefinition, std::size_t bodyOpen)
+    {
+        // Resolve the (possibly qualified) name from the original
+        // token stream: find the '(' that starts the parameter list.
+        std::size_t paren = startTok;
+        int angleDepth = 0;
+        std::size_t seen = 0;
+        for (std::size_t k = startTok; k < toks.size(); ++k) {
+            const std::string &t = text(k);
+            if (t == "<")
+                ++angleDepth;
+            else if (t == ">" && angleDepth > 0)
+                --angleDepth;
+            else if (t == "(" && angleDepth == 0 &&
+                     seen >= parenIdx) {
+                paren = k;
+                break;
+            }
+            if (!isAnnotationName(t))
+                ++seen;
+        }
+        std::string name, qualifier;
+        functionNameAt(paren, name, qualifier);
+        if (name.empty())
+            return;
+
+        std::string className = qualifier;
+        if (className.empty() && !enclosingClass.empty()) {
+            std::size_t sep = enclosingClass.rfind("::");
+            className = sep == std::string::npos
+                            ? enclosingClass
+                            : enclosingClass.substr(sep + 2);
+        }
+
+        if (!enclosingClass.empty()) {
+            MethodDecl m;
+            m.name = name;
+            m.line = startLine;
+            m.hasBody = isDefinition;
+            m.annotations = annotations;
+            if (!classes.empty() &&
+                classes.back().name == enclosingClass)
+                classes.back().methods.push_back(m);
+            else
+                attachMethod(enclosingClass, m);
+        }
+
+        if (isDefinition) {
+            FunctionDef f;
+            f.name = name;
+            f.className = className;
+            f.file = path;
+            f.line = startLine;
+            f.tokenBegin = bodyOpen;
+            f.tokenEnd = skipBalanced(bodyOpen, "{", "}") - 1;
+            f.annotations = annotations;
+            functions.push_back(f);
+            scanBodyStatics(bodyOpen, f.tokenEnd);
+        }
+    }
+
+    void
+    attachMethod(const std::string &className, const MethodDecl &m)
+    {
+        for (auto it = classes.rbegin(); it != classes.rend(); ++it) {
+            if (it->name == className && it->file == path) {
+                it->methods.push_back(m);
+                return;
+            }
+        }
+    }
+
+    /** Record function-local `static` variables (mutable shared
+     * state hiding inside a body). */
+    void
+    scanBodyStatics(std::size_t bodyOpen, std::size_t bodyClose)
+    {
+        for (std::size_t k = bodyOpen + 1; k < bodyClose; ++k) {
+            if (text(k) != "static")
+                continue;
+            // `static` directly inside a local struct/lambda is rare;
+            // treat every body-level static the same way.
+            bool isConst = false;
+            std::vector<Annotation> anns;
+            std::vector<std::string> declToks;
+            std::size_t m = k + 1;
+            bool function = false;
+            int angleDepth = 0;
+            while (m < bodyClose) {
+                if (collectAnnotation(m, anns))
+                    continue;
+                const std::string &t = text(m);
+                if (t == "const" || t == "constexpr" ||
+                    t == "constinit")
+                    isConst = true;
+                if (t == "<")
+                    ++angleDepth;
+                else if (t == ">" && angleDepth > 0)
+                    --angleDepth;
+                if (t == "(" && angleDepth == 0) {
+                    function = true;
+                    break;
+                }
+                if (t == ";" || t == "=" || t == "{")
+                    break;
+                declToks.push_back(t);
+                ++m;
+            }
+            if (function || declToks.empty())
+                continue;
+            StaticDecl s;
+            s.name = declToks.back();
+            s.file = path;
+            s.line = line(k);
+            s.isConst = isConst;
+            s.scope = "function";
+            s.annotations = anns;
+            statics.push_back(std::move(s));
+        }
+    }
+
+    void
+    recordVariable(int startLine,
+                   const std::vector<std::string> &declToks,
+                   const std::vector<Annotation> &annotations,
+                   const std::string &enclosingClass,
+                   bool hasInitializer)
+    {
+        bool isStatic = false, isConst = false, isMutable = false;
+        for (const auto &t : declToks) {
+            if (t == "static")
+                isStatic = true;
+            else if (t == "const" || t == "constexpr" ||
+                     t == "constinit")
+                isConst = true;
+            else if (t == "mutable")
+                isMutable = true;
+        }
+        (void)isMutable;
+
+        // The declarator ends at the first '=': initializer tokens
+        // must not be mistaken for the name (`bool on = false`).
+        std::size_t declEnd = declToks.size();
+        for (std::size_t k = 0; k < declToks.size(); ++k) {
+            if (declToks[k] == "=") {
+                declEnd = k;
+                break;
+            }
+        }
+
+        // Name: last identifier before any initializer/array suffix.
+        std::string name;
+        std::string type;
+        for (std::size_t k = declEnd; k-- > 0;) {
+            const std::string &t = declToks[k];
+            if (t == "]" || t == "[")
+                continue;
+            if (!t.empty() && identStart(t[0])) {
+                name = t;
+                for (std::size_t m = 0; m < k; ++m) {
+                    if (!type.empty())
+                        type += ' ';
+                    type += declToks[m];
+                }
+                break;
+            }
+        }
+        if (name.empty())
+            return;
+        // Skip keywords that can't be names.
+        if (name == "const" || name == "static" || name == "return")
+            return;
+
+        bool isAtomic = false, isSync = false;
+        std::string joined = type + " " + name;
+        if (joined.find("atomic") != std::string::npos)
+            isAtomic = true;
+        if (joined.find("mutex") != std::string::npos ||
+            joined.find("condition_variable") != std::string::npos ||
+            joined.find("once_flag") != std::string::npos)
+            isSync = true;
+
+        if (!enclosingClass.empty()) {
+            FieldDecl f;
+            f.name = name;
+            f.type = type;
+            f.line = startLine;
+            f.isConst = isConst;
+            f.isStatic = isStatic;
+            f.isAtomic = isAtomic;
+            f.isSync = isSync;
+            f.annotations = annotations;
+            if (!classes.empty() &&
+                classes.back().name == enclosingClass) {
+                classes.back().fields.push_back(std::move(f));
+            } else {
+                for (auto it = classes.rbegin(); it != classes.rend();
+                     ++it) {
+                    if (it->name == enclosingClass &&
+                        it->file == path) {
+                        it->fields.push_back(std::move(f));
+                        break;
+                    }
+                }
+            }
+            return;
+        }
+
+        // Namespace scope: only initialized variables (or explicit
+        // `static`) are credible data declarations; everything else
+        // is a stray declaration we must not misindex.
+        if (!isStatic && !hasInitializer)
+            return;
+        StaticDecl s;
+        s.name = name;
+        s.file = path;
+        s.line = startLine;
+        s.isConst = isConst;
+        s.scope = "namespace";
+        s.annotations = annotations;
+        statics.push_back(std::move(s));
+    }
+
+    void
+    parseClass(std::size_t &i, std::size_t end,
+               const std::string &enclosing)
+    {
+        ++i; // class/struct/union
+        // Gather `Name` or the qualified `Outer::Name` form used by
+        // out-of-line nested definitions (`struct SweepEngine::Impl`).
+        std::string written;
+        std::string shortName = "<anon>";
+        if (i < end && !text(i).empty() && identStart(text(i)[0]) &&
+            !isAnnotationName(text(i))) {
+            shortName = text(i);
+            written = text(i);
+            ++i;
+            while (i + 1 < end && text(i) == "::" &&
+                   !text(i + 1).empty() &&
+                   identStart(text(i + 1)[0])) {
+                shortName = text(i + 1);
+                written += "::" + text(i + 1);
+                i += 2;
+            }
+        }
+        std::string name = written.empty() ? "<anon>" : written;
+        const int classLine = line(i);
+        std::vector<Annotation> classAnns;
+        // Annotations (and alignas etc.) sit between name and the
+        // base clause / body.
+        while (i < end && text(i) != "{" && text(i) != ":" &&
+               text(i) != ";") {
+            if (!collectAnnotation(i, classAnns))
+                ++i;
+        }
+        if (i >= end || text(i) == ";") {
+            ++i; // forward declaration
+            return;
+        }
+        if (text(i) == ":") { // base clause
+            while (i < end && text(i) != "{")
+                ++i;
+        }
+        if (text(i) != "{") {
+            return;
+        }
+        std::size_t close = skipBalanced(i, "{", "}") - 1;
+        std::string qualified =
+            enclosing.empty() ? name : enclosing + "::" + name;
+        std::size_t sep = qualified.rfind("::");
+        std::string enclosingName =
+            sep == std::string::npos ? "" : qualified.substr(0, sep);
+
+        ClassDecl c;
+        c.name = qualified;
+        c.shortName = shortName;
+        c.enclosing = enclosingName;
+        c.file = path;
+        c.line = classLine;
+        c.annotations = std::move(classAnns);
+        classes.push_back(std::move(c));
+
+        std::size_t inner = i + 1;
+        parseScope(inner, close, qualified);
+        i = close + 1;
+        while (i < end && text(i) != ";")
+            ++i; // `struct X {} instance;` — instance names skipped
+        ++i;
+    }
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &stripped)
+{
+    std::vector<Token> out;
+    int lineNo = 1;
+    bool lineStart = true;
+    bool inPreproc = false;
+    for (std::size_t i = 0; i < stripped.size(); ++i) {
+        char c = stripped[i];
+        if (c == '\n') {
+            // A preprocessor line continues over a trailing '\'.
+            if (inPreproc && i > 0 && stripped[i - 1] != '\\')
+                inPreproc = false;
+            ++lineNo;
+            lineStart = true;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r')
+            continue;
+        if (lineStart && c == '#') {
+            inPreproc = true;
+        }
+        lineStart = false;
+        if (inPreproc)
+            continue;
+        if (identStart(c)) {
+            std::size_t j = i;
+            while (j < stripped.size() && identChar(stripped[j]))
+                ++j;
+            out.push_back({stripped.substr(i, j - i), lineNo});
+            i = j - 1;
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < stripped.size() &&
+                   (identChar(stripped[j]) || stripped[j] == '.'))
+                ++j;
+            out.push_back({stripped.substr(i, j - i), lineNo});
+            i = j - 1;
+        } else if (c == ':' && i + 1 < stripped.size() &&
+                   stripped[i + 1] == ':') {
+            out.push_back({"::", lineNo});
+            ++i;
+        } else if (c == '-' && i + 1 < stripped.size() &&
+                   stripped[i + 1] == '>') {
+            out.push_back({"->", lineNo});
+            ++i;
+        } else {
+            out.push_back({std::string(1, c), lineNo});
+        }
+    }
+    return out;
+}
+
+std::string
+lastIdentifier(const std::string &s)
+{
+    std::string last;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        if (identStart(s[i])) {
+            std::size_t j = i;
+            while (j < s.size() && identChar(s[j]))
+                ++j;
+            last = s.substr(i, j - i);
+            i = j;
+        } else {
+            ++i;
+        }
+    }
+    return last;
+}
+
+void
+DeclIndex::addFile(const std::string &relPath,
+                   const std::string &contents)
+{
+    SourceFile sf;
+    sf.path = relPath;
+    sf.raw = contents;
+    sf.tokens = tokenize(stripCommentsAndStrings(contents));
+
+    // Include graph from the raw text (strings are stripped in the
+    // token stream, so harvest here).
+    std::size_t pos = 0;
+    while ((pos = contents.find("#include", pos)) !=
+           std::string::npos) {
+        std::size_t lineEnd = contents.find('\n', pos);
+        std::string lineStr = contents.substr(
+            pos, lineEnd == std::string::npos ? std::string::npos
+                                              : lineEnd - pos);
+        std::size_t q1 = lineStr.find_first_of("\"<");
+        if (q1 != std::string::npos) {
+            char closeCh = lineStr[q1] == '"' ? '"' : '>';
+            std::size_t q2 = lineStr.find(closeCh, q1 + 1);
+            if (q2 != std::string::npos)
+                sf.includes.push_back(
+                    lineStr.substr(q1 + 1, q2 - q1 - 1));
+        }
+        pos = lineEnd == std::string::npos ? contents.size() : lineEnd;
+    }
+
+    const SourceFile &stored =
+        files_.emplace(relPath, std::move(sf)).first->second;
+    Parser parser(stored.path, stored.tokens, _classes, _statics,
+                  _functions);
+    parser.run();
+}
+
+DeclIndex
+DeclIndex::build(const std::string &rootDir,
+                 const std::vector<std::string> &subdirs)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> relPaths;
+    for (const auto &subdir : subdirs) {
+        fs::path base = fs::path(rootDir) / subdir;
+        std::error_code ec;
+        for (fs::recursive_directory_iterator it(base, ec), endIt;
+             it != endIt && !ec; it.increment(ec)) {
+            if (!it->is_regular_file())
+                continue;
+            std::string ext = it->path().extension().string();
+            if (ext != ".hh" && ext != ".cc" && ext != ".cpp" &&
+                ext != ".hpp")
+                continue;
+            relPaths.push_back(
+                fs::relative(it->path(), rootDir).generic_string());
+        }
+    }
+    std::sort(relPaths.begin(), relPaths.end());
+
+    DeclIndex index;
+    for (const auto &rel : relPaths) {
+        std::ifstream in(fs::path(rootDir) / rel);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        index.addFile(rel, ss.str());
+    }
+    return index;
+}
+
+const SourceFile *
+DeclIndex::file(const std::string &relPath) const
+{
+    auto it = files_.find(relPath);
+    return it == files_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+DeclIndex::filePaths() const
+{
+    std::vector<std::string> paths;
+    for (const auto &[path, sf] : files_)
+        paths.push_back(path);
+    return paths;
+}
+
+const ClassDecl *
+DeclIndex::findClass(const std::string &name) const
+{
+    const ClassDecl *shortMatch = nullptr;
+    bool ambiguous = false;
+    for (const auto &c : _classes) {
+        if (c.name == name)
+            return &c;
+        if (c.shortName == name) {
+            if (shortMatch)
+                ambiguous = true;
+            shortMatch = &c;
+        }
+    }
+    return ambiguous ? nullptr : shortMatch;
+}
+
+bool
+DeclIndex::classHasAnnotation(const ClassDecl &c,
+                              const std::string &annotation) const
+{
+    for (const auto &a : c.annotations) {
+        if (a.name == annotation)
+            return true;
+    }
+    if (!c.enclosing.empty()) {
+        for (const auto &outer : _classes) {
+            if (outer.name == c.enclosing && outer.file == c.file)
+                return classHasAnnotation(outer, annotation);
+        }
+    }
+    return false;
+}
+
+} // namespace lint
+} // namespace genie

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The Genie-Analyze declaration index: a project-wide, cross-TU model
+ * of classes, fields, statics, function bodies, and the include graph,
+ * built by a pragmatic token-level parser (no libclang dependency).
+ *
+ * The index is the substrate the concurrency rule family
+ * (concurrency.hh) runs on: the shared-state rule walks classes and
+ * fields looking for annotation coverage, the guarded-by rule resolves
+ * field accesses against function bodies and lock statements, and the
+ * inventory export archives the annotated map of shared state that the
+ * parallel event kernel work builds against.
+ *
+ * Parsing is deliberately heuristic but honest about it: it tokenizes
+ * comment- and string-stripped text, tracks brace/angle nesting, and
+ * recognizes the declaration shapes this codebase actually uses
+ * (classes with annotations, members with brace or `=` initializers,
+ * inline and out-of-line method bodies, anonymous namespaces,
+ * function-local statics). It does not try to be a C++ front end; the
+ * unit tests in tests/test_verify.cc pin the supported shapes.
+ */
+
+#ifndef GENIE_TOOLS_GENIE_LINT_INDEX_HH
+#define GENIE_TOOLS_GENIE_LINT_INDEX_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace genie
+{
+namespace lint
+{
+
+/** One lexical token of a stripped source file. */
+struct Token
+{
+    std::string text;
+    int line = 0;
+};
+
+/** One GENIE_* thread-safety annotation with its argument tokens. */
+struct Annotation
+{
+    std::string name; ///< e.g. "GENIE_GUARDED_BY"
+    std::string arg;  ///< space-joined argument tokens ("" if none)
+    int line = 0;
+};
+
+/** A data member of a class. */
+struct FieldDecl
+{
+    std::string name;
+    std::string type; ///< space-joined declaration tokens before name
+    int line = 0;
+    bool isConst = false;   ///< const/constexpr/constinit declaration
+    bool isStatic = false;  ///< static data member
+    bool isAtomic = false;  ///< type mentions std::atomic
+    bool isSync = false;    ///< mutex/condition_variable/once_flag
+    std::vector<Annotation> annotations;
+};
+
+/** A member function declaration (with or without inline body). */
+struct MethodDecl
+{
+    std::string name;
+    int line = 0;
+    bool hasBody = false;
+    std::vector<Annotation> annotations;
+};
+
+/** A class or struct definition. */
+struct ClassDecl
+{
+    std::string name;      ///< qualified: "Outer::Inner" for nested
+    std::string shortName; ///< last component
+    std::string enclosing; ///< qualified enclosing class name or ""
+    std::string file;
+    int line = 0;
+    std::vector<Annotation> annotations; ///< class-level (after name)
+    std::vector<FieldDecl> fields;
+    std::vector<MethodDecl> methods;
+};
+
+/** A mutable-candidate variable at namespace or function scope. */
+struct StaticDecl
+{
+    std::string name;
+    std::string file;
+    int line = 0;
+    bool isConst = false;
+    /** "namespace" (incl. anonymous namespaces) or "function". */
+    std::string scope;
+    std::vector<Annotation> annotations;
+};
+
+/**
+ * Any function body: a free function, an inline method, or an
+ * out-of-line `Class::method` definition. Token indices refer to the
+ * owning SourceFile's token vector, so rules can scan body extents.
+ */
+struct FunctionDef
+{
+    std::string name;      ///< unqualified ("run", "~EventQueue")
+    std::string className; ///< declaring class short name, or ""
+    std::string file;
+    int line = 0;
+    std::size_t tokenBegin = 0; ///< index of the opening '{'
+    std::size_t tokenEnd = 0;   ///< index of the matching '}'
+    std::vector<Annotation> annotations;
+};
+
+/** One indexed file: raw text, token stream, includes. */
+struct SourceFile
+{
+    std::string path; ///< repo-relative
+    std::string raw;
+    std::vector<Token> tokens;
+    std::vector<std::string> includes; ///< as written in #include
+};
+
+/** Tokenize comment/string-stripped C++; preprocessor lines are
+ * skipped (includes are harvested separately from the raw text). */
+std::vector<Token> tokenize(const std::string &stripped);
+
+class DeclIndex
+{
+  public:
+    /** Parse @p contents as @p relPath and merge into the index. */
+    void addFile(const std::string &relPath,
+                 const std::string &contents);
+
+    /**
+     * Index every .hh/.cc/.hpp/.cpp under @p rootDir/<subdir> for
+     * each subdir, in sorted path order (deterministic output).
+     */
+    static DeclIndex build(const std::string &rootDir,
+                           const std::vector<std::string> &subdirs);
+
+    const std::vector<ClassDecl> &classes() const { return _classes; }
+    const std::vector<StaticDecl> &statics() const { return _statics; }
+    const std::vector<FunctionDef> &
+    functions() const
+    {
+        return _functions;
+    }
+
+    /** Indexed file by repo-relative path; null if absent. */
+    const SourceFile *file(const std::string &relPath) const;
+
+    /** All indexed paths, sorted. */
+    std::vector<std::string> filePaths() const;
+
+    /** Class by qualified name, else by unique short name; null if
+     * absent or ambiguous. */
+    const ClassDecl *findClass(const std::string &name) const;
+
+    /** True if @p c (or an enclosing class, transitively) carries a
+     * class-level annotation named @p annotation. */
+    bool classHasAnnotation(const ClassDecl &c,
+                            const std::string &annotation) const;
+
+    std::size_t numFiles() const { return files_.size(); }
+
+  private:
+    std::vector<ClassDecl> _classes;
+    std::vector<StaticDecl> _statics;
+    std::vector<FunctionDef> _functions;
+    std::map<std::string, SourceFile> files_;
+};
+
+/** Last identifier token in @p s ("" if none): the name a lock
+ * expression such as `own.mutex` resolves to. */
+std::string lastIdentifier(const std::string &s);
+
+} // namespace lint
+} // namespace genie
+
+#endif // GENIE_TOOLS_GENIE_LINT_INDEX_HH

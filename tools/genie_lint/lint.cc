@@ -376,11 +376,20 @@ lintSource(const std::string &relPath, const std::string &contents)
     };
 
     const bool isRngHome = relPath == "src/sim/random.hh";
+    // The raw-output / trace-sink / stat-print / static-state /
+    // raw-new-delete rules are library-code contracts: they apply to
+    // src/ only. CLI tools (tools/) legitimately print to stdout and
+    // open their own output files; the determinism rule still applies
+    // to them (with explicit suppressions where host timing is the
+    // tool's feature, e.g. the bench harness).
+    const bool isLibrary = startsWith(relPath, "src/");
     // src/trace owns the trace sinks; src/metrics owns the stats and
     // sample exporter sinks. Both write files by design.
-    const bool isSinkHome = startsWith(relPath, "src/trace/") ||
+    const bool isSinkHome = !isLibrary ||
+                            startsWith(relPath, "src/trace/") ||
                             startsWith(relPath, "src/metrics/");
-    const bool isStatHome = startsWith(relPath, "src/metrics/") ||
+    const bool isStatHome = !isLibrary ||
+                            startsWith(relPath, "src/metrics/") ||
                             relPath == "src/core/report.cc";
 
     for (std::size_t n = 0; n < lines.size(); ++n) {
@@ -416,9 +425,11 @@ lintSource(const std::string &relPath, const std::string &contents)
         }
 
         // raw-output: console I/O must flow through sim/logging.
-        for (const auto &t : rawOutputTokens) {
-            if (findToken(line, t.token) != std::string::npos)
-                report("raw-output", lineNo, t.message);
+        if (isLibrary) {
+            for (const auto &t : rawOutputTokens) {
+                if (findToken(line, t.token) != std::string::npos)
+                    report("raw-output", lineNo, t.message);
+            }
         }
 
         // trace-sink: event/telemetry file output must go through the
@@ -449,7 +460,7 @@ lintSource(const std::string &relPath, const std::string &contents)
                         (t.size() == 6 || !identChar(t[6]));
         bool isThreadLocal = startsWith(t, "thread_local") &&
                              (t.size() == 12 || !identChar(t[12]));
-        if (isStatic || isThreadLocal) {
+        if (isLibrary && (isStatic || isThreadLocal)) {
             std::string rest = t.substr(isStatic ? 6 : 12);
             bool isConst =
                 findToken(rest, "const") != std::string::npos ||
@@ -470,22 +481,26 @@ lintSource(const std::string &relPath, const std::string &contents)
 
         // raw-new-delete: manual ownership outside the EventQueue's
         // documented owning-pointer heap.
-        for (std::size_t pos = findToken(line, "new");
-             pos != std::string::npos;
-             pos = findToken(line, "new", pos + 1)) {
-            report("raw-new-delete", lineNo,
-                   "raw new: use std::make_unique/containers; only "
-                   "the EventQueue entry heap may allocate manually");
-        }
-        for (std::size_t pos = findToken(line, "delete");
-             pos != std::string::npos;
-             pos = findToken(line, "delete", pos + 1)) {
-            // `= delete;` (deleted special member) is not ownership.
-            if (prevNonSpace(line, pos) == '=')
-                continue;
-            report("raw-new-delete", lineNo,
-                   "raw delete: use RAII ownership; only the "
-                   "EventQueue entry heap may free manually");
+        if (isLibrary) {
+            for (std::size_t pos = findToken(line, "new");
+                 pos != std::string::npos;
+                 pos = findToken(line, "new", pos + 1)) {
+                report("raw-new-delete", lineNo,
+                       "raw new: use std::make_unique/containers; "
+                       "only the EventQueue entry heap may allocate "
+                       "manually");
+            }
+            for (std::size_t pos = findToken(line, "delete");
+                 pos != std::string::npos;
+                 pos = findToken(line, "delete", pos + 1)) {
+                // `= delete;` (deleted special member) is not
+                // ownership.
+                if (prevNonSpace(line, pos) == '=')
+                    continue;
+                report("raw-new-delete", lineNo,
+                       "raw delete: use RAII ownership; only the "
+                       "EventQueue entry heap may free manually");
+            }
         }
     }
 

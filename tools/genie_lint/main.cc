@@ -1,30 +1,100 @@
 /**
  * @file
- * genie_lint CLI. Scans source trees for simulator-specific rule
- * violations and exits non-zero if any unsuppressed finding remains.
+ * genie_lint CLI: the Genie-Analyze driver. Runs the per-file line
+ * rules (lint.hh) plus the cross-TU declaration index and concurrency
+ * rule family (index.hh, concurrency.hh) and exits non-zero if any
+ * unsuppressed finding remains (or, with --baseline, any *new*
+ * finding).
  *
  * Usage:
- *   genie_lint [--root DIR] [--suppressions FILE] [SUBDIR...]
+ *   genie_lint [--root DIR] [--suppressions FILE] [--json]
+ *              [--baseline FILE] [--write-baseline FILE]
+ *              [--inventory FILE] [SUBDIR...]
  *
  * DIR defaults to the current directory; SUBDIR defaults to "src".
+ *
+ *  --json             print findings as a JSON array on stdout
+ *                     (machine-readable; CI artifact)
+ *  --baseline FILE    compare findings against a checked-in baseline
+ *                     and exit non-zero only on findings not in it.
+ *                     Matching is a multiset over (rule, file,
+ *                     message) — line numbers are excluded so
+ *                     unrelated edits don't churn the baseline.
+ *  --write-baseline F write the current findings as a baseline file
+ *  --inventory FILE   write the shared-state inventory JSON
+ *                     (concurrency.hh) to FILE ("-" for stdout)
+ *
  * Run as a ctest from the build tree:
  *   ctest -R genie_lint
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "concurrency.hh"
+#include "index.hh"
 #include "lint.hh"
+
+namespace
+{
+
+/** Baseline key: line numbers are deliberately excluded so edits
+ * above a grandfathered finding don't invalidate the baseline. */
+std::string
+baselineKey(const genie::lint::Finding &f)
+{
+    return f.rule + "\t" + f.file + "\t" + f.message;
+}
+
+std::map<std::string, int>
+loadBaseline(const std::string &path, bool &ok)
+{
+    std::map<std::string, int> counts;
+    std::ifstream in(path);
+    ok = static_cast<bool>(in);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        ++counts[line];
+    }
+    return counts;
+}
+
+void
+printJson(const std::vector<genie::lint::Finding> &findings)
+{
+    std::printf("[");
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const auto &f = findings[i];
+        std::printf("%s\n  {\"rule\": \"%s\", \"file\": \"%s\", "
+                    "\"line\": %d, \"message\": \"%s\"}",
+                    i ? "," : "",
+                    genie::lint::jsonEscape(f.rule).c_str(),
+                    genie::lint::jsonEscape(f.file).c_str(), f.line,
+                    genie::lint::jsonEscape(f.message).c_str());
+    }
+    std::printf("%s]\n", findings.empty() ? "" : "\n");
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string root = ".";
     std::string suppressionsPath;
+    std::string baselinePath;
+    std::string writeBaselinePath;
+    std::string inventoryPath;
+    bool json = false;
     std::vector<std::string> subdirs;
 
     for (int i = 1; i < argc; ++i) {
@@ -33,10 +103,23 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--suppressions") == 0 &&
                    i + 1 < argc) {
             suppressionsPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--baseline") == 0 &&
+                   i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--write-baseline") == 0 &&
+                   i + 1 < argc) {
+            writeBaselinePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--inventory") == 0 &&
+                   i + 1 < argc) {
+            inventoryPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
-            std::printf("usage: genie_lint [--root DIR] "
-                        "[--suppressions FILE] [SUBDIR...]\n");
+            std::printf(
+                "usage: genie_lint [--root DIR] [--suppressions FILE] "
+                "[--json] [--baseline FILE] [--write-baseline FILE] "
+                "[--inventory FILE] [SUBDIR...]\n");
             return 0;
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr, "genie_lint: unknown option '%s'\n",
@@ -83,20 +166,115 @@ main(int argc, char **argv)
         findings.insert(findings.end(), sub.begin(), sub.end());
     }
 
-    for (const auto &f : findings) {
-        std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(),
-                     f.line, f.rule.c_str(), f.message.c_str());
+    // Cross-TU pass: build the declaration index over every scanned
+    // subdir, then run the concurrency rule family on it.
+    genie::lint::DeclIndex index =
+        genie::lint::DeclIndex::build(root, subdirs);
+    for (auto &f : genie::lint::analyzeConcurrency(index)) {
+        if (!suppressions.matches(f.rule, f.file))
+            findings.push_back(std::move(f));
     }
 
-    if (!findings.empty()) {
+    std::stable_sort(findings.begin(), findings.end(),
+                     [](const genie::lint::Finding &a,
+                        const genie::lint::Finding &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         return a.line < b.line;
+                     });
+
+    if (!inventoryPath.empty()) {
+        std::string inv =
+            genie::lint::sharedStateInventoryJson(index);
+        if (inventoryPath == "-") {
+            std::fwrite(inv.data(), 1, inv.size(), stdout);
+        } else {
+            std::ofstream out(inventoryPath);
+            if (!out) {
+                std::fprintf(stderr,
+                             "genie_lint: cannot write inventory "
+                             "'%s'\n",
+                             inventoryPath.c_str());
+                return 2;
+            }
+            out << inv;
+        }
+    }
+
+    if (!writeBaselinePath.empty()) {
+        std::ofstream out(writeBaselinePath);
+        if (!out) {
+            std::fprintf(stderr,
+                         "genie_lint: cannot write baseline '%s'\n",
+                         writeBaselinePath.c_str());
+            return 2;
+        }
+        out << "# genie_lint baseline: one finding per line as\n"
+               "# <rule>\\t<file>\\t<message>; line numbers excluded "
+               "on purpose.\n";
+        for (const auto &f : findings)
+            out << baselineKey(f) << "\n";
+    }
+
+    // Baseline diff: only findings beyond the baselined multiset
+    // count against the exit code, so a grandfathered finding can be
+    // burned down incrementally while new regressions still fail CI.
+    std::vector<genie::lint::Finding> newFindings;
+    if (!baselinePath.empty()) {
+        bool ok = false;
+        std::map<std::string, int> counts =
+            loadBaseline(baselinePath, ok);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "genie_lint: cannot read baseline '%s'\n",
+                         baselinePath.c_str());
+            return 2;
+        }
+        for (const auto &f : findings) {
+            auto it = counts.find(baselineKey(f));
+            if (it != counts.end() && it->second > 0)
+                --it->second;
+            else
+                newFindings.push_back(f);
+        }
+    } else {
+        newFindings = findings;
+    }
+
+    if (json) {
+        printJson(findings);
+    } else {
+        for (const auto &f : findings) {
+            bool isNew =
+                baselinePath.empty() ||
+                std::find_if(newFindings.begin(), newFindings.end(),
+                             [&](const genie::lint::Finding &n) {
+                                 return n.file == f.file &&
+                                        n.line == f.line &&
+                                        n.rule == f.rule;
+                             }) != newFindings.end();
+            std::fprintf(stderr, "%s:%d: [%s]%s %s\n", f.file.c_str(),
+                         f.line, f.rule.c_str(),
+                         isNew ? "" : " (baselined)",
+                         f.message.c_str());
+        }
+    }
+
+    if (!newFindings.empty()) {
         std::fprintf(stderr,
-                     "genie_lint: %zu finding(s) in %zu file(s) "
-                     "scanned\n",
-                     findings.size(), totalFiles);
+                     "genie_lint: %zu finding(s) (%zu new) in %zu "
+                     "file(s) scanned\n",
+                     findings.size(), newFindings.size(), totalFiles);
         return 1;
     }
-    std::printf("genie_lint: OK (%zu files scanned, %zu suppression "
-                "entries)\n",
-                totalFiles, suppressions.size());
+    if (!json) {
+        // Keep stdout machine-clean when it carries the inventory.
+        std::fprintf(
+            inventoryPath == "-" ? stderr : stdout,
+            "genie_lint: OK (%zu files scanned, %zu indexed, %zu "
+            "suppression entries%s)\n",
+            totalFiles, index.numFiles(), suppressions.size(),
+            findings.empty() ? "" : ", all findings baselined");
+    }
     return 0;
 }
