@@ -149,6 +149,24 @@ dmaSweepConfigs(unsigned busWidth)
 }
 
 std::vector<SocConfig>
+acpSweepConfigs(unsigned busWidth)
+{
+    SocConfig base;
+    base.busWidthBits = busWidth;
+    auto configs = DesignSpace::acp(base);
+    if (fastMode()) {
+        std::vector<SocConfig> trimmed;
+        for (const auto &c : configs) {
+            if ((c.lanes == 1 || c.lanes == 4 || c.lanes == 16) &&
+                (c.spadPartitions == 1 || c.spadPartitions == 16))
+                trimmed.push_back(c);
+        }
+        return trimmed;
+    }
+    return configs;
+}
+
+std::vector<SocConfig>
 cacheSweepConfigs(unsigned busWidth)
 {
     SocConfig base;

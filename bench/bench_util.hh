@@ -87,6 +87,10 @@ std::vector<SocConfig> cacheSweepConfigs(unsigned busWidth);
 /** The DMA sweep (all optimizations applied, Figure 8 space). */
 std::vector<SocConfig> dmaSweepConfigs(unsigned busWidth);
 
+/** The ACP sweep (Genie-Iface third interface regime): every array
+ * moved over the coherency port, no flush/invalidate. */
+std::vector<SocConfig> acpSweepConfigs(unsigned busWidth);
+
 /** The isolated sweep. */
 std::vector<SocConfig> isolatedSweepConfigs();
 

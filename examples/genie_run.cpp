@@ -54,9 +54,13 @@ usage()
         "prefetch=0|1\n"
         "         tlb_entries=N isolated=0|1 perfect_mem=0|1 "
         "inf_bw=0|1\n"
+        "iface (Genie-Iface):\n"
+        "         mem_type=dma|acp|cache mem_type.<array>=dma|acp\n"
+        "         completion=spin|interrupt irq_latency_ns=N\n"
+        "         queue_depth=N invocations=N\n"
         "flags:   --stats --record --trace=FILE.json\n"
         "         --trace-categories=flush,dma,bus,cache,dram,"
-        "datapath,tlb,spad|all\n"
+        "datapath,tlb,spad,iface|all\n"
         "         --stats-json=FILE --stats-csv=FILE (\"-\" = "
         "stdout)\n"
         "         --sample-period=N --samples-json=FILE "
@@ -64,7 +68,8 @@ usage()
         "         --profile\n"
         "fault campaign (Genie-Resilience):\n"
         "         --faults=SITE=RATE[,SITE=RATE...] with sites\n"
-        "           dram_read bus_resp dma_beat tlb_walk\n"
+        "           dram_read bus_resp dma_beat tlb_walk acp_snoop "
+        "irq_drop\n"
         "         --fault-seed=N --fault-max-retries=N "
         "--fault-backoff=N\n"
         "         --watchdog-interval=N  (accel cycles between "

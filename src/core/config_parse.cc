@@ -70,13 +70,72 @@ applyConfigOption(SocConfig &config, const std::string &option)
     std::string value = option.substr(eq + 1);
 
     if (key == "mem") {
-        if (value == "dma")
+        if (value == "dma") {
             config.memType = MemInterface::ScratchpadDma;
-        else if (value == "cache")
+            config.iface.memType = IfaceMemType::Dma;
+        } else if (value == "cache") {
             config.memType = MemInterface::Cache;
-        else
+            config.iface.memType = IfaceMemType::Cache;
+        } else {
             fatal("option mem: expected dma|cache, got '%s'",
                   value.c_str());
+        }
+    } else if (key == "mem_type") {
+        // Superset of mem= that adds the ACP regime; both keys keep
+        // memType and iface.memType in sync (latest wins).
+        if (value == "dma") {
+            config.memType = MemInterface::ScratchpadDma;
+            config.iface.memType = IfaceMemType::Dma;
+        } else if (value == "acp") {
+            config.memType = MemInterface::ScratchpadDma;
+            config.iface.memType = IfaceMemType::Acp;
+        } else if (value == "cache") {
+            config.memType = MemInterface::Cache;
+            config.iface.memType = IfaceMemType::Cache;
+        } else {
+            fatal("option mem_type: expected dma|acp|cache, got '%s'",
+                  value.c_str());
+        }
+    } else if (key.rfind("mem_type.", 0) == 0) {
+        std::string arrayName = key.substr(9);
+        if (arrayName.empty())
+            fatal("option mem_type.: missing array name (expected "
+                  "mem_type.<array>=dma|acp)");
+        IfaceMemType t;
+        if (value == "dma")
+            t = IfaceMemType::Dma;
+        else if (value == "acp")
+            t = IfaceMemType::Acp;
+        else
+            fatal("option %s: expected dma|acp per array (cache is a "
+                  "whole-accelerator regime), got '%s'",
+                  key.c_str(), value.c_str());
+        // Latest override for one array wins.
+        bool replaced = false;
+        for (auto &o : config.iface.arrayMemTypes) {
+            if (o.first == arrayName) {
+                o.second = t;
+                replaced = true;
+                break;
+            }
+        }
+        if (!replaced)
+            config.iface.arrayMemTypes.emplace_back(arrayName, t);
+    } else if (key == "completion") {
+        if (value == "spin")
+            config.iface.completion = CompletionMode::Spin;
+        else if (value == "interrupt")
+            config.iface.completion = CompletionMode::Interrupt;
+        else
+            fatal("option completion: expected spin|interrupt, got "
+                  "'%s'",
+                  value.c_str());
+    } else if (key == "queue_depth") {
+        config.iface.queueDepth = parseUnsigned(key, value);
+    } else if (key == "invocations") {
+        config.iface.invocations = parseUnsigned(key, value);
+    } else if (key == "irq_latency_ns") {
+        config.iface.irqLatency = parseU64(key, value) * tickPerNs;
     } else if (key == "lanes") {
         config.lanes = parseUnsigned(key, value);
     } else if (key == "partitions") {
@@ -146,6 +205,12 @@ applyConfigOption(SocConfig &config, const std::string &option)
     } else if (key == "fault_tlb_walk") {
         config.faults.rates[static_cast<unsigned>(
             FaultSite::TlbWalk)] = parseRate(key, value);
+    } else if (key == "fault_acp_snoop") {
+        config.faults.rates[static_cast<unsigned>(
+            FaultSite::AcpSnoop)] = parseRate(key, value);
+    } else if (key == "fault_irq_drop") {
+        config.faults.rates[static_cast<unsigned>(
+            FaultSite::IrqDrop)] = parseRate(key, value);
     } else if (key == "fault_max_retries") {
         config.faults.maxRetries = parseUnsigned(key, value);
     } else if (key == "fault_backoff") {
@@ -185,6 +250,27 @@ configToOptions(const SocConfig &c)
         static_cast<unsigned>(c.accelMhz),
         static_cast<unsigned>(c.cpuMhz),
         static_cast<unsigned>(c.busMhz));
+    // Iface keys render only when non-default, so a baseline config's
+    // options (and the canonical keys/goldens derived from them) are
+    // byte-identical to a pre-iface build. mem= already encodes the
+    // dma/cache regimes; acp is the only global mem_type to render.
+    if (c.iface.memType == IfaceMemType::Acp)
+        s += " mem_type=acp";
+    for (const auto &o : c.iface.arrayMemTypes) {
+        s += format(" mem_type.%s=%s", o.first.c_str(),
+                    ifaceMemTypeName(o.second));
+    }
+    if (c.iface.completion == CompletionMode::Interrupt)
+        s += " completion=interrupt";
+    if (c.iface.queueDepth > 0)
+        s += format(" queue_depth=%u", c.iface.queueDepth);
+    if (c.iface.invocations != 1)
+        s += format(" invocations=%u", c.iface.invocations);
+    if (c.iface.irqLatency != 1000 * tickPerNs) {
+        s += format(" irq_latency_ns=%llu",
+                    (unsigned long long)(c.iface.irqLatency /
+                                         tickPerNs));
+    }
     if (c.tracing.enabled) {
         s += format(" trace=1 trace_categories=%s",
                     traceCategoriesToString(c.tracing.categories)
@@ -213,13 +299,16 @@ configToOptions(const SocConfig &c)
         // rendered options reproduces the campaign bit-for-bit.
         s += format(" fault_seed=%llu fault_dram_read=%.17g "
                     "fault_bus_resp=%.17g fault_dma_beat=%.17g "
-                    "fault_tlb_walk=%.17g fault_max_retries=%u "
+                    "fault_tlb_walk=%.17g fault_acp_snoop=%.17g "
+                    "fault_irq_drop=%.17g fault_max_retries=%u "
                     "fault_backoff=%u",
                     (unsigned long long)c.faults.seed,
                     c.faults.rate(FaultSite::DramRead),
                     c.faults.rate(FaultSite::BusResp),
                     c.faults.rate(FaultSite::DmaBeat),
                     c.faults.rate(FaultSite::TlbWalk),
+                    c.faults.rate(FaultSite::AcpSnoop),
+                    c.faults.rate(FaultSite::IrqDrop),
                     c.faults.maxRetries, c.faults.backoffCycles);
     }
     if (c.faults.watchdogCycles > 0) {

@@ -11,8 +11,10 @@ configCanonicalKey(const SocConfig &c)
     // Every field here changes simulated results; order is frozen —
     // the journal schema (genie-sweep-1) and warm caches depend on
     // keys being stable across releases. New result-affecting knobs
-    // must be appended with their default rendered explicitly, so old
-    // journals keyed without them simply miss (never falsely hit).
+    // are appended only when non-default (the fault-campaign
+    // precedent): a default-valued knob simulates identically to a
+    // build that predates it, so the old key may keep hitting, while
+    // any non-default value produces a key old journals never wrote.
     std::string s = format(
         "mem=%s lanes=%u partitions=%u bus=%u "
         "pipelined=%d triggered=%d page=%u setup=%llu window=%u "
@@ -43,18 +45,37 @@ configCanonicalKey(const SocConfig &c)
     // fault-free runs and canonicalize to the same key.
     if (c.faults.anyEnabled()) {
         s += format(" fault_seed=%llu fault_rates=%.17g,%.17g,"
-                    "%.17g,%.17g fault_retries=%u fault_backoff=%u",
+                    "%.17g,%.17g,%.17g,%.17g fault_retries=%u "
+                    "fault_backoff=%u",
                     (unsigned long long)c.faults.seed,
                     c.faults.rate(FaultSite::DramRead),
                     c.faults.rate(FaultSite::BusResp),
                     c.faults.rate(FaultSite::DmaBeat),
                     c.faults.rate(FaultSite::TlbWalk),
+                    c.faults.rate(FaultSite::AcpSnoop),
+                    c.faults.rate(FaultSite::IrqDrop),
                     c.faults.maxRetries, c.faults.backoffCycles);
     }
     if (c.faults.watchdogCycles > 0) {
         s += format(" watchdog=%llu",
                     (unsigned long long)c.faults.watchdogCycles);
     }
+    // Iface knobs (Genie-Iface) follow the same non-default-only
+    // rule: a baseline config keys identically to a pre-iface build.
+    if (c.iface.memType == IfaceMemType::Acp)
+        s += " mem_type=acp";
+    for (const auto &o : c.iface.arrayMemTypes) {
+        s += format(" mem_type.%s=%s", o.first.c_str(),
+                    ifaceMemTypeName(o.second));
+    }
+    if (c.iface.completion == CompletionMode::Interrupt) {
+        s += format(" completion=interrupt irq_latency=%llu",
+                    (unsigned long long)c.iface.irqLatency);
+    }
+    if (c.iface.queueDepth > 0)
+        s += format(" queue_depth=%u", c.iface.queueDepth);
+    if (c.iface.invocations != 1)
+        s += format(" invocations=%u", c.iface.invocations);
     return s;
 }
 

@@ -1,5 +1,7 @@
 #include "soc.hh"
 
+#include <algorithm>
+
 #include "core/validation.hh"
 #include "metrics/export.hh"
 #include "power/energy_model.hh"
@@ -22,6 +24,14 @@ SocConfig::describe() const
                     cache.lineBytes, cache.assoc, cache.ports);
     }
     s += format(" bus=%ub", busWidthBits);
+    if (iface.anyAcp())
+        s += iface.memType == IfaceMemType::Acp ? " acp" : " acp*";
+    if (iface.completion == CompletionMode::Interrupt)
+        s += " irq";
+    if (iface.queueDepth > 0)
+        s += format(" q=%u", iface.queueDepth);
+    if (iface.invocations != 1)
+        s += format(" n=%u", iface.invocations);
     if (isolated)
         s += " [isolated]";
     return s;
@@ -140,11 +150,37 @@ Soc::wireWatchdog()
                    stat(accelTlb->stats(), "misses");
         });
     }
+    if (acp) {
+        wd.addProgressSource("acp.beats", [this, stat] {
+            return stat(acp->stats(), "beats");
+        });
+    }
+    if (irqLine) {
+        wd.addProgressSource("irq.delivered", [this, stat] {
+            return stat(irqLine->stats(), "delivered");
+        });
+    }
 
     // Diagnostics rendered into the stall dump.
     wd.addDiagnostic("dma", [this] {
         return format("%u beats in flight", dma->inFlightBeats());
     });
+    if (acp) {
+        wd.addDiagnostic("acp", [this] {
+            return format("%u beats in flight", acp->inFlightBeats());
+        });
+    }
+    if (irqLine) {
+        wd.addDiagnostic("irq", [this] {
+            return format("%u posts pending delivery",
+                          irqLine->pendingDeliveries());
+        });
+    }
+    if (cmdQueue) {
+        wd.addDiagnostic("cmdq", [this] {
+            return format("%zu descriptors queued", cmdQueue->size());
+        });
+    }
     if (cacheMem) {
         wd.addDiagnostic("accel.cache", [this] {
             return format("%zu live MSHRs%s",
@@ -228,10 +264,29 @@ Soc::build()
         nextV += span;
     }
 
-    if (cfg.memType == MemInterface::ScratchpadDma)
+    if (cfg.memType == MemInterface::ScratchpadDma) {
         buildScratchpadSide();
-    else
+        buildAcpSide();
+    } else {
         buildCacheSide();
+    }
+
+    // Genie-Iface completion + batching. Both components exist only
+    // when selected, so a default config wires nothing here.
+    if (cfg.iface.completion == CompletionMode::Interrupt) {
+        InterruptLine::Params ip;
+        ip.deliveryLatency = cfg.iface.irqLatency;
+        irqLine = std::make_unique<InterruptLine>("iface.irq", eventq,
+                                                  cpuClock, ip);
+        irqLine->setHandler([this] { driver->raiseInterrupt(); });
+        driver->setCompletionSink([this] { irqLine->post(); });
+    }
+    if (cfg.iface.queueDepth > 0) {
+        CommandQueue::Params qp;
+        qp.depth = cfg.iface.queueDepth;
+        cmdQueue = std::make_unique<CommandQueue>("iface.queue", eventq,
+                                                  qp);
+    }
 
     device = std::make_unique<AccelDevice>(*this);
     ioctlRegistry->registerDevice(0, device.get());
@@ -294,6 +349,98 @@ Soc::buildScratchpadSide()
             seg.len = std::min<std::uint64_t>(cfg.dma.pageBytes,
                                               a.sizeBytes - off);
             inputPages.push_back(seg);
+        }
+    }
+}
+
+void
+Soc::buildAcpSide()
+{
+    // Resolve every array's data-movement regime. The all-DMA default
+    // leaves the ACP plan empty and the DMA totals equal to the trace
+    // totals, so the baseline flow is untouched.
+    bool globalAcp = cfg.iface.memType == IfaceMemType::Acp;
+    arrayUsesAcp.assign(trace.arrays.size(), globalAcp);
+    for (const auto &o : cfg.iface.arrayMemTypes) {
+        bool found = false;
+        for (std::size_t i = 0; i < trace.arrays.size(); ++i) {
+            if (trace.arrays[i].name == o.first) {
+                arrayUsesAcp[i] = o.second == IfaceMemType::Acp;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("config: mem_type.%s names no array in this "
+                  "workload — check the trace's array list for the "
+                  "exact name",
+                  o.first.c_str());
+    }
+
+    for (std::size_t i = 0; i < trace.arrays.size(); ++i) {
+        const auto &a = trace.arrays[i];
+        AcpPort::Segment seg;
+        seg.arrayId = static_cast<int>(i);
+        seg.busAddr = arrayDramBase[i];
+        seg.arrayOffset = 0;
+        seg.len = a.sizeBytes;
+        if (a.isInput) {
+            if (arrayUsesAcp[i]) {
+                acpInBytes += a.sizeBytes;
+                acpInputSegs.push_back(seg);
+            } else {
+                dmaInBytes += a.sizeBytes;
+            }
+        }
+        if (a.isOutput) {
+            if (arrayUsesAcp[i]) {
+                acpOutBytes += a.sizeBytes;
+                acpOutputSegs.push_back(seg);
+            } else {
+                dmaOutBytes += a.sizeBytes;
+            }
+        }
+    }
+
+    if (acpInBytes == 0 && acpOutBytes == 0)
+        return;
+
+    // ACP-moved arrays never ride the pipelined flush+DMA page plan.
+    inputPages.erase(
+        std::remove_if(inputPages.begin(), inputPages.end(),
+                       [this](const DmaEngine::Segment &p) {
+                           return arrayUsesAcp[p.arrayId];
+                       }),
+        inputPages.end());
+
+    if (cfg.isolated)
+        return;
+
+    auto accelClock = ClockDomain::fromMhz(cfg.accelMhz);
+    AcpPort::Params ap;
+    ap.beatBytes = cfg.cpuLineBytes;
+    ap.maxOutstanding = cfg.dma.maxOutstanding;
+    acp = std::make_unique<AcpPort>("iface.acp", eventq, accelClock,
+                                    *systemBus, ap);
+
+    // The CPU produced the input data and — the whole point of the
+    // ACP — never flushed it: its L1 holds the lines dirty, and the
+    // port's coherent loads snoop them out cache-to-cache.
+    if (cfg.cpuHoldsDirtyInput) {
+        auto cpuClock = ClockDomain::fromMhz(cfg.cpuMhz);
+        Cache::Params l1p;
+        l1p.sizeBytes = cfg.cpuCacheBytes;
+        l1p.lineBytes = cfg.cpuLineBytes;
+        l1p.assoc = 4;
+        l1p.ports = 1;
+        cpuL1 = std::make_unique<Cache>("cpu.l1d", eventq, cpuClock,
+                                        *systemBus, l1p);
+        for (std::size_t i = 0; i < trace.arrays.size(); ++i) {
+            const auto &a = trace.arrays[i];
+            if (!a.isInput || !arrayUsesAcp[i])
+                continue;
+            cpuL1->prefill(arrayDramBase[i], a.sizeBytes,
+                           /*dirty=*/true);
         }
     }
 }
@@ -403,8 +550,32 @@ Soc::beginInputPhase()
     GENIE_ASSERT(cfg.memType == MemInterface::ScratchpadDma,
                  "input phase only exists in DMA mode");
 
-    std::uint64_t inBytes = trace.totalInputBytes();
-    std::uint64_t outBytes = trace.totalOutputBytes();
+    // Flush/invalidate and the DMA engine move only the DMA-regime
+    // bytes; ACP-regime arrays stream in concurrently over the
+    // coherency port with no cache-maintenance prerequisite. The
+    // all-DMA default makes the ACP part vanish and the DMA part
+    // cover the whole trace, reproducing the baseline event-for-event.
+    std::uint64_t inBytes = dmaInBytes;
+    std::uint64_t outBytes = dmaOutBytes;
+    inputPartsPending =
+        (inBytes > 0 ? 1u : 0u) + (acpInBytes > 0 ? 1u : 0u);
+
+    auto beat = [this](int arrayId, Addr offset, unsigned len) {
+        feBits->fill(arrayId, offset, len);
+    };
+
+    if (acpInBytes > 0) {
+        acp->startTransaction(
+            AcpPort::Direction::MemToAccel, acpInputSegs, beat,
+            [this](bool ok) {
+                if (!ok)
+                    fatal("input ACP burst failed permanently (fault "
+                          "retry budget exhausted) — lower "
+                          "fault_acp_snoop or raise fault_max_retries");
+                if (--inputPartsPending == 0)
+                    onInputPhaseDone();
+            });
+    }
 
     auto invalidated = [this] {
         outputInvalidated = true;
@@ -427,14 +598,12 @@ Soc::beginInputPhase()
     if (inBytes == 0) {
         if (outBytes > 0 && cfg.dma.pipelined)
             flush->startInvalidate(outBytes, invalidated);
-        eventq.scheduleIn(0, [this] { onInputPhaseDone(); },
-                          "soc.inputDone");
+        if (inputPartsPending == 0) {
+            eventq.scheduleIn(0, [this] { onInputPhaseDone(); },
+                              "soc.inputDone");
+        }
         return;
     }
-
-    auto beat = [this](int arrayId, Addr offset, unsigned len) {
-        feBits->fill(arrayId, offset, len);
-    };
 
     if (cfg.dma.pipelined) {
         // One flush chunk and one DMA transaction per page; the DMA of
@@ -457,7 +626,8 @@ Soc::beginInputPhase()
                                   "(fault retry budget exhausted) — "
                                   "lower fault_dma_beat or raise "
                                   "fault_max_retries");
-                        if (++pagesDone == inputPages.size())
+                        if (++pagesDone == inputPages.size() &&
+                            --inputPartsPending == 0)
                             onInputPhaseDone();
                     });
             },
@@ -471,6 +641,8 @@ Soc::beginInputPhase()
         flush->startFlush(inBytes, inBytes, nullptr, [this, beat] {
             std::vector<DmaEngine::Segment> segs;
             for (std::size_t i : inputOrder) {
+                if (!arrayUsesAcp.empty() && arrayUsesAcp[i])
+                    continue;
                 const auto &a = trace.arrays[i];
                 DmaEngine::Segment seg;
                 seg.arrayId = static_cast<int>(i);
@@ -487,7 +659,8 @@ Soc::beginInputPhase()
                                                 "permanently (fault "
                                                 "retry budget "
                                                 "exhausted)");
-                                      onInputPhaseDone();
+                                      if (--inputPartsPending == 0)
+                                          onInputPhaseDone();
                                   });
         });
     }
@@ -499,7 +672,7 @@ Soc::onInputPhaseDone()
     inputDone = true;
     if (accelStartRequested && !accel->running() &&
         !cfg.dma.triggeredCompute) {
-        accel->start([this] { onDatapathDone(); });
+        launchInvocation();
     }
 }
 
@@ -521,32 +694,89 @@ Soc::startAccelerator(std::function<void()> onFinish)
     accelStartRequested = true;
 
     if (cfg.memType == MemInterface::Cache && !cfg.isolated) {
-        // Pull register-promoted shared inputs through the cache
-        // before compute begins.
-        eventq.scheduleIn(lineCopyLatency(cacheWarmupBytes), [this] {
-            accel->start([this] { onDatapathDone(); });
-        }, "soc.cacheWarmup");
+        if (invocationsDone == 0) {
+            // Pull register-promoted shared inputs through the cache
+            // before compute begins (first invocation only; the batch
+            // reuses device-resident data).
+            eventq.scheduleIn(lineCopyLatency(cacheWarmupBytes),
+                              [this] { launchInvocation(); },
+                              "soc.cacheWarmup");
+            return;
+        }
+        launchInvocation();
         return;
     }
     if (cfg.memType == MemInterface::Cache || cfg.isolated ||
         cfg.dma.triggeredCompute || inputDone) {
-        accel->start([this] { onDatapathDone(); });
+        launchInvocation();
     }
     // Otherwise onInputPhaseDone() will start the datapath.
 }
 
 void
+Soc::launchInvocation()
+{
+    // A queued launch retires its ring descriptor; batched
+    // invocations enqueued N and ring exactly one doorbell (ioctl).
+    if (cmdQueue && !cmdQueue->empty())
+        cmdQueue->pop();
+    accel->start([this] { onDatapathDone(); });
+}
+
+void
 Soc::onDatapathDone()
 {
+    ++invocationsDone;
+    if (invocationsDone < cfg.iface.invocations) {
+        if (cmdQueue && !cmdQueue->empty()) {
+            // Drain the command queue back-to-back: the device moves
+            // straight to the next descriptor with no CPU round trip.
+            eventq.scheduleIn(0, [this] { launchInvocation(); },
+                              "iface.queueNext");
+            return;
+        }
+        // Unqueued batch: complete this ioctl so the driver can issue
+        // the next one (one CPU round trip per invocation).
+        if (pendingFinish)
+            pendingFinish();
+        return;
+    }
+    beginOutputPhase();
+}
+
+void
+Soc::beginOutputPhase()
+{
     if (cfg.memType == MemInterface::ScratchpadDma && !cfg.isolated &&
-        trace.totalOutputBytes() > 0) {
-        // Stream output arrays back to memory; the output region must
-        // have been invalidated from CPU caches first.
+        (dmaOutBytes > 0 || acpOutBytes > 0)) {
+        outputPartsPending =
+            (dmaOutBytes > 0 ? 1u : 0u) + (acpOutBytes > 0 ? 1u : 0u);
+
+        // ACP-regime outputs need no prior CPU invalidate: each
+        // WriteInvalidate beat drops any cached copy as it lands.
+        if (acpOutBytes > 0) {
+            acp->startTransaction(
+                AcpPort::Direction::AccelToMem, acpOutputSegs, nullptr,
+                [this](bool ok) {
+                    if (!ok)
+                        fatal("output ACP burst failed permanently "
+                              "(fault retry budget exhausted) — lower "
+                              "fault_acp_snoop or raise "
+                              "fault_max_retries");
+                    if (--outputPartsPending == 0 && pendingFinish)
+                        pendingFinish();
+                });
+        }
+        if (dmaOutBytes == 0)
+            return;
+
+        // Stream DMA-regime output arrays back to memory; the output
+        // region must have been invalidated from CPU caches first.
         auto startOutput = [this] {
             std::vector<DmaEngine::Segment> segs;
             for (std::size_t i = 0; i < trace.arrays.size(); ++i) {
                 const auto &a = trace.arrays[i];
-                if (!a.isOutput)
+                if (!a.isOutput || arrayUsesAcp[i])
                     continue;
                 DmaEngine::Segment seg;
                 seg.arrayId = static_cast<int>(i);
@@ -563,7 +793,8 @@ Soc::onDatapathDone()
                                                 "permanently (fault "
                                                 "retry budget "
                                                 "exhausted)");
-                                      if (pendingFinish)
+                                      if (--outputPartsPending == 0 &&
+                                          pendingFinish)
                                           pendingFinish();
                                   });
         };
@@ -628,13 +859,41 @@ Soc::run()
         call.callback = [this] { beginInputPhase(); };
         program.push_back(std::move(call));
     }
-    DriverOp ioctlOp;
-    ioctlOp.kind = DriverOp::Kind::Ioctl;
-    ioctlOp.command = 0;
-    program.push_back(std::move(ioctlOp));
-    DriverOp wait;
-    wait.kind = DriverOp::Kind::SpinWait;
-    program.push_back(std::move(wait));
+    const auto waitKind =
+        cfg.iface.completion == CompletionMode::Interrupt
+            ? DriverOp::Kind::IntrWait
+            : DriverOp::Kind::SpinWait;
+    if (cmdQueue) {
+        // Batched offload: enqueue the whole batch, ring the doorbell
+        // once (a single ioctl), and wait for the device to drain the
+        // ring back-to-back.
+        DriverOp enq;
+        enq.kind = DriverOp::Kind::Call;
+        enq.callback = [this] {
+            for (unsigned i = 0; i < cfg.iface.invocations; ++i)
+                cmdQueue->push(0);
+        };
+        program.push_back(std::move(enq));
+        DriverOp ioctlOp;
+        ioctlOp.kind = DriverOp::Kind::Ioctl;
+        ioctlOp.command = 0;
+        program.push_back(std::move(ioctlOp));
+        DriverOp wait;
+        wait.kind = waitKind;
+        program.push_back(std::move(wait));
+    } else {
+        // One ioctl + wait round trip per invocation (the per-offload
+        // initiation cost the command queue exists to amortize).
+        for (unsigned i = 0; i < cfg.iface.invocations; ++i) {
+            DriverOp ioctlOp;
+            ioctlOp.kind = DriverOp::Kind::Ioctl;
+            ioctlOp.command = 0;
+            program.push_back(std::move(ioctlOp));
+            DriverOp wait;
+            wait.kind = waitKind;
+            program.push_back(std::move(wait));
+        }
+    }
 
     bool done = false;
     driver->run(std::move(program), [&] {
@@ -699,7 +958,11 @@ Soc::computeBreakdown(Tick endTick) const
     window.add(0, endTick);
 
     const IntervalSet &f = flush->busyIntervals();
-    const IntervalSet &d = dma->busyIntervals();
+    // The ACP is a data-movement engine like the DMA, so its busy time
+    // lands in the same breakdown bucket.
+    IntervalSet d = dma->busyIntervals();
+    if (acp)
+        d = d.unionWith(acp->busyIntervals());
     const IntervalSet &c = accel->computeBusy();
 
     RuntimeBreakdown b;
@@ -783,6 +1046,12 @@ Soc::computeEnergy(SocResults &r) const
     if (!cfg.isolated && cfg.memType == MemInterface::ScratchpadDma) {
         dynamic += dma->bytesTransferred() *
                    EnergyModel::dmaPerByteEnergy();
+        // ACP beats pay the same per-byte movement energy as DMA
+        // beats; what they save is the flush, not the transfer.
+        if (acp) {
+            dynamic += acp->bytesTransferred() *
+                       EnergyModel::dmaPerByteEnergy();
+        }
         if (cfg.dma.triggeredCompute && feBits) {
             dynamic += (feBits->fills() + feBits->stalls()) *
                        EnergyModel::readyBitAccessEnergy();
@@ -842,6 +1111,11 @@ Soc::collect(Tick endTick)
                           static_cast<double>(endTick)
                     : 0.0;
     r.dmaBytes = static_cast<std::uint64_t>(dma->bytesTransferred());
+    if (acp) {
+        // Report all explicit data movement, whichever engine did it.
+        r.dmaBytes +=
+            static_cast<std::uint64_t>(acp->bytesTransferred());
+    }
     r.readyBitStalls =
         static_cast<std::uint64_t>(accel->stats().get("readyBitStalls"));
     r.cacheToCacheTransfers = static_cast<std::uint64_t>(

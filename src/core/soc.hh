@@ -29,6 +29,9 @@
 #include "dma/flush_model.hh"
 #include "fault/fault_injector.hh"
 #include "fault/watchdog.hh"
+#include "iface/acp_port.hh"
+#include "iface/command_queue.hh"
+#include "iface/interrupt_line.hh"
 #include "mem/bus.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
@@ -71,6 +74,13 @@ class Soc
     FlushEngine &flushEngine() { return *flush; }
     DriverCpu &cpu() { return *driver; }
 
+    /** The coherency port, or null unless an array selects ACP. */
+    AcpPort *acpPort() { return acp.get(); }
+    /** The interrupt line, or null under spin completion. */
+    InterruptLine *interruptLine() { return irqLine.get(); }
+    /** The command queue, or null when queue_depth is zero. */
+    CommandQueue *commandQueue() { return cmdQueue.get(); }
+
     /** The event tracer, or null when cfg.tracing.enabled is false. */
     Tracer *tracer() { return eventTracer.get(); }
     const Tracer *tracer() const { return eventTracer.get(); }
@@ -108,13 +118,24 @@ class Soc
     void buildScratchpadSide();
     void buildCacheSide();
 
-    /** Start flush + input DMA (called from the driver program). */
+    /** Start flush + input DMA/ACP (called from the driver program). */
     void beginInputPhase();
     void onInputPhaseDone();
 
     /** ioctl target: run the datapath per the configured flow. */
     void startAccelerator(std::function<void()> onFinish);
     void onDatapathDone();
+
+    /** Launch one datapath invocation (queue drains re-enter here). */
+    void launchInvocation();
+
+    /** Drain output data (DMA and/or ACP), then complete the run. */
+    void beginOutputPhase();
+
+    /** Resolve per-array regimes, build the ACP plan, and (when any
+     * array selects ACP) construct the port plus a dirty CPU L1 for
+     * it to snoop. */
+    void buildAcpSide();
 
     /** Write the Chrome JSON sink if an output path is configured. */
     void writeTraceOutput();
@@ -161,6 +182,13 @@ class Soc
     std::unique_ptr<DriverCpu> driver;
     std::unique_ptr<AccelDevice> device;
 
+    // SoC interface (Genie-Iface). Each component is constructed
+    // only when its knob is non-default, so a baseline run carries
+    // no iface object and stays byte-identical to a pre-iface build.
+    std::unique_ptr<AcpPort> acp;
+    std::unique_ptr<InterruptLine> irqLine;
+    std::unique_ptr<CommandQueue> cmdQueue;
+
     // Accelerator-local memory system.
     std::unique_ptr<Scratchpad> spad;
     std::unique_ptr<FullEmptyBits> feBits;
@@ -179,6 +207,18 @@ class Soc
     std::vector<DmaEngine::Segment> inputPages;
     std::size_t pagesDone = 0;
 
+    // Per-array regime plan (scratchpad side): which arrays move
+    // over the ACP instead of the flush+DMA path, and the byte
+    // totals of each partition. All-DMA defaults leave the ACP
+    // vectors empty and the dma totals equal to the trace totals.
+    std::vector<bool> arrayUsesAcp;
+    std::vector<AcpPort::Segment> acpInputSegs;
+    std::vector<AcpPort::Segment> acpOutputSegs;
+    std::uint64_t dmaInBytes = 0;
+    std::uint64_t dmaOutBytes = 0;
+    std::uint64_t acpInBytes = 0;
+    std::uint64_t acpOutBytes = 0;
+
     // Cache-mode transfer of register-promoted shared arrays: pulled
     // through the cache before compute, pushed back after.
     std::uint64_t cacheWarmupBytes = 0;
@@ -196,6 +236,13 @@ class Soc
     std::function<void()> pendingFinish;
     bool ran = false;
     Tick flowEndTick = 0;
+
+    // Multi-invocation flow (Genie-Iface): completed datapath runs
+    // this flow, and input/output partitions still in flight when
+    // DMA- and ACP-moved arrays drain concurrently.
+    unsigned invocationsDone = 0;
+    unsigned inputPartsPending = 0;
+    unsigned outputPartsPending = 0;
 };
 
 /** One-call convenience API: build, run, and tear down a design. */

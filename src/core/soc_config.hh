@@ -11,6 +11,7 @@
 #include <string>
 
 #include "fault/fault_config.hh"
+#include "iface/iface_config.hh"
 #include "metrics/metrics_config.hh"
 #include "sim/types.hh"
 #include "trace/tracer.hh"
@@ -124,6 +125,14 @@ struct SocConfig
      * (the default) construct no injector at all, so a zero-rate
      * campaign is byte-identical to a fault-free run. */
     FaultConfig faults;
+
+    /** SoC-interface regime (Genie-Iface): completion mode, ACP
+     * vs DMA data movement, command queue. Defaults select the
+     * paper's baseline (spin + DMA + no queue) and construct no
+     * iface component, keeping default runs byte-identical to a
+     * pre-iface build. iface.memType is kept in sync with memType by
+     * the mem=/mem_type= config keys. */
+    IfaceConfig iface;
 
     // ---- Study switches (not hardware knobs) ----
 

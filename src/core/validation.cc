@@ -87,6 +87,34 @@ validateSocConfig(const SocConfig &cfg)
         fatal("config: fault_max_retries=0 with nonzero fault rates "
               "— a single injected error would instantly fail the "
               "run; use at least 1");
+
+    // Genie-Iface: completion mode, ACP regime, command queue.
+    if (cfg.memType == MemInterface::Cache &&
+        cfg.iface.memType == IfaceMemType::Acp)
+        fatal("config: mem_type=acp contradicts mem=cache — the ACP "
+              "fills scratchpads coherently; pick mem_type=acp (a "
+              "scratchpad regime) or mem=cache, not both");
+    if (cfg.memType == MemInterface::Cache &&
+        !cfg.iface.arrayMemTypes.empty())
+        fatal("config: per-array mem_type.<array> overrides apply to "
+              "scratchpad arrays only — a cache-mode accelerator has "
+              "no per-array data movement to select; drop the "
+              "overrides or use mem=dma");
+    if (cfg.iface.invocations == 0)
+        fatal("config: invocations=0 — a run must invoke the kernel "
+              "at least once (invocations=1 is the paper baseline)");
+    if (cfg.iface.queueDepth > 0 &&
+        cfg.iface.invocations > cfg.iface.queueDepth)
+        fatal("config: invocations=%u exceeds queue_depth=%u — the "
+              "driver enqueues the whole batch before its single "
+              "ioctl, so the ring must hold every invocation; deepen "
+              "queue_depth or lower invocations",
+              cfg.iface.invocations, cfg.iface.queueDepth);
+    if (cfg.iface.completion == CompletionMode::Interrupt &&
+        cfg.iface.irqLatency == 0)
+        fatal("config: irq_latency_ns=0 with completion=interrupt — "
+              "a zero-latency interrupt would beat the spin path for "
+              "free; model at least 1 ns of delivery latency");
 }
 
 Cycles

@@ -12,7 +12,8 @@ DriverCpu::DriverCpu(std::string name, EventQueue &eq, ClockDomain domain,
       flushEngine(flushEngine_), registry(registry_),
       statOps(stats().add("ops", "driver ops executed")),
       statSpinTicks(stats().add("spinTicks",
-                                "ticks spent spin-waiting"))
+                                "ticks spent spin-waiting")),
+      statIoctls(stats().add("ioctls", "ioctl invocations issued"))
 {
     eq.registerStats(stats());
 }
@@ -27,7 +28,15 @@ DriverCpu::run(std::vector<DriverOp> prog, std::function<void()> done)
     running = true;
     flagSet = false;
     waitingOnFlag = false;
+    intrPending = false;
+    waitingOnIntr = false;
     eventq.scheduleIn(0, [this] { step(); }, "cpu.step");
+}
+
+void
+DriverCpu::setCompletionSink(std::function<void()> sink)
+{
+    completionSink = std::move(sink);
 }
 
 void
@@ -42,6 +51,20 @@ DriverCpu::signalFlag()
         flagSet = false;
         eventq.scheduleIn(params.spinNoticeLatency, [this] { step(); },
                           "cpu.step");
+    }
+}
+
+void
+DriverCpu::raiseInterrupt()
+{
+    intrPending = true;
+    if (waitingOnIntr) {
+        waitingOnIntr = false;
+        // The interrupt was consumed by the pending IntrWait. The
+        // wakeup latency was already charged by the InterruptLine,
+        // and a sleeping CPU burns no spin ticks.
+        intrPending = false;
+        eventq.scheduleIn(0, [this] { step(); }, "cpu.step");
     }
 }
 
@@ -74,11 +97,17 @@ DriverCpu::step()
         break;
       case DriverOp::Kind::Ioctl: {
         std::uint32_t command = op.command;
+        ++statIoctls;
         scheduleCycles(params.ioctlCycles, [this, command] {
             // The device runs concurrently with the CPU; the driver
             // returns from ioctl immediately after starting it.
+            // Completion routes through the configured sink (e.g. an
+            // InterruptLine) or, by default, the coherent spin flag.
             registry.ioctl(aladdinFd, command, [this] {
-                signalFlag();
+                if (completionSink)
+                    completionSink();
+                else
+                    signalFlag();
             });
             step();
         }, "cpu.ioctl");
@@ -91,6 +120,14 @@ DriverCpu::step()
         } else {
             spinStart = eventq.curTick();
             waitingOnFlag = true;
+        }
+        break;
+      case DriverOp::Kind::IntrWait:
+        if (intrPending) {
+            intrPending = false;
+            eventq.scheduleIn(0, next, "cpu.step");
+        } else {
+            waitingOnIntr = true;
         }
         break;
       case DriverOp::Kind::Mfence:

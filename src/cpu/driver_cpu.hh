@@ -5,12 +5,19 @@
  * The paper runs gem5 in syscall-emulation mode with a validated ARM
  * A9 CPU model; the CPU's role in every experiment is the software
  * offload flow: flush caches, program the DMA engine, invoke the
- * accelerator via ioctl, then spin-wait on a coherent status flag.
- * Genie substitutes a timed driver program — a sequence of DriverOps
- * executed sequentially, each charged its characterized latency — which
+ * accelerator via ioctl, then wait for completion. Genie substitutes
+ * a timed driver program — a sequence of DriverOps executed
+ * sequentially, each charged its characterized latency — which
  * reproduces exactly the CPU-side costs the paper accounts for
  * (84 ns/line flushes, 71 ns/line invalidates, DMA setup, ioctl entry,
  * and the coherence-notice latency of the spin loop).
+ *
+ * Completion has two waiting styles (Genie-Iface completion modes):
+ * SpinWait polls a coherent status flag, charging every waited tick
+ * to spinTicks plus the coherence notice latency; IntrWait sleeps
+ * until an InterruptLine delivery calls raiseInterrupt(), charging
+ * no spin time at all — the wakeup latency is modeled by the line,
+ * not the CPU.
  */
 
 #ifndef GENIE_CPU_DRIVER_CPU_HH
@@ -45,6 +52,8 @@ struct DriverOp
         Ioctl,
         /** Spin until the accelerator's completion flag is seen. */
         SpinWait,
+        /** Sleep until an interrupt is delivered (no spin time). */
+        IntrWait,
         /** Full memory fence (drains; modeled as fixed latency). */
         Mfence,
         /** Run a user callback (no simulated time). */
@@ -85,6 +94,21 @@ class DriverCpu : public SimObject, public Clocked
      */
     void signalFlag();
 
+    /**
+     * Interrupt delivery (called by the InterruptLine handler): a
+     * pending IntrWait completes immediately — the delivery latency
+     * was already paid on the line — and no spin time is charged.
+     */
+    void raiseInterrupt();
+
+    /**
+     * Route device completions somewhere other than signalFlag()
+     * (e.g. into an InterruptLine). Ioctl ops pass @p sink to the
+     * registry as the completion callback; unset, completions write
+     * the spin flag directly.
+     */
+    void setCompletionSink(std::function<void()> sink);
+
     bool idle() const { return !running; }
 
   private:
@@ -99,11 +123,15 @@ class DriverCpu : public SimObject, public Clocked
     bool running = false;
     bool flagSet = false;
     bool waitingOnFlag = false;
+    bool intrPending = false;
+    bool waitingOnIntr = false;
     Tick spinStart = 0;
     std::function<void()> onDone;
+    std::function<void()> completionSink;
 
     Stat &statOps;
     Stat &statSpinTicks;
+    Stat &statIoctls;
 };
 
 } // namespace genie

@@ -6,9 +6,15 @@
  * special file descriptor selects Aladdin, and command numbers select
  * individual accelerators. We model the same registry: accelerators
  * register under a command number; the driver CPU "calls ioctl" with a
- * command number, which starts the accelerator; completion is signaled
- * through a shared status flag that the spinning CPU observes via
- * cache coherence (modeled as a fixed notice latency).
+ * command number, which starts the accelerator. Completion reaches the
+ * CPU over one of two paths selected by the run's completion mode:
+ * a shared status flag that a spinning CPU observes via cache
+ * coherence (modeled as a fixed notice latency), or a posted
+ * interrupt delivered through the Genie-Iface InterruptLine with a
+ * wakeup latency. Either way the registry tracks the device as busy
+ * from start to completion, so an overlapping start — which would
+ * silently clobber the first invocation's completion callback — is a
+ * loud error instead of a hang.
  */
 
 #ifndef GENIE_CPU_IOCTL_HH
@@ -17,6 +23,8 @@
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "sim/logging.hh"
 
@@ -48,7 +56,11 @@ class IoctlRegistry
             fatal("ioctl command %u already registered", command);
     }
 
-    /** Emulates ioctl(aladdinFd, command): starts the device. */
+    /** Emulates ioctl(aladdinFd, command): starts the device. The
+     * device is busy until it signals completion; starting it again
+     * while busy is fatal (the second start would overwrite the
+     * first invocation's completion callback and hang the first
+     * caller). */
     void
     ioctl(int fd, std::uint32_t command, std::function<void()> onFinish)
     {
@@ -57,7 +69,21 @@ class IoctlRegistry
         auto it = devices.find(command);
         if (it == devices.end())
             fatal("ioctl: no device for command %u", command);
-        it->second->start(std::move(onFinish));
+        if (busy.count(command)) {
+            fatal("ioctl: device for command %u is still running — an "
+                  "overlapping start would clobber its completion "
+                  "callback; wait for completion first, or batch "
+                  "invocations through the command queue "
+                  "(queue_depth=N)",
+                  command);
+        }
+        busy.insert(command);
+        it->second->start(
+            [this, command, onFinish = std::move(onFinish)] {
+                busy.erase(command);
+                if (onFinish)
+                    onFinish();
+            });
     }
 
     bool
@@ -66,8 +92,16 @@ class IoctlRegistry
         return devices.count(command) != 0;
     }
 
+    /** True while the device for @p command is running. */
+    bool
+    isBusy(std::uint32_t command) const
+    {
+        return busy.count(command) != 0;
+    }
+
   private:
     std::unordered_map<std::uint32_t, IoctlDevice *> devices;
+    std::unordered_set<std::uint32_t> busy;
 };
 
 } // namespace genie

@@ -142,6 +142,57 @@ DesignSpace::cache(const SocConfig &base)
     return configs;
 }
 
+std::vector<SocConfig>
+DesignSpace::acp(const SocConfig &base)
+{
+    std::vector<SocConfig> configs;
+    for (unsigned lanes : laneValues()) {
+        for (unsigned parts : partitionValues()) {
+            SocConfig c = base;
+            c.memType = MemInterface::ScratchpadDma;
+            c.iface.memType = IfaceMemType::Acp;
+            c.lanes = lanes;
+            c.spadPartitions = parts;
+            c.isolated = false;
+            // The ACP replaces the flush+DMA path entirely, so the
+            // DMA-latency optimizations have nothing to optimize.
+            c.dma.pipelined = false;
+            c.dma.triggeredCompute = false;
+            configs.push_back(std::move(c));
+        }
+    }
+    return configs;
+}
+
+std::vector<SocConfig>
+DesignSpace::iface(const SocConfig &base)
+{
+    std::vector<SocConfig> configs;
+    const CompletionMode modes[] = {CompletionMode::Spin,
+                                    CompletionMode::Interrupt};
+    for (CompletionMode mode : modes) {
+        SocConfig b = base;
+        b.iface.completion = mode;
+        for (auto &c : dma(b))
+            configs.push_back(std::move(c));
+        for (auto &c : acp(b))
+            configs.push_back(std::move(c));
+        // One default-parameter cache design per lane count keeps the
+        // hardware-coherent regime on the chart without exploding the
+        // point count (the full cache space is DesignSpace::cache).
+        for (unsigned lanes : laneValues()) {
+            SocConfig c = b;
+            c.memType = MemInterface::Cache;
+            c.iface.memType = IfaceMemType::Cache;
+            c.lanes = lanes;
+            c.spadPartitions = lanes;
+            c.isolated = false;
+            configs.push_back(std::move(c));
+        }
+    }
+    return configs;
+}
+
 SocConfig
 DesignSpace::isolatedAsCache(const SocConfig &isolated,
                              std::uint64_t workingSetBytes)
@@ -171,6 +222,50 @@ axisAccepts(const std::vector<unsigned> &allowed, unsigned value)
     return allowed.empty() ||
            std::find(allowed.begin(), allowed.end(), value) !=
                allowed.end();
+}
+
+bool
+axisAcceptsName(const std::vector<std::string> &allowed,
+                const char *value)
+{
+    return allowed.empty() ||
+           std::find(allowed.begin(), allowed.end(), value) !=
+               allowed.end();
+}
+
+/** A config's interface regime for mem_type filtering. */
+const char *
+regimeName(const SocConfig &c)
+{
+    if (c.memType == MemInterface::Cache)
+        return "cache";
+    return c.iface.anyAcp() ? "acp" : "dma";
+}
+
+std::vector<std::string>
+parseAxisNames(const std::string &axis, const std::string &csv,
+               std::initializer_list<const char *> valid)
+{
+    std::vector<std::string> values;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        std::size_t comma = csv.find(',', start);
+        std::string item = csv.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        bool ok = false;
+        for (const char *v : valid)
+            ok = ok || item == v;
+        if (!ok) {
+            fatal("filter axis %s: unknown value '%s'", axis.c_str(),
+                  item.c_str());
+        }
+        values.push_back(std::move(item));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return values;
 }
 
 std::vector<unsigned>
@@ -204,6 +299,10 @@ SpaceFilter::accepts(const SocConfig &c) const
 {
     if (!axisAccepts(lanes, c.lanes) ||
         !axisAccepts(partitions, c.spadPartitions))
+        return false;
+    if (!axisAcceptsName(memTypes, regimeName(c)) ||
+        !axisAcceptsName(completions,
+                         completionModeName(c.iface.completion)))
         return false;
     if (c.memType != MemInterface::Cache)
         return true;
@@ -243,6 +342,12 @@ SpaceFilter::parse(const std::string &spec)
                 f.cachePorts = parseAxisValues(axis, csv);
             else if (axis == "cache_assoc")
                 f.cacheAssoc = parseAxisValues(axis, csv);
+            else if (axis == "mem_type")
+                f.memTypes = parseAxisNames(axis, csv,
+                                            {"dma", "acp", "cache"});
+            else if (axis == "completion")
+                f.completions = parseAxisNames(axis, csv,
+                                               {"spin", "interrupt"});
             else
                 fatal("unknown filter axis '%s'", axis.c_str());
         }

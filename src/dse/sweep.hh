@@ -56,6 +56,19 @@ class DesignSpace
      * lanes x size x line x ports x assoc. */
     static std::vector<SocConfig> cache(const SocConfig &base);
 
+    /** Full-system ACP designs (Genie-Iface third regime): lanes x
+     * partitions with every array moved over the coherency port —
+     * no flush, no invalidate, loads snooping the dirty CPU L1. */
+    static std::vector<SocConfig> acp(const SocConfig &base);
+
+    /**
+     * The combined SoC-interface space (fig08-style third frontier):
+     * {spin, interrupt} completion x [the DMA space, the ACP space,
+     * and one default-parameter cache design per lane count]. Plots
+     * all three interface regimes on one Pareto chart.
+     */
+    static std::vector<SocConfig> iface(const SocConfig &base);
+
     /**
      * Map an isolated scratchpad design onto cache parameters the way
      * an isolation-minded designer would: a cache big enough to hold
@@ -82,13 +95,21 @@ struct SpaceFilter GENIE_THREAD_LOCAL_OK
     std::vector<unsigned> cacheLine;
     std::vector<unsigned> cachePorts;
     std::vector<unsigned> cacheAssoc;
+    /** Interface regimes ("dma", "acp", "cache"); a config's regime
+     * is cache when memType is Cache, acp when any array rides the
+     * coherency port, dma otherwise. */
+    std::vector<std::string> memTypes;
+    /** Completion modes ("spin", "interrupt"). */
+    std::vector<std::string> completions;
 
     bool accepts(const SocConfig &config) const;
 
     /**
-     * Parse a spec such as "lanes=1,4;partitions=1,4;cache_kb=2,16".
-     * Axes: lanes, partitions, cache_kb, cache_line, cache_ports,
-     * cache_assoc. fatal() on unknown axes or malformed values.
+     * Parse a spec such as "lanes=1,4;partitions=1,4;cache_kb=2,16"
+     * or "mem_type=dma,acp;completion=interrupt". Axes: lanes,
+     * partitions, cache_kb, cache_line, cache_ports, cache_assoc,
+     * mem_type, completion. fatal() on unknown axes or malformed
+     * values.
      */
     static SpaceFilter parse(const std::string &spec);
 };

@@ -32,9 +32,16 @@ enum class FaultSite : std::uint8_t
     DmaBeat,
     /** A TLB page-table walk times out and must be re-walked. */
     TlbWalk,
+    /** An ACP beat fails at the coherency port even though the
+     * memory system answered (e.g. a snoop response corrupted at the
+     * one-way-coherent boundary). */
+    AcpSnoop,
+    /** A posted interrupt is lost before delivery and must be
+     * re-posted by the interrupt line. */
+    IrqDrop,
 };
 
-constexpr unsigned numFaultSites = 4;
+constexpr unsigned numFaultSites = 6;
 
 /** Stable lower-case site name for stats, config keys, and logs. */
 const char *faultSiteName(FaultSite site);
@@ -50,7 +57,7 @@ struct FaultConfig
      * static_cast<unsigned>(FaultSite). All-zero (the default) means
      * no campaign: the Soc does not even construct an injector, so a
      * zero-rate run is byte-identical to a fault-free build. */
-    double rates[numFaultSites] = {0.0, 0.0, 0.0, 0.0};
+    double rates[numFaultSites] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
 
     /** Maximum reissues of one request before the requester declares
      * the transaction failed (cache fatal, DMA done(false)). */

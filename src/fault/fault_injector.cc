@@ -17,6 +17,10 @@ faultSiteName(FaultSite site)
         return "dma_beat";
       case FaultSite::TlbWalk:
         return "tlb_walk";
+      case FaultSite::AcpSnoop:
+        return "acp_snoop";
+      case FaultSite::IrqDrop:
+        return "irq_drop";
     }
     return "unknown";
 }

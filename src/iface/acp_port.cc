@@ -1,0 +1,270 @@
+#include "acp_port.hh"
+
+#include "fault/fault_injector.hh"
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+AcpPort::AcpPort(std::string name, EventQueue &eq, ClockDomain domain,
+                 SystemBus &bus_, Params p)
+    : SimObject(std::move(name)), Clocked(eq, domain), params(p),
+      bus(bus_),
+      statTransactions(stats().add("transactions",
+                                   "ACP bursts serviced")),
+      statBeats(stats().add("beats", "coherent beats issued")),
+      statBytes(stats().add("bytes", "payload bytes transferred")),
+      statSnoopHits(stats().add(
+          "snoopHits", "load beats supplied cache-to-cache by a "
+                       "snooped dirty CPU line")),
+      statMemFills(stats().add(
+          "memFills", "load beats that missed every cache and "
+                      "filled from DRAM")),
+      statWriteInvalidations(stats().add(
+          "writeInvalidations",
+          "store beats that invalidated a cached copy")),
+      statErrors(stats().add("errors", "beats observed failed")),
+      statRetries(stats().add("retries",
+                              "beats reissued after an error")),
+      statRetryExhausted(stats().add(
+          "retryExhausted",
+          "transactions failed after exhausting retries"))
+{
+    if (params.beatBytes == 0 || params.maxOutstanding == 0)
+        fatal("ACP beat size and window must be non-zero");
+    // One-way coherent: the port snoops others through its requests
+    // but owns no cache, so it attaches as a non-snooped client.
+    busPort = bus.attachClient(this, /*snooper=*/false);
+    eq.registerStats(stats());
+}
+
+void
+AcpPort::startTransaction(Direction dir, std::vector<Segment> segments,
+                          BeatCallback onBeat, DoneCallback onDone)
+{
+    std::vector<Segment> live;
+    for (auto &s : segments) {
+        if (s.len > 0)
+            live.push_back(s);
+    }
+    pending.push_back({dir, std::move(live), std::move(onBeat),
+                       std::move(onDone)});
+    if (!active)
+        startNext();
+}
+
+void
+AcpPort::startNext()
+{
+    GENIE_ASSERT(!active, "startNext while a burst is active");
+    if (pending.empty())
+        return;
+    active = true;
+    current = std::move(pending.front());
+    pending.pop_front();
+    segIndex = 0;
+    txnFailed = false;
+    txnStart = eventq.curTick();
+    ++statTransactions;
+
+    if (Tracer *t = tracerFor(eventq, TraceCategory::Iface)) {
+        txnSpan = t->begin(TraceCategory::Iface, name(),
+                           current.dir == Direction::MemToAccel
+                               ? "acpLoad"
+                               : "acpStore");
+    }
+
+    // Fixed setup: a doorbell write, not a descriptor-chain walk.
+    scheduleCycles(params.setupCycles, [this] {
+        if (current.segments.empty())
+            finishTransaction();
+        else
+            beginSegment();
+    }, "iface.acpSetup");
+}
+
+void
+AcpPort::beginSegment()
+{
+    segIssued = 0;
+    segCompleted = 0;
+    if (Tracer *t = tracerFor(eventq, TraceCategory::Iface))
+        chunkSpan = t->begin(TraceCategory::Iface, name(), "chunk");
+    pump();
+}
+
+MemCmd
+AcpPort::beatCmd() const
+{
+    // Loads snoop for dirty CPU lines; stores snoop-invalidate every
+    // cached copy. Plain WriteReq stays reserved for the non-coherent
+    // DMA path.
+    return current.dir == Direction::MemToAccel
+               ? MemCmd::ReadShared
+               : MemCmd::WriteInvalidate;
+}
+
+void
+AcpPort::pump()
+{
+    if (txnFailed)
+        return;
+    const Segment &seg = current.segments[segIndex];
+    while (outstanding < params.maxOutstanding && segIssued < seg.len) {
+        auto len = static_cast<unsigned>(std::min<std::uint64_t>(
+            params.beatBytes, seg.len - segIssued));
+        std::uint64_t id = nextReqId++;
+        inFlight.emplace(id, BeatInfo{seg.arrayId,
+                                      seg.arrayOffset + segIssued, len,
+                                      seg.busAddr + segIssued, 0});
+        Packet pkt;
+        pkt.addr = seg.busAddr + segIssued;
+        pkt.size = len;
+        pkt.reqId = id;
+        pkt.cmd = beatCmd();
+        ++outstanding;
+        ++statBeats;
+        segIssued += len;
+        bus.sendRequest(busPort, pkt);
+    }
+}
+
+void
+AcpPort::recvResponse(const Packet &pkt)
+{
+    auto it = inFlight.find(pkt.reqId);
+    GENIE_ASSERT(it != inFlight.end(), "ACP response with unknown reqId");
+    BeatInfo info = it->second;
+    inFlight.erase(it);
+    GENIE_ASSERT(outstanding > 0, "ACP outstanding underflow");
+
+    // A beat fails if the memory system answered with an error, or if
+    // the coherency-port fault site corrupts an otherwise-good beat.
+    bool failed = pkt.isError();
+    if (!failed) {
+        if (FaultInjector *fi = eventq.faultInjector();
+            fi && fi->shouldFault(FaultSite::AcpSnoop))
+            failed = true;
+    }
+
+    if (txnFailed) {
+        --outstanding;
+        maybeAbort();
+        return;
+    }
+
+    if (failed) {
+        ++statErrors;
+        if (info.retries >= faultMaxRetries(eventq)) {
+            ++statRetryExhausted;
+            warn("%s: coherent beat at bus addr %#llx still failing "
+                 "after %u retries; failing the burst",
+                 name().c_str(), (unsigned long long)info.busAddr,
+                 info.retries);
+            txnFailed = true;
+            --outstanding;
+            maybeAbort();
+            return;
+        }
+        // Reissue after bounded exponential backoff; the beat keeps
+        // its window slot through the backoff.
+        unsigned attempt = info.retries++;
+        ++statRetries;
+        scheduleCycles(
+            static_cast<Cycles>(faultBackoffCycles(eventq, attempt)),
+            [this, info] { reissue(info); }, "iface.acpRetry");
+        return;
+    }
+
+    --outstanding;
+
+    if (current.dir == Direction::MemToAccel) {
+        if (pkt.cacheToCache)
+            ++statSnoopHits;
+        else
+            ++statMemFills;
+    } else if (pkt.sharerPresent) {
+        ++statWriteInvalidations;
+    }
+
+    segCompleted += info.len;
+    statBytes += info.len;
+    if (current.onBeat)
+        current.onBeat(info.arrayId, info.arrayOffset, info.len);
+
+    const Segment &seg = current.segments[segIndex];
+    if (segCompleted == seg.len)
+        finishSegment();
+    else
+        pump();
+}
+
+void
+AcpPort::finishSegment()
+{
+    if (Tracer *t = eventq.tracer()) {
+        t->end(chunkSpan);
+        chunkSpan = invalidTraceSpan;
+    }
+    ++segIndex;
+    if (segIndex < current.segments.size())
+        beginSegment();
+    else
+        finishTransaction();
+}
+
+void
+AcpPort::reissue(BeatInfo info)
+{
+    if (txnFailed) {
+        // The burst died while this beat waited out its backoff;
+        // release the window slot instead of re-sending.
+        GENIE_ASSERT(outstanding > 0, "ACP outstanding underflow");
+        --outstanding;
+        maybeAbort();
+        return;
+    }
+    std::uint64_t id = nextReqId++;
+    Packet pkt;
+    pkt.addr = info.busAddr;
+    pkt.size = info.len;
+    pkt.reqId = id;
+    pkt.cmd = beatCmd();
+    inFlight.emplace(id, info);
+    bus.sendRequest(busPort, pkt);
+}
+
+void
+AcpPort::maybeAbort()
+{
+    GENIE_ASSERT(txnFailed, "maybeAbort on a healthy burst");
+    if (outstanding > 0 || !inFlight.empty())
+        return;
+    if (Tracer *t = eventq.tracer()) {
+        if (chunkSpan != invalidTraceSpan) {
+            t->end(chunkSpan);
+            chunkSpan = invalidTraceSpan;
+        }
+    }
+    finishTransaction(/*ok=*/false);
+}
+
+void
+AcpPort::finishTransaction(bool ok)
+{
+    if (Tracer *t = eventq.tracer()) {
+        t->end(txnSpan);
+        txnSpan = invalidTraceSpan;
+    }
+    busy.add(txnStart, eventq.curTick());
+    active = false;
+    DoneCallback done = std::move(current.onDone);
+    current = Transaction{};
+    if (done)
+        done(ok);
+    // The done callback may itself have started the next burst.
+    if (!active)
+        startNext();
+}
+
+} // namespace genie

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The accelerator coherency port (Genie-Iface).
+ *
+ * A one-way-coherent bus agent: its loads and stores snoop the CPU
+ * cache, but nothing snoops it (the port keeps no cache of its own).
+ * Loads issue ReadShared — a dirty CPU line is supplied cache-to-cache
+ * without a flush ever running; misses fall through to DRAM. Stores
+ * issue WriteInvalidate, which drops every cached copy of the target
+ * line so the CPU can never read data the accelerator has since
+ * overwritten. Both paths ride the ordinary SystemBus arbitration and
+ * are protocol-checked like any other client.
+ *
+ * Structurally this is the DmaEngine's streaming skeleton without the
+ * software-managed parts: no descriptor chain to fetch, and a
+ * doorbell-write setup cost instead of the DMA's 40-cycle descriptor
+ * setup. Faulty beats (FaultSite::AcpSnoop) retry with the shared
+ * bounded-exponential backoff and fail the transaction when the
+ * budget is exhausted.
+ */
+
+#ifndef GENIE_IFACE_ACP_PORT_HH
+#define GENIE_IFACE_ACP_PORT_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/bus.hh"
+#include "mem/packet.hh"
+#include "sim/clocked.hh"
+#include "sim/interval_set.hh"
+#include "sim/sim_object.hh"
+#include "sim/thread_safety.hh"
+#include "trace/tracer.hh"
+
+namespace genie
+{
+
+class AcpPort GENIE_THREAD_LOCAL_OK : public SimObject,
+                                      public BusClient,
+                                      public Clocked
+{
+  public:
+    struct Params
+    {
+        /** Beat size; matches the CPU cache-line granularity so one
+         * beat snoops exactly one line. */
+        unsigned beatBytes = 64;
+        /** Max in-flight beats (covers snoop + DRAM latency). */
+        unsigned maxOutstanding = 8;
+        /** Fixed per-transaction setup delay, in port cycles: a
+         * doorbell write, not a descriptor-chain walk. */
+        Cycles setupCycles = 4;
+    };
+
+    enum class Direction : std::uint8_t
+    {
+        MemToAccel, ///< coherent load burst
+        AccelToMem, ///< coherent (invalidating) store burst
+    };
+
+    /** One contiguous region of one accelerator array. */
+    struct Segment
+    {
+        int arrayId = 0;
+        /** Bus (simulated physical) address of the region. */
+        Addr busAddr = 0;
+        /** Offset of the region within the accelerator array. */
+        Addr arrayOffset = 0;
+        std::uint64_t len = 0;
+    };
+
+    /** Called as each beat lands in the accelerator's local memory. */
+    using BeatCallback = std::function<void(int arrayId, Addr arrayOffset,
+                                            unsigned len)>;
+    /** Called when the transaction ends; @p ok is false when a beat
+     * exhausted its retry budget. */
+    using DoneCallback = std::function<void(bool ok)>;
+
+    AcpPort(std::string name, EventQueue &eq, ClockDomain domain,
+            SystemBus &bus, Params params);
+
+    /** Enqueue one coherent burst; bursts are serviced in FIFO
+     * order, one at a time. */
+    void startTransaction(Direction dir, std::vector<Segment> segments,
+                          BeatCallback onBeat, DoneCallback onDone);
+
+    bool idle() const { return !active && pending.empty(); }
+
+    /** Intervals during which a transaction was in progress. */
+    const IntervalSet &busyIntervals() const { return busy; }
+
+    double bytesTransferred() const { return statBytes.value(); }
+
+    /** Load beats answered cache-to-cache by a snooped dirty CPU
+     * line (the coherence win the ACP exists for). */
+    double snoopHits() const { return statSnoopHits.value(); }
+
+    /** Beats currently in flight, including errored beats waiting
+     * out their backoff (watchdog diagnostic hook). */
+    unsigned inFlightBeats() const { return outstanding; }
+
+    // BusClient interface.
+    void recvResponse(const Packet &pkt) override;
+
+  private:
+    struct Transaction
+    {
+        Direction dir;
+        std::vector<Segment> segments;
+        BeatCallback onBeat;
+        DoneCallback onDone;
+    };
+
+    struct BeatInfo
+    {
+        int arrayId;
+        Addr arrayOffset;
+        unsigned len;
+        /** Bus address of the beat, kept for reissue after errors. */
+        Addr busAddr = 0;
+        /** Reissues performed after error responses. */
+        unsigned retries = 0;
+    };
+
+    void startNext();
+    void beginSegment();
+
+    /** Issue beats while the outstanding window has room. */
+    void pump();
+
+    void finishSegment();
+    void finishTransaction(bool ok = true);
+
+    /** Re-send a beat that errored, after its backoff elapsed. */
+    void reissue(BeatInfo info);
+
+    /** If the failing transaction's window has drained, abandon it
+     * and move on to the next queued transaction. */
+    void maybeAbort();
+
+    MemCmd beatCmd() const;
+
+    Params params;
+    SystemBus &bus;
+    BusPortId busPort = invalidBusPort;
+
+    std::deque<Transaction> pending;
+    bool active = false;
+    Transaction current;
+    std::size_t segIndex = 0;
+    std::uint64_t segIssued = 0;
+    std::uint64_t segCompleted = 0;
+    unsigned outstanding = 0;
+    Tick txnStart = 0;
+    /** Current transaction exhausted a retry budget; it is draining
+     * its window and will complete with ok=false. */
+    bool txnFailed = false;
+
+    // Open trace spans (invalid when tracing is off).
+    TraceSpanId txnSpan = invalidTraceSpan;
+    TraceSpanId chunkSpan = invalidTraceSpan;
+
+    std::uint64_t nextReqId = 1;
+    std::unordered_map<std::uint64_t, BeatInfo> inFlight;
+
+    IntervalSet busy;
+
+    Stat &statTransactions;
+    Stat &statBeats;
+    Stat &statBytes;
+    /** Load beats supplied cache-to-cache by a snooped dirty line. */
+    Stat &statSnoopHits;
+    /** Load beats that missed every cache and filled from DRAM. */
+    Stat &statMemFills;
+    /** Store beats that invalidated at least one cached copy. */
+    Stat &statWriteInvalidations;
+    Stat &statErrors;
+    Stat &statRetries;
+    Stat &statRetryExhausted;
+};
+
+} // namespace genie
+
+#endif // GENIE_IFACE_ACP_PORT_HH

@@ -1,0 +1,47 @@
+#include "command_queue.hh"
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+CommandQueue::CommandQueue(std::string name, EventQueue &eq, Params p)
+    : SimObject(std::move(name)), params(p),
+      statEnqueued(stats().add("enqueued", "descriptors enqueued")),
+      statDequeued(stats().add("dequeued", "descriptors dequeued")),
+      statOccupancy(stats().addDistribution(
+          "occupancy", "ring occupancy after each push/pop", 0.0,
+          static_cast<double>(p.depth) + 1.0, p.depth + 1))
+{
+    if (params.depth == 0)
+        fatal("command queue depth must be non-zero");
+    eq.registerStats(stats());
+}
+
+void
+CommandQueue::push(std::uint32_t command)
+{
+    if (ring.size() >= params.depth) {
+        fatal("%s: ring overflow at depth %u — deepen queue_depth or "
+              "submit fewer invocations per batch",
+              name().c_str(), params.depth);
+    }
+    ring.push_back(command);
+    ++statEnqueued;
+    statOccupancy.sample(static_cast<double>(ring.size()));
+}
+
+std::uint32_t
+CommandQueue::pop()
+{
+    if (ring.empty())
+        fatal("%s: pop from an empty ring", name().c_str());
+    std::uint32_t command = ring.front();
+    ring.pop_front();
+    ++statDequeued;
+    statOccupancy.sample(static_cast<double>(ring.size()));
+    return command;
+}
+
+} // namespace genie

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The accelerator command queue (Genie-Iface).
+ *
+ * A descriptor ring between driver and device: the driver enqueues N
+ * invocation descriptors and rings the doorbell once (one ioctl),
+ * and the device drains the ring back-to-back without any CPU
+ * intervention between invocations. This amortizes the per-ioctl
+ * initiation cost the paper charges on every offload, turning N
+ * round-trips into one.
+ *
+ * The ring is a pure bookkeeping structure — the time cost of a
+ * drain is the device's, not the ring's — so it is unclocked; its
+ * occupancy distribution is the DSE-visible signal of how deep a
+ * ring a workload actually uses.
+ */
+
+#ifndef GENIE_IFACE_COMMAND_QUEUE_HH
+#define GENIE_IFACE_COMMAND_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/sim_object.hh"
+#include "sim/thread_safety.hh"
+
+namespace genie
+{
+
+class EventQueue;
+
+class CommandQueue GENIE_THREAD_LOCAL_OK : public SimObject
+{
+  public:
+    struct Params
+    {
+        /** Ring capacity in descriptors. */
+        unsigned depth = 8;
+    };
+
+    CommandQueue(std::string name, EventQueue &eq, Params params);
+
+    /** Enqueue one invocation descriptor; panics on overflow (the
+     * driver must size the ring for its batch). */
+    void push(std::uint32_t command);
+
+    /** Dequeue the oldest descriptor; panics on an empty ring. */
+    std::uint32_t pop();
+
+    bool empty() const { return ring.empty(); }
+    std::size_t size() const { return ring.size(); }
+    unsigned depth() const { return params.depth; }
+
+  private:
+    Params params;
+    std::deque<std::uint32_t> ring;
+
+    Stat &statEnqueued;
+    Stat &statDequeued;
+    /** Ring occupancy sampled after every push and pop. */
+    Distribution &statOccupancy;
+};
+
+} // namespace genie
+
+#endif // GENIE_IFACE_COMMAND_QUEUE_HH

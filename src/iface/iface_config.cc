@@ -1,0 +1,32 @@
+#include "iface_config.hh"
+
+namespace genie
+{
+
+const char *
+completionModeName(CompletionMode m)
+{
+    switch (m) {
+      case CompletionMode::Spin:
+        return "spin";
+      case CompletionMode::Interrupt:
+        return "interrupt";
+    }
+    return "unknown";
+}
+
+const char *
+ifaceMemTypeName(IfaceMemType t)
+{
+    switch (t) {
+      case IfaceMemType::Dma:
+        return "dma";
+      case IfaceMemType::Acp:
+        return "acp";
+      case IfaceMemType::Cache:
+        return "cache";
+    }
+    return "unknown";
+}
+
+} // namespace genie

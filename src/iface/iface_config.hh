@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Configuration for the Genie-Iface SoC-interface subsystem.
+ *
+ * The paper's co-design space is a DMA-vs-hardware-coherence
+ * dichotomy; gem5-Aladdin v2.0 extends it with an accelerator
+ * coherency port (ACP), interrupt-driven completion, and accelerator
+ * command queues. This struct carries all three knobs:
+ *
+ *   completion  how the CPU learns a run finished (spin | interrupt)
+ *   mem_type    which path moves array data (dma | acp | cache),
+ *               globally and per array
+ *   queue_depth descriptor-ring capacity for batched invocations
+ *
+ * Every default selects the paper's baseline behavior (spin
+ * completion, DMA data movement, no queue, one invocation), so a
+ * config that never mentions an iface key builds no iface component
+ * and simulates byte-identically to a pre-iface build.
+ */
+
+#ifndef GENIE_IFACE_IFACE_CONFIG_HH
+#define GENIE_IFACE_IFACE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/thread_safety.hh"
+#include "sim/types.hh"
+
+namespace genie
+{
+
+/** How the CPU learns that an offloaded invocation finished. */
+enum class CompletionMode : std::uint8_t
+{
+    /** The driver spin-polls a coherent status flag (the paper's
+     * baseline): fast notice, but every waited tick is a burned CPU
+     * tick. */
+    Spin,
+    /** The device posts an interrupt over an InterruptLine: the CPU
+     * sleeps through the run and pays a wakeup latency on delivery
+     * instead of spinning. */
+    Interrupt,
+};
+
+/** Which path moves one accelerator array's data. ACP is the third
+ * interface regime next to the paper's DMA-vs-cache dichotomy. */
+enum class IfaceMemType : std::uint8_t
+{
+    /** Software-managed DMA with explicit cache flushes (baseline). */
+    Dma,
+    /** Accelerator coherency port: one-way-coherent loads/stores
+     * that snoop the CPU cache — dirty lines are supplied
+     * cache-to-cache without a flush, misses fall through to DRAM. */
+    Acp,
+    /** Full hardware-coherent accelerator cache (second regime). */
+    Cache,
+};
+
+/** Stable lower-case names for config keys, describe(), and sweeps. */
+const char *completionModeName(CompletionMode m);
+const char *ifaceMemTypeName(IfaceMemType t);
+
+/** The SoC-interface knobs of one run. Defaults reproduce the
+ * pre-iface baseline exactly (zero-cost when unselected). */
+struct IfaceConfig GENIE_THREAD_LOCAL_OK
+{
+    CompletionMode completion = CompletionMode::Spin;
+
+    /** Data-movement regime applied to every array (per-array
+     * overrides below). Kept in sync with SocConfig::memType:
+     * mem_type=cache selects the cache regime, dma/acp keep the
+     * scratchpad datapath. */
+    IfaceMemType memType = IfaceMemType::Dma;
+
+    /** Per-array regime overrides (array name -> dma|acp), applied
+     * on top of memType in a scratchpad-side config. */
+    std::vector<std::pair<std::string, IfaceMemType>> arrayMemTypes;
+
+    /** Accelerator command queue (descriptor ring) capacity; 0 (the
+     * default) means no queue: each invocation costs one ioctl. */
+    unsigned queueDepth = 0;
+
+    /** Kernel invocations per run; >1 models repeated offload over
+     * device-resident data and is what the command queue batches. */
+    unsigned invocations = 1;
+
+    /** Posted-interrupt delivery latency (post -> CPU wakeup):
+     * controller arbitration plus the CPU leaving its idle state.
+     * Deliberately larger than the spin path's 100 ns notice latency
+     * so completion mode is a real latency-vs-CPU-time tradeoff. */
+    Tick irqLatency = 1000 * tickPerNs;
+
+    /** True when any array would use the ACP under this config (the
+     * global regime is Acp, or any per-array override says so). */
+    bool
+    anyAcp() const
+    {
+        if (memType == IfaceMemType::Acp)
+            return true;
+        for (const auto &o : arrayMemTypes)
+            if (o.second == IfaceMemType::Acp)
+                return true;
+        return false;
+    }
+
+    /** True when every field still holds its baseline default and no
+     * iface component needs to be built. */
+    bool
+    isDefault() const
+    {
+        return completion == CompletionMode::Spin &&
+               memType == IfaceMemType::Dma && arrayMemTypes.empty() &&
+               queueDepth == 0 && invocations == 1 &&
+               irqLatency == 1000 * tickPerNs;
+    }
+};
+
+} // namespace genie
+
+#endif // GENIE_IFACE_IFACE_CONFIG_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Posted-interrupt completion (Genie-Iface).
+ *
+ * The alternative to the driver's spin-wait: when the accelerator
+ * finishes, it posts an interrupt on this line instead of writing a
+ * status flag for a polling CPU to notice. Delivery pays a fixed
+ * wakeup latency (controller arbitration plus the CPU leaving its
+ * idle state) — deliberately larger than the spin path's coherence
+ * notice latency, so completion mode is a real CPU-time-vs-latency
+ * tradeoff rather than a free win.
+ *
+ * FaultSite::IrqDrop models a post lost before delivery: the line
+ * re-posts after the shared bounded-exponential backoff and declares
+ * the run dead (fatal) when the retry budget is exhausted — a lost
+ * final interrupt would otherwise hang the driver forever.
+ */
+
+#ifndef GENIE_IFACE_INTERRUPT_LINE_HH
+#define GENIE_IFACE_INTERRUPT_LINE_HH
+
+#include <functional>
+
+#include "sim/clocked.hh"
+#include "sim/sim_object.hh"
+#include "sim/thread_safety.hh"
+
+namespace genie
+{
+
+class InterruptLine GENIE_THREAD_LOCAL_OK : public SimObject,
+                                            public Clocked
+{
+  public:
+    struct Params
+    {
+        /** Post-to-wakeup delivery latency. */
+        Tick deliveryLatency = 1000 * tickPerNs;
+    };
+
+    /** Invoked (at delivery time) for every delivered interrupt. */
+    using Handler = std::function<void()>;
+
+    InterruptLine(std::string name, EventQueue &eq, ClockDomain domain,
+                  Params params);
+
+    void setHandler(Handler h) { handler = std::move(h); }
+
+    /** Post one interrupt; it is delivered to the handler after the
+     * delivery latency (plus any fault-retry backoff). */
+    void post();
+
+    /** Posts accepted but not yet delivered (watchdog hook). */
+    unsigned pendingDeliveries() const { return pendingCount; }
+
+  private:
+    /** One delivery attempt; re-posts on an injected drop. */
+    void attemptDelivery(Tick postTick, unsigned attempt);
+
+    void deliver(Tick postTick);
+
+    Params params;
+    Handler handler;
+    unsigned pendingCount = 0;
+
+    Stat &statPosts;
+    Stat &statDelivered;
+    /** Posts lost to injected drops (each is re-posted). */
+    Stat &statDropped;
+    /** Post-to-delivery latency in nanoseconds, including any
+     * drop/re-post backoff. */
+    Distribution &statLatency;
+};
+
+} // namespace genie
+
+#endif // GENIE_IFACE_INTERRUPT_LINE_HH

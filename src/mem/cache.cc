@@ -498,6 +498,14 @@ Cache::recvSnoop(const Packet &pkt)
                    CoherenceEvent::SnoopUpgrade);
         ++statSnoopInvalidations;
         break;
+      case MemCmd::WriteInvalidate:
+        // A one-way-coherent (ACP) write replaces the whole target
+        // region: drop our copy — dirty or clean — without supplying
+        // data, so the writer's payload is the only copy left.
+        transition(*line, CoherenceState::Invalid,
+                   CoherenceEvent::SnoopWriteInv);
+        ++statSnoopInvalidations;
+        break;
       default:
         break;
     }

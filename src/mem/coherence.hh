@@ -18,7 +18,8 @@
  *   upgrades: S -> M, O -> M (Upgrade transaction completed)
  *   snoops:   M -> O, O -> O (ReadShared hits a dirty owner),
  *             E -> S, S -> S (ReadShared hits a clean line),
- *             any valid -> I (ReadExclusive / Upgrade invalidation)
+ *             any valid -> I (ReadExclusive / Upgrade /
+ *             WriteInvalidate invalidation)
  *   locals:   any -> I (eviction, flush, invalidate),
  *             any -> E/M (functional prefill before the measured run)
  */
@@ -71,6 +72,7 @@ enum class CoherenceEvent : std::uint8_t
     SnoopShared,    ///< snooped another cache's ReadShared
     SnoopExclusive, ///< snooped another cache's ReadExclusive
     SnoopUpgrade,   ///< snooped another cache's Upgrade
+    SnoopWriteInv,  ///< snooped a one-way-coherent WriteInvalidate
     Evict,          ///< replacement victim
     Flush,          ///< explicit flush maintenance op
     Invalidate,     ///< explicit invalidate maintenance op
@@ -102,6 +104,7 @@ toString(CoherenceEvent e)
       case CoherenceEvent::SnoopShared:    return "SnoopShared";
       case CoherenceEvent::SnoopExclusive: return "SnoopExclusive";
       case CoherenceEvent::SnoopUpgrade:   return "SnoopUpgrade";
+      case CoherenceEvent::SnoopWriteInv:  return "SnoopWriteInv";
       case CoherenceEvent::Evict:          return "Evict";
       case CoherenceEvent::Flush:          return "Flush";
       case CoherenceEvent::Invalidate:     return "Invalidate";
@@ -140,6 +143,9 @@ moesiEdgeLegal(CoherenceState from, CoherenceState to,
                 to == S::Shared);
       case E::SnoopExclusive:
       case E::SnoopUpgrade:
+      case E::SnoopWriteInv:
+        // An ACP WriteInvalidate overwrites the whole region it
+        // targets, so even a dirty holder simply drops its copy.
         return stateValid(from) && to == S::Invalid;
       case E::Evict:
       case E::Flush:
@@ -165,6 +171,20 @@ static_assert(!moesiEdgeLegal(CoherenceState::Owned,
                               CoherenceState::Exclusive,
                               CoherenceEvent::SnoopShared),
               "an owner never silently sheds dirty responsibility");
+static_assert(moesiEdgeLegal(CoherenceState::Modified,
+                             CoherenceState::Invalid,
+                             CoherenceEvent::SnoopWriteInv),
+              "a coherent ACP write must be able to invalidate a "
+              "dirty CPU copy");
+static_assert(!moesiEdgeLegal(CoherenceState::Modified,
+                              CoherenceState::Owned,
+                              CoherenceEvent::SnoopWriteInv),
+              "a snooped WriteInvalidate never leaves a stale copy "
+              "behind");
+static_assert(!moesiEdgeLegal(CoherenceState::Invalid,
+                              CoherenceState::Invalid,
+                              CoherenceEvent::SnoopWriteInv),
+              "snoop invalidations only apply to valid lines");
 
 } // namespace genie
 

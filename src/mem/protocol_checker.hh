@@ -11,7 +11,8 @@
  *    ("no response without a request");
  *  - the response command is the one Packet::makeResponse() defines
  *    for the request (ReadShared/ReadExclusive -> ReadResp,
- *    Upgrade/WriteReq/Writeback -> WriteResp), or an ErrorResp —
+ *    Upgrade/WriteReq/WriteInvalidate/Writeback -> WriteResp), or an
+ *    ErrorResp —
  *    under fault injection any request may legally terminate with an
  *    error, and the requester's retry arrives as a fresh reqId;
  *  - at quiescence (checkQuiescent()), no request is still awaiting

@@ -14,6 +14,7 @@ namespace
 /** Category name table, indexed by TraceCategory. */
 constexpr const char *categoryNames[numTraceCategories] = {
     "flush", "dma", "bus", "cache", "dram", "datapath", "tlb", "spad",
+    "iface",
 };
 
 /** Minimal JSON string escaping; track/name strings are component
@@ -90,7 +91,8 @@ parseTraceCategories(const std::string &csv)
         }
         if (!known)
             fatal("unknown trace category '%s' (expected one of "
-                  "flush,dma,bus,cache,dram,datapath,tlb,spad or "
+                  "flush,dma,bus,cache,dram,datapath,tlb,spad,iface "
+                  "or "
                   "'all')",
                   item.c_str());
     }

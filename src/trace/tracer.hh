@@ -30,6 +30,8 @@
  *   datapath  accelerator node issue..retire
  *   tlb       accelerator TLB page-walk spans
  *   spad      scratchpad bank-conflict instants
+ *   iface     SoC-interface activity: ACP transactions, posted
+ *             interrupts, command-queue drains
  */
 
 #ifndef GENIE_TRACE_TRACER_HH
@@ -61,9 +63,10 @@ enum class TraceCategory : std::uint8_t
     Datapath,
     Tlb,
     Spad,
+    Iface,
 };
 
-constexpr std::size_t numTraceCategories = 8;
+constexpr std::size_t numTraceCategories = 9;
 
 /** One enabled-bit per TraceCategory. */
 using TraceCategoryMask = std::uint32_t;

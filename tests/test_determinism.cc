@@ -183,5 +183,73 @@ TEST(Determinism, MixedDesignPointsDoNotInterfere)
     EXPECT_EQ(cacheOut, cacheRef);
 }
 
+// ---------------------------------------------------------------
+// Genie-Iface determinism: the third interface regime must honor the
+// same bit-for-bit contract as the two it joins.
+// ---------------------------------------------------------------
+
+SocConfig
+acpConfig()
+{
+    SocConfig cfg = dmaConfig();
+    cfg.dma.pipelined = false;
+    cfg.iface.memType = IfaceMemType::Acp;
+    return cfg;
+}
+
+TEST(Determinism, DefaultConfigBuildsNoIfaceStats)
+{
+    // Zero-cost when unselected: a config that never mentions an
+    // iface key must not even register an iface component, so its
+    // stats dump is identical to a pre-iface build's.
+    const std::string dump = runAndDump("stencil-stencil2d",
+                                        dmaConfig());
+    EXPECT_EQ(dump.find("iface."), std::string::npos);
+
+    const std::string acpDump = runAndDump("stencil-stencil2d",
+                                           acpConfig());
+    EXPECT_NE(acpDump.find("iface.acp"), std::string::npos);
+}
+
+TEST(Determinism, ExplicitIfaceDefaultsMatchTheImplicitDefaults)
+{
+    // Spelling out every baseline value must not change a single
+    // byte relative to the untouched defaults.
+    SocConfig implicit = dmaConfig();
+    SocConfig expl = dmaConfig();
+    expl.iface.completion = CompletionMode::Spin;
+    expl.iface.memType = IfaceMemType::Dma;
+    expl.iface.queueDepth = 0;
+    expl.iface.invocations = 1;
+    expl.iface.irqLatency = 1000 * tickPerNs;
+    EXPECT_EQ(runAndDump("stencil-stencil2d", expl),
+              runAndDump("stencil-stencil2d", implicit));
+}
+
+TEST(Determinism, ConcurrentAcpRunsAreByteIdentical)
+{
+    expectConcurrentRunsIdentical("stencil-stencil2d", acpConfig());
+}
+
+TEST(Determinism, ConcurrentInterruptQueuedRunsAreByteIdentical)
+{
+    SocConfig cfg = dmaConfig();
+    cfg.iface.completion = CompletionMode::Interrupt;
+    cfg.iface.queueDepth = 4;
+    cfg.iface.invocations = 2;
+    expectConcurrentRunsIdentical("stencil-stencil2d", cfg);
+}
+
+TEST(Determinism, SeededAcpFaultRunsAreByteIdentical)
+{
+    // The fault campaign's determinism contract extends to the new
+    // iface sites: same seed, same nonzero rate, same bytes.
+    SocConfig cfg = acpConfig();
+    cfg.faults.rates[static_cast<unsigned>(FaultSite::AcpSnoop)] =
+        0.3;
+    cfg.faults.seed = 7;
+    expectConcurrentRunsIdentical("stencil-stencil2d", cfg);
+}
+
 } // namespace
 } // namespace genie

@@ -360,6 +360,170 @@ TEST_F(CpuFixture, SpinWaitWaitsForLateFlag)
     EXPECT_GT(cpu.stats().get("spinTicks"), 0.0);
 }
 
+/** Holds the completion callback so the device stays busy until the
+ * test releases it. */
+class HoldingDevice : public IoctlDevice
+{
+  public:
+    void
+    start(std::function<void()> onFinish) override
+    {
+        held = std::move(onFinish);
+    }
+    std::function<void()> held;
+};
+
+TEST(Ioctl, OverlappingStartOfABusyDeviceIsFatal)
+{
+    IoctlRegistry reg;
+    HoldingDevice d;
+    reg.registerDevice(0, &d);
+    reg.ioctl(aladdinFd, 0, nullptr);
+    EXPECT_TRUE(reg.isBusy(0));
+    // A second start would clobber the first invocation's completion
+    // callback; the registry must refuse loudly.
+    EXPECT_THROW(reg.ioctl(aladdinFd, 0, nullptr), FatalError);
+    d.held();
+    EXPECT_FALSE(reg.isBusy(0));
+    // Once the device finished, a new start is legal again.
+    reg.ioctl(aladdinFd, 0, nullptr);
+    EXPECT_TRUE(reg.isBusy(0));
+}
+
+TEST_F(CpuFixture, FlagSetBeforeSpinWaitSkipsTheSpin)
+{
+    // InstantDevice completes inside the Ioctl op, so the flag is
+    // already set when SpinWait executes: it must consume the flag
+    // and fall through without charging any spin time.
+    std::vector<DriverOp> prog;
+    DriverOp io;
+    io.kind = DriverOp::Kind::Ioctl;
+    io.command = 0;
+    prog.push_back(io);
+    DriverOp wait;
+    wait.kind = DriverOp::Kind::SpinWait;
+    prog.push_back(wait);
+
+    bool done = false;
+    cpu.run(std::move(prog), [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_DOUBLE_EQ(cpu.stats().get("spinTicks"), 0.0);
+}
+
+TEST_F(CpuFixture, BackToBackIoctlSpinWaitPairs)
+{
+    std::vector<DriverOp> prog;
+    for (int i = 0; i < 3; ++i) {
+        DriverOp io;
+        io.kind = DriverOp::Kind::Ioctl;
+        io.command = 0;
+        prog.push_back(io);
+        DriverOp wait;
+        wait.kind = DriverOp::Kind::SpinWait;
+        prog.push_back(wait);
+    }
+
+    bool done = false;
+    cpu.run(std::move(prog), [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    // Each pair starts the device once and consumes exactly one flag
+    // write; a leftover flag would let a later SpinWait fall through
+    // to a completion that never happened.
+    EXPECT_EQ(device.starts, 3);
+    EXPECT_DOUBLE_EQ(cpu.stats().get("ioctls"), 3.0);
+}
+
+TEST_F(CpuFixture, SpinTicksAccountingIsExact)
+{
+    // Device that completes a fixed 5 us after being started.
+    class SlowDevice : public IoctlDevice
+    {
+      public:
+        explicit SlowDevice(EventQueue &eq) : eq(eq) {}
+        void
+        start(std::function<void()> onFinish) override
+        {
+            eq.scheduleIn(5 * tickPerUs, std::move(onFinish));
+        }
+        EventQueue &eq;
+    };
+
+    SlowDevice slow(eq);
+    registry.registerDevice(7, &slow);
+
+    std::vector<DriverOp> prog;
+    DriverOp io;
+    io.kind = DriverOp::Kind::Ioctl;
+    io.command = 7;
+    prog.push_back(io);
+    DriverOp wait;
+    wait.kind = DriverOp::Kind::SpinWait;
+    prog.push_back(wait);
+
+    cpu.run(std::move(prog), nullptr);
+    eq.run();
+    // The device was started and the spin began at the same tick
+    // (ioctl return), so the spin covers the device's full 5 us plus
+    // the coherence notice latency of the flag write — exactly.
+    Tick expected = 5 * tickPerUs + 100 * tickPerNs;
+    EXPECT_DOUBLE_EQ(cpu.stats().get("spinTicks"),
+                     static_cast<double>(expected));
+}
+
+TEST_F(CpuFixture, IntrWaitSleepsWithoutSpinning)
+{
+    std::vector<DriverOp> prog;
+    DriverOp io;
+    io.kind = DriverOp::Kind::Ioctl;
+    io.command = 0;
+    prog.push_back(io);
+    DriverOp wait;
+    wait.kind = DriverOp::Kind::IntrWait;
+    prog.push_back(wait);
+
+    // Route completions into a fake interrupt line that delivers
+    // 2 us after the post.
+    cpu.setCompletionSink([this] {
+        eq.scheduleIn(2 * tickPerUs, [this] { cpu.raiseInterrupt(); });
+    });
+
+    bool done = false;
+    cpu.run(std::move(prog), [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_GE(eq.curTick(), 2 * tickPerUs);
+    // A sleeping CPU burns no spin time.
+    EXPECT_DOUBLE_EQ(cpu.stats().get("spinTicks"), 0.0);
+}
+
+TEST_F(CpuFixture, InterruptBeforeIntrWaitFallsThrough)
+{
+    // The interrupt can land while the CPU is still between ops; the
+    // pending bit must hold it for the next IntrWait.
+    std::vector<DriverOp> prog;
+    DriverOp io;
+    io.kind = DriverOp::Kind::Ioctl;
+    io.command = 0;
+    prog.push_back(io);
+    DriverOp comp;
+    comp.kind = DriverOp::Kind::Compute;
+    comp.cycles = 1000;
+    prog.push_back(comp);
+    DriverOp wait;
+    wait.kind = DriverOp::Kind::IntrWait;
+    prog.push_back(wait);
+
+    cpu.setCompletionSink([this] { cpu.raiseInterrupt(); });
+
+    bool done = false;
+    cpu.run(std::move(prog), [&] { done = true; });
+    eq.run();
+    EXPECT_TRUE(done);
+    EXPECT_DOUBLE_EQ(cpu.stats().get("spinTicks"), 0.0);
+}
+
 TEST_F(CpuFixture, ComputeAndMfenceChargeCycles)
 {
     std::vector<DriverOp> prog;

@@ -12,6 +12,7 @@
 #include "accel/trace_io.hh"
 #include "core/config_parse.hh"
 #include "core/report.hh"
+#include "core/validation.hh"
 #include "sim/logging.hh"
 #include "workloads/workload.hh"
 
@@ -195,6 +196,129 @@ TEST(ConfigParse, OptionsRoundTrip)
     EXPECT_EQ(copy.busWidthBits, original.busWidthBits);
     EXPECT_EQ(copy.cache.prefetch, original.cache.prefetch);
     EXPECT_EQ(copy.tlbEntries, original.tlbEntries);
+}
+
+// ---------------------------------------------------------------
+// Genie-Iface configuration keys.
+// ---------------------------------------------------------------
+
+TEST(ConfigParse, ParsesIfaceOptions)
+{
+    SocConfig c = parseConfig({"mem_type=acp", "completion=interrupt",
+                               "irq_latency_ns=500", "queue_depth=8",
+                               "invocations=4"});
+    EXPECT_EQ(c.memType, MemInterface::ScratchpadDma);
+    EXPECT_EQ(c.iface.memType, IfaceMemType::Acp);
+    EXPECT_EQ(c.iface.completion, CompletionMode::Interrupt);
+    EXPECT_EQ(c.iface.irqLatency, 500 * tickPerNs);
+    EXPECT_EQ(c.iface.queueDepth, 8u);
+    EXPECT_EQ(c.iface.invocations, 4u);
+}
+
+TEST(ConfigParse, MemTypeKeepsBothRegimeFieldsInSync)
+{
+    SocConfig c = parseConfig({"mem_type=cache"});
+    EXPECT_EQ(c.memType, MemInterface::Cache);
+    EXPECT_EQ(c.iface.memType, IfaceMemType::Cache);
+    c = parseConfig({"mem=cache", "mem_type=dma"}); // latest wins
+    EXPECT_EQ(c.memType, MemInterface::ScratchpadDma);
+    EXPECT_EQ(c.iface.memType, IfaceMemType::Dma);
+}
+
+TEST(ConfigParse, PerArrayOverridesAccumulateAndLatestWins)
+{
+    SocConfig c = parseConfig(
+        {"mem_type.in=acp", "mem_type.out=dma", "mem_type.in=dma"});
+    ASSERT_EQ(c.iface.arrayMemTypes.size(), 2u);
+    EXPECT_EQ(c.iface.arrayMemTypes[0].first, "in");
+    EXPECT_EQ(c.iface.arrayMemTypes[0].second, IfaceMemType::Dma);
+    EXPECT_EQ(c.iface.arrayMemTypes[1].first, "out");
+    EXPECT_EQ(c.iface.arrayMemTypes[1].second, IfaceMemType::Dma);
+}
+
+TEST(ConfigParse, RejectsMalformedIfaceInput)
+{
+    SocConfig c;
+    EXPECT_THROW(applyConfigOption(c, "mem_type=tape"), FatalError);
+    EXPECT_THROW(applyConfigOption(c, "mem_type.=acp"), FatalError);
+    // Per-array cache is not a thing: cache is whole-accelerator.
+    EXPECT_THROW(applyConfigOption(c, "mem_type.in=cache"),
+                 FatalError);
+    EXPECT_THROW(applyConfigOption(c, "completion=poll"), FatalError);
+    EXPECT_THROW(applyConfigOption(c, "queue_depth=abc"), FatalError);
+    EXPECT_THROW(applyConfigOption(c, "fault_acp_snoop=1.5"),
+                 FatalError);
+    EXPECT_THROW(applyConfigOption(c, "fault_irq_drop=-0.1"),
+                 FatalError);
+}
+
+TEST(ConfigParse, IfaceOptionsRoundTrip)
+{
+    SocConfig original = parseConfig(
+        {"mem_type=acp", "mem_type.filter=dma", "lanes=8",
+         "completion=interrupt", "irq_latency_ns=750",
+         "queue_depth=16", "invocations=16", "fault_acp_snoop=0.25",
+         "fault_irq_drop=0.125"});
+    std::string rendered = configToOptions(original);
+
+    std::vector<std::string> opts;
+    std::istringstream ss(rendered);
+    std::string tok;
+    while (ss >> tok)
+        opts.push_back(tok);
+    SocConfig copy = parseConfig(opts);
+
+    EXPECT_EQ(copy.memType, original.memType);
+    EXPECT_EQ(copy.iface.memType, original.iface.memType);
+    EXPECT_EQ(copy.iface.arrayMemTypes, original.iface.arrayMemTypes);
+    EXPECT_EQ(copy.iface.completion, original.iface.completion);
+    EXPECT_EQ(copy.iface.irqLatency, original.iface.irqLatency);
+    EXPECT_EQ(copy.iface.queueDepth, original.iface.queueDepth);
+    EXPECT_EQ(copy.iface.invocations, original.iface.invocations);
+    for (unsigned i = 0; i < numFaultSites; ++i)
+        EXPECT_DOUBLE_EQ(copy.faults.rates[i],
+                         original.faults.rates[i]);
+}
+
+TEST(ConfigParse, DefaultIfaceRendersNoIfaceKeys)
+{
+    // Zero-cost when unselected: a default config's rendered options
+    // must not mention any iface key, so pre-iface goldens and
+    // fingerprints are unchanged.
+    std::string rendered = configToOptions(SocConfig{});
+    EXPECT_EQ(rendered.find("mem_type"), std::string::npos);
+    EXPECT_EQ(rendered.find("completion"), std::string::npos);
+    EXPECT_EQ(rendered.find("queue_depth"), std::string::npos);
+    EXPECT_EQ(rendered.find("invocations"), std::string::npos);
+    EXPECT_EQ(rendered.find("irq_latency"), std::string::npos);
+}
+
+TEST(ConfigValidation, RejectsContradictoryIfaceConfigs)
+{
+    SocConfig c = parseConfig({"mem=cache"});
+    c.iface.memType = IfaceMemType::Acp; // contradicts mem=cache
+    EXPECT_THROW(validateSocConfig(c), FatalError);
+
+    c = parseConfig({"mem=cache", "mem_type.in=acp"});
+    EXPECT_THROW(validateSocConfig(c), FatalError);
+
+    c = parseConfig({"invocations=0"});
+    EXPECT_THROW(validateSocConfig(c), FatalError);
+
+    c = parseConfig({"queue_depth=2", "invocations=4"});
+    EXPECT_THROW(validateSocConfig(c), FatalError);
+
+    c = parseConfig({"completion=interrupt", "irq_latency_ns=0"});
+    EXPECT_THROW(validateSocConfig(c), FatalError);
+}
+
+TEST(ConfigValidation, AcceptsWellFormedIfaceConfigs)
+{
+    validateSocConfig(parseConfig(
+        {"mem_type=acp", "completion=interrupt", "queue_depth=8",
+         "invocations=8", "irq_latency_ns=2000"}));
+    validateSocConfig(
+        parseConfig({"mem_type.in=acp", "mem_type.out=dma"}));
 }
 
 TEST(TraceIo, LoadedTraceSimulatesIdentically)

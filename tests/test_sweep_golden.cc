@@ -20,6 +20,9 @@
  *     --filter="lanes=1,4;partitions=1,4;cache_kb=2,16;cache_line=64;\
  * cache_ports=1,4;cache_assoc=4" \
  *     --out=tests/golden/sweep_fig8_stencil2d.json
+ *   genie_sweep stencil-stencil2d --space=iface \
+ *     --filter="lanes=1,4;partitions=1,4" \
+ *     --out=tests/golden/sweep_iface_stencil2d.json
  */
 
 #include <gtest/gtest.h>
@@ -91,6 +94,16 @@ fig8Space()
     return filterConfigs(configs, f);
 }
 
+/** The reduced Genie-Iface space: spin/interrupt completion over
+ * DMA, ACP, and per-lane cache designs at lanes/partitions {1,4} —
+ * 20 points ((4 dma + 4 acp + 2 cache) x 2 completion modes). */
+std::vector<SocConfig>
+ifaceSpace()
+{
+    SpaceFilter f = SpaceFilter::parse("lanes=1,4;partitions=1,4");
+    return filterConfigs(DesignSpace::iface(SocConfig{}), f);
+}
+
 struct GoldenRig
 {
     GoldenRig()
@@ -129,6 +142,16 @@ TEST(SweepGolden, Fig8MatchesGoldenBytes)
     EXPECT_EQ(render(points),
               readFile(std::string(GENIE_GOLDEN_DIR) +
                        "/sweep_fig8_stencil2d.json"));
+}
+
+TEST(SweepGolden, IfaceMatchesGoldenBytes)
+{
+    auto configs = ifaceSpace();
+    ASSERT_EQ(configs.size(), 20u);
+    auto points = rig().sweep(configs, {});
+    EXPECT_EQ(render(points),
+              readFile(std::string(GENIE_GOLDEN_DIR) +
+                       "/sweep_iface_stencil2d.json"));
 }
 
 TEST(SweepGolden, ByteStableAcrossThreadCounts)

@@ -923,6 +923,38 @@ TEST(ProtocolCheckerSystem, CacheOffloadFlowIsProtocolClean)
     runCheckedFlow(cfg);
 }
 
+TEST(ProtocolCheckerSystem, AcpOffloadFlowIsProtocolClean)
+{
+    // The third interface regime: coherent ACP loads/stores plus
+    // interrupt completion and a drained command queue must pair
+    // every request with exactly one response, like the two regimes
+    // it joins.
+    SocConfig cfg;
+    cfg.memType = MemInterface::ScratchpadDma;
+    cfg.lanes = 4;
+    cfg.spadPartitions = 4;
+    cfg.iface.memType = IfaceMemType::Acp;
+    cfg.iface.completion = CompletionMode::Interrupt;
+    cfg.iface.queueDepth = 2;
+    cfg.iface.invocations = 2;
+    runCheckedFlow(cfg);
+}
+
+TEST(ProtocolCheckerSystem, AcpFaultRetriesStayProtocolClean)
+{
+    // Injected snoop faults force beat reissues; every reissue is a
+    // fresh request that must still retire exactly once.
+    SocConfig cfg;
+    cfg.memType = MemInterface::ScratchpadDma;
+    cfg.lanes = 4;
+    cfg.spadPartitions = 4;
+    cfg.iface.memType = IfaceMemType::Acp;
+    cfg.faults.rates[static_cast<unsigned>(FaultSite::AcpSnoop)] =
+        0.3;
+    cfg.faults.seed = 11;
+    runCheckedFlow(cfg);
+}
+
 // --- runtime layer: MOESI transition table --------------------------
 
 TEST(MoesiTable, LegalEdgesOfTheProtocol)

@@ -15,7 +15,9 @@
  *
  * Spaces: isolated (compute-only lanes x partitions), dma (Fig. 8 DMA
  * space, all optimizations), fig6 (DMA optimization cross-product),
- * cache (Fig. 8 cache space), fig8 (dma + cache concatenated).
+ * cache (Fig. 8 cache space), fig8 (dma + cache concatenated), acp
+ * (coherency-port lanes x partitions), iface (spin/interrupt x
+ * dma/acp/cache — the three-regime SoC-interface space).
  * `key=value` pairs (core/config_parse.hh) set the base config the
  * space is enumerated around; --filter carves an axis-value subset.
  *
@@ -59,7 +61,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: genie_sweep <workload> [key=value ...]\n"
-        "         [--space=isolated|dma|fig6|cache|fig8]\n"
+        "         [--space=isolated|dma|fig6|cache|fig8|acp|iface]\n"
         "         [--filter=\"lanes=1,4;partitions=1,4;...\"]\n"
         "         [--threads=N] [--journal=FILE] [--resume=FILE]\n"
         "         [--out=FILE] [--stats-json=FILE] "
@@ -89,7 +91,12 @@ enumerateSpace(const std::string &space, const SocConfig &base)
                        cacheConfigs.end());
         return configs;
     }
-    fatal("unknown space '%s' (isolated|dma|fig6|cache|fig8)",
+    if (space == "acp")
+        return DesignSpace::acp(base);
+    if (space == "iface")
+        return DesignSpace::iface(base);
+    fatal("unknown space '%s' "
+          "(isolated|dma|fig6|cache|fig8|acp|iface)",
           space.c_str());
 }
 
