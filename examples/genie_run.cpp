@@ -23,10 +23,15 @@
  * every scalar stat each N accelerator cycles, written with
  * --samples-json=FILE / --samples-csv=FILE; --profile prints a
  * host-time attribution table per event kind after the run.
+ *
+ * --report[=FILE] renders the Genie-Scope single-run report (critical
+ * path, per-category and per-component blame, what-if speedups) after
+ * the run, forcing tracing on for the run; "-" or no value = stdout.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -35,6 +40,8 @@
 #include "core/report.hh"
 #include "core/soc.hh"
 #include "metrics/profiler.hh"
+#include "scope/report.hh"
+#include "scope/span_dag.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -65,7 +72,9 @@ usage()
         "stdout)\n"
         "         --sample-period=N --samples-json=FILE "
         "--samples-csv=FILE\n"
-        "         --profile\n"
+        "         --profile --report[=FILE]  (critical-path blame "
+        "report;\n"
+        "           forces tracing on; \"-\" or no value = stdout)\n"
         "fault campaign (Genie-Resilience):\n"
         "         --faults=SITE=RATE[,SITE=RATE...] with sites\n"
         "           dram_read bus_resp dma_beat tlb_walk acp_snoop "
@@ -103,6 +112,8 @@ main(int argc, char **argv)
     bool wantStats = false;
     bool wantRecord = false;
     bool wantProfile = false;
+    bool wantReport = false;
+    std::string reportPath = "-";
     for (int i = 2; i < argc; ++i) {
         if (std::strcmp(argv[i], "--stats") == 0)
             wantStats = true;
@@ -110,6 +121,12 @@ main(int argc, char **argv)
             wantRecord = true;
         else if (std::strcmp(argv[i], "--profile") == 0)
             wantProfile = true;
+        else if (std::strcmp(argv[i], "--report") == 0)
+            wantReport = true;
+        else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+            wantReport = true;
+            reportPath = argv[i] + 9;
+        }
         else if (std::strncmp(argv[i], "--trace=", 8) == 0)
             options.emplace_back(std::string("trace_out=") +
                                  (argv[i] + 8));
@@ -172,6 +189,10 @@ main(int argc, char **argv)
         auto out = workload->build();
         Dddg dddg(out.trace);
         SocConfig config = parseConfig(options);
+        // The report needs spans and flows; tracing is passive, so
+        // forcing it on changes no simulated result (test_scope.cc).
+        if (wantReport)
+            config.tracing.enabled = true;
 
         Soc soc(config, out.trace, dddg);
         HostProfiler profiler;
@@ -193,6 +214,27 @@ main(int argc, char **argv)
         if (wantProfile) {
             std::printf("\n--- host profile ---\n");
             profiler.report(std::cout);
+        }
+        if (wantReport) {
+            SpanDag dag = buildSpanDag(*soc.tracer());
+            BlameReport blame = genie::blame(dag);
+            RunReportInput input;
+            input.title = workloadName;
+            input.configLine = config.describe();
+            input.results = &results;
+            input.blame = &blame;
+            input.dag = &dag;
+            std::string report = renderRunReport(input);
+            if (reportPath == "-") {
+                std::printf("\n");
+                std::fwrite(report.data(), 1, report.size(), stdout);
+            } else {
+                std::ofstream os(reportPath);
+                if (!os)
+                    fatal("cannot write %s", reportPath.c_str());
+                os << report;
+                std::printf("report: %s\n", reportPath.c_str());
+            }
         }
         if (!config.tracing.outPath.empty()) {
             std::printf("trace: %s (%zu events; open in "

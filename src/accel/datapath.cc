@@ -139,7 +139,7 @@ Datapath::scheduleTick()
     Tick at = clockEdge(0);
     if (lastTickAt != maxTick && at <= lastTickAt)
         at = lastTickAt + clockPeriod();
-    eventq.schedule(at, [this] {
+    eventq.scheduleFlow(at, [this] {
         tickScheduled = false;
         tick();
     }, "accel.tick");
@@ -290,7 +290,7 @@ Datapath::scheduleCompletion(Cycles lat, NodeId n)
     // would silently cost an extra cycle).
     Tick when = clockEdge(lat);
     GENIE_ASSERT(when > 0, "completion before time begins");
-    eventq.schedule(when - 1, [this, n] { onNodeComplete(n); },
+    eventq.scheduleFlow(when - 1, [this, n] { onNodeComplete(n); },
                     "accel.nodeComplete");
 }
 
@@ -452,7 +452,8 @@ Datapath::finishIfDrained()
     if (onDone) {
         DoneCallback done = std::move(onDone);
         onDone = nullptr;
-        eventq.schedule(clockEdge(0), std::move(done), "accel.done");
+        eventq.scheduleFlow(clockEdge(0), std::move(done),
+                            "accel.done");
     }
 }
 

@@ -201,7 +201,7 @@ MultiSoc::startComplex(std::size_t index)
             });
     };
     if (inBytes == 0) {
-        eventq.scheduleIn(
+        eventq.scheduleFlowIn(
             0, [this, index] { onComplexInputDone(index); },
             "soc.inputDone");
     } else {

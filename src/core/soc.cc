@@ -599,7 +599,7 @@ Soc::beginInputPhase()
         if (outBytes > 0 && cfg.dma.pipelined)
             flush->startInvalidate(outBytes, invalidated);
         if (inputPartsPending == 0) {
-            eventq.scheduleIn(0, [this] { onInputPhaseDone(); },
+            eventq.scheduleFlowIn(0, [this] { onInputPhaseDone(); },
                               "soc.inputDone");
         }
         return;
@@ -698,7 +698,7 @@ Soc::startAccelerator(std::function<void()> onFinish)
             // Pull register-promoted shared inputs through the cache
             // before compute begins (first invocation only; the batch
             // reuses device-resident data).
-            eventq.scheduleIn(lineCopyLatency(cacheWarmupBytes),
+            eventq.scheduleFlowIn(lineCopyLatency(cacheWarmupBytes),
                               [this] { launchInvocation(); },
                               "soc.cacheWarmup");
             return;
@@ -731,7 +731,7 @@ Soc::onDatapathDone()
         if (cmdQueue && !cmdQueue->empty()) {
             // Drain the command queue back-to-back: the device moves
             // straight to the next descriptor with no CPU round trip.
-            eventq.scheduleIn(0, [this] { launchInvocation(); },
+            eventq.scheduleFlowIn(0, [this] { launchInvocation(); },
                               "iface.queueNext");
             return;
         }
@@ -807,7 +807,8 @@ Soc::beginOutputPhase()
     if (cfg.memType == MemInterface::Cache && !cfg.isolated &&
         cacheDrainBytes > 0) {
         // Push register-promoted shared outputs back via the cache.
-        eventq.scheduleIn(lineCopyLatency(cacheDrainBytes), [this] {
+        eventq.scheduleFlowIn(lineCopyLatency(cacheDrainBytes),
+                              [this] {
             if (pendingFinish)
                 pendingFinish();
         }, "soc.cacheDrain");

@@ -30,7 +30,7 @@ DriverCpu::run(std::vector<DriverOp> prog, std::function<void()> done)
     waitingOnFlag = false;
     intrPending = false;
     waitingOnIntr = false;
-    eventq.scheduleIn(0, [this] { step(); }, "cpu.step");
+    eventq.scheduleFlowIn(0, [this] { step(); }, "cpu.step");
 }
 
 void
@@ -49,7 +49,8 @@ DriverCpu::signalFlag()
             eventq.curTick() - spinStart + params.spinNoticeLatency);
         // The flag was consumed by the pending SpinWait.
         flagSet = false;
-        eventq.scheduleIn(params.spinNoticeLatency, [this] { step(); },
+        eventq.scheduleFlowIn(params.spinNoticeLatency,
+                              [this] { step(); },
                           "cpu.step");
     }
 }
@@ -64,7 +65,7 @@ DriverCpu::raiseInterrupt()
         // wakeup latency was already charged by the InterruptLine,
         // and a sleeping CPU burns no spin ticks.
         intrPending = false;
-        eventq.scheduleIn(0, [this] { step(); }, "cpu.step");
+        eventq.scheduleFlowIn(0, [this] { step(); }, "cpu.step");
     }
 }
 
@@ -116,7 +117,7 @@ DriverCpu::step()
       case DriverOp::Kind::SpinWait:
         if (flagSet) {
             flagSet = false;
-            eventq.scheduleIn(0, next, "cpu.step");
+            eventq.scheduleFlowIn(0, next, "cpu.step");
         } else {
             spinStart = eventq.curTick();
             waitingOnFlag = true;
@@ -125,7 +126,7 @@ DriverCpu::step()
       case DriverOp::Kind::IntrWait:
         if (intrPending) {
             intrPending = false;
-            eventq.scheduleIn(0, next, "cpu.step");
+            eventq.scheduleFlowIn(0, next, "cpu.step");
         } else {
             waitingOnIntr = true;
         }
@@ -136,7 +137,7 @@ DriverCpu::step()
       case DriverOp::Kind::Call:
         if (op.callback)
             op.callback();
-        eventq.scheduleIn(0, next, "cpu.step");
+        eventq.scheduleFlowIn(0, next, "cpu.step");
         break;
     }
 }

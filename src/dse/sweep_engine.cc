@@ -51,6 +51,16 @@ struct SweepEngine::Impl
     std::atomic<std::uint64_t> events GENIE_SHARED_OK(atomic){0};
     std::atomic<std::uint64_t> wallNs GENIE_SHARED_OK(atomic){0};
 
+    // Live-telemetry state (host-derived; never enters results).
+    std::atomic<unsigned> activeWorkers GENIE_SHARED_OK(atomic){0};
+    std::atomic<std::uint64_t> lastProgressNs
+        GENIE_SHARED_OK(atomic){0};
+    /** profilerNowNs() when run() started dispatching. */
+    std::uint64_t startNs GENIE_SHARED_OK(set before workers spawn
+                                          and read-only after) = 0;
+    unsigned workerCount GENIE_SHARED_OK(set before workers spawn
+                                         and read-only after) = 0;
+
     std::mutex failureMutex;
     std::vector<FailedPoint> failures GENIE_GUARDED_BY(failureMutex);
 
@@ -140,6 +150,28 @@ SweepEngine::progress() const
         p.meps = ns > 0 ? static_cast<double>(impl->events.load()) *
                               1e3 / static_cast<double>(ns)
                         : 0.0;
+        p.workers = impl->workerCount;
+        p.active = impl->activeWorkers.load();
+        std::uint64_t now = profilerNowNs();
+        std::uint64_t elapsed =
+            now > impl->startNs ? now - impl->startNs : 0;
+        p.elapsedSeconds = static_cast<double>(elapsed) * 1e-9;
+        std::size_t completed = p.completed();
+        if (elapsed > 0 && completed > 0) {
+            p.pointsPerSecond = static_cast<double>(completed) /
+                                p.elapsedSeconds;
+            p.etaSeconds = static_cast<double>(p.remaining()) /
+                           p.pointsPerSecond;
+        }
+        std::size_t resolved = p.done + p.cached;
+        p.cacheHitRate =
+            resolved > 0 ? static_cast<double>(p.cached) /
+                               static_cast<double>(resolved)
+                         : 0.0;
+        p.occupancy = p.workers > 0
+                          ? static_cast<double>(p.active) /
+                                static_cast<double>(p.workers)
+                          : 0.0;
     } else {
         p.done = static_cast<std::size_t>(statDone->value());
         p.cached = static_cast<std::size_t>(statCached->value());
@@ -244,6 +276,8 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
                          return configCost(configs[a]) >
                                 configCost(configs[b]);
                      });
+    st.workerCount = threads;
+    st.startNs = profilerNowNs();
     st.queues.resize(threads);
     for (unsigned t = 0; t < threads; ++t)
         st.queues[t] = std::make_unique<Impl::WorkerQueue>();
@@ -253,9 +287,22 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
         q.items.push_back(order[n]);
     }
 
-    auto reportProgress = [&] {
+    auto reportProgress = [&](bool force) {
         if (!opts.onProgress)
             return;
+        if (!force && opts.progressIntervalNs != 0) {
+            // Rate limit: only the worker that wins the CAS on the
+            // last-delivery stamp reports; losers skip (their point
+            // is covered by a later snapshot — the post-join forced
+            // delivery guarantees the final state always lands).
+            std::uint64_t now = profilerNowNs();
+            std::uint64_t last = st.lastProgressNs.load();
+            if (now - last < opts.progressIntervalNs ||
+                !st.lastProgressNs.compare_exchange_strong(last,
+                                                           now)) {
+                return;
+            }
+        }
         // Snapshot inside the lock: taking it outside lets two
         // workers deliver reordered snapshots, so a callback could
         // observe counters going backwards.
@@ -268,7 +315,7 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
         if (st.cache->lookup(st.keys[i], cachedResults)) {
             points[i].results = cachedResults;
             st.cachedHits.fetch_add(1);
-            reportProgress();
+            reportProgress(false);
             return;
         }
         if (opts.maxFreshPoints != 0 &&
@@ -293,7 +340,7 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
                 st.failures.push_back({i, configs[i], e.what()});
             }
             st.failed.fetch_add(1);
-            reportProgress();
+            reportProgress(false);
             return;
         }
         st.events.fetch_add(profiler.totalEvents() - eventsBefore);
@@ -307,7 +354,7 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
             st.journal << line << std::flush;
         }
         st.done.fetch_add(1);
-        reportProgress();
+        reportProgress(false);
     };
 
     auto worker = [&](std::size_t self) {
@@ -316,7 +363,9 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
             std::size_t i = st.take(self);
             if (i == static_cast<std::size_t>(-1))
                 break;
+            st.activeWorkers.fetch_add(1);
             process(i, profiler);
+            st.activeWorkers.fetch_sub(1);
         }
     };
 
@@ -330,6 +379,13 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
         for (auto &t : pool)
             t.join();
     }
+
+    // With rate limiting on, the limiter may have eaten the last
+    // per-point snapshot; deliver the final counters. (Without it,
+    // every point already delivered — callers count on exactly one
+    // callback per point.)
+    if (opts.progressIntervalNs != 0)
+        reportProgress(true);
 
     _interrupted = st.stopped.load();
     _events = st.events.load();

@@ -64,6 +64,31 @@ struct SweepProgress GENIE_THREAD_LOCAL_OK
     /** Aggregate simulator throughput so far: millions of simulated
      * events retired per host-second, summed over workers. */
     double meps = 0.0;
+
+    // Live telemetry (populated only while a run is in flight; all
+    // host-time-derived, so none of it ever enters results or the
+    // journal).
+    unsigned workers = 0; ///< worker threads in this run
+    unsigned active = 0;  ///< workers currently simulating a point
+    double elapsedSeconds = 0.0;  ///< host time since run() began
+    double pointsPerSecond = 0.0; ///< completed points per second
+    /** Estimated seconds to finish at the current rate (0 until the
+     * rate is measurable). */
+    double etaSeconds = 0.0;
+    /** cached / (done + cached): how much of the sweep the result
+     * cache and resume journal absorbed. */
+    double cacheHitRate = 0.0;
+    /** active / workers: the fraction of the pool doing useful work
+     * (drops at the tail when deques drain). */
+    double occupancy = 0.0;
+
+    std::size_t completed() const { return done + cached + failed; }
+    std::size_t
+    remaining() const
+    {
+        std::size_t c = completed();
+        return total > c ? total - c : 0;
+    }
 };
 
 /** One design point whose simulation threw, with the offending
@@ -122,6 +147,12 @@ struct SweepOptions GENIE_SHARED_OK(written before run starts and
     /** Called after every completed/cached/failed point. Invoked
      * under a lock: implementations need not be thread-safe. */
     std::function<void(const SweepProgress &)> onProgress;
+
+    /** Minimum host nanoseconds between onProgress deliveries
+     * (0 = report every point). Rate-limits terminal repaints on
+     * cache-hot sweeps that retire thousands of points per second;
+     * the final state of a run is always delivered. */
+    std::uint64_t progressIntervalNs = 0;
 };
 
 class SweepEngine

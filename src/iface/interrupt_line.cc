@@ -63,7 +63,7 @@ InterruptLine::attemptDelivery(Tick postTick, unsigned attempt)
             "iface.irqRetry");
         return;
     }
-    eventq.scheduleIn(params.deliveryLatency,
+    eventq.scheduleFlowIn(params.deliveryLatency,
                       [this, postTick] { deliver(postTick); },
                       "iface.irqDeliver");
 }

@@ -100,7 +100,7 @@ SystemBus::scheduleArbitration(Tick when)
         return;
     arbitrationScheduled = true;
     Tick at = std::max(when, std::max(busyUntil, eventq.curTick()));
-    eventq.schedule(at, [this] {
+    eventq.scheduleFlow(at, [this] {
         arbitrationScheduled = false;
         arbitrate();
     }, "bus.arbitrate");
@@ -154,7 +154,8 @@ SystemBus::arbitrate()
     if (cmdCarriesData(qp.pkt.cmd))
         statDataBytes += qp.pkt.size;
 
-    eventq.schedule(done, [this, qp] { deliver(qp); }, "bus.deliver");
+    eventq.scheduleFlow(done, [this, qp] { deliver(qp); },
+                        "bus.deliver");
 
     // Let the next packet arbitrate once this transfer is done.
     bool more = !respQueue.empty();
@@ -204,7 +205,7 @@ SystemBus::deliver(const QueuedPacket &qp)
         Packet resp = pkt.makeResponse();
         resp.cacheToCache = true;
         resp.sharerPresent = true;
-        eventq.scheduleIn(snoop.supplyLatency,
+        eventq.scheduleFlowIn(snoop.supplyLatency,
                           [this, resp] { sendResponse(resp); },
                           "bus.snoopSupply");
         return;

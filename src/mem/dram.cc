@@ -58,7 +58,7 @@ DramCtrl::kick(Tick when)
     if (when >= pendingKickAt && pendingKickAt > eventq.curTick())
         return; // an earlier wakeup is already pending
     pendingKickAt = when;
-    eventq.schedule(when, [this, when] {
+    eventq.scheduleFlow(when, [this, when] {
         if (pendingKickAt == when)
             pendingKickAt = maxTick;
         trySchedule();
@@ -135,7 +135,7 @@ DramCtrl::trySchedule()
             t->complete(TraceCategory::Dram, name(), service, now,
                         now + latency);
         }
-        eventq.scheduleIn(latency, [this, req] { finish(req); },
+        eventq.scheduleFlowIn(latency, [this, req] { finish(req); },
                           "dram.finish");
     }
 }

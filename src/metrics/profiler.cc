@@ -8,18 +8,35 @@
 namespace genie
 {
 
+std::uint64_t
+profilerNowNs()
+{
+    // The one sanctioned host-clock read in the library: profiling
+    // and telemetry attribution only, never fed back into simulated
+    // behavior.
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 namespace
 {
 
 std::uint64_t
 nowNs()
 {
-    // The one sanctioned host-clock read in the library: profiling
-    // attribution only, never fed back into simulated behavior.
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now().time_since_epoch())
-            .count());
+    return profilerNowNs();
+}
+
+/** Handler latencies cluster well under 10 us; 100 ns bins cover
+ * that span and percentile() interpolates overflow mass up to the
+ * observed max, so outliers still report sanely. */
+Distribution
+makeLatencyDist()
+{
+    return Distribution("latency_ns", "per-event host latency (ns)",
+                        0.0, 10000.0, 100);
 }
 
 } // namespace
@@ -41,10 +58,14 @@ HostProfiler::endEvent()
     inEvent = false;
     std::uint64_t ns = end >= startNs ? end - startNs : 0;
 
-    KindProfile &k =
-        kinds[curKind != nullptr ? curKind : "(untagged)"];
+    auto [it, inserted] = kinds.try_emplace(
+        curKind != nullptr ? curKind : "(untagged)");
+    KindProfile &k = it->second;
+    if (inserted)
+        k.latencyNs = makeLatencyDist();
     k.events += 1;
     k.wallNs += ns;
+    k.latencyNs.sample(static_cast<double>(ns));
     _totalEvents += 1;
     _totalWallNs += ns;
 }
@@ -73,17 +94,18 @@ HostProfiler::sorted() const
 void
 HostProfiler::report(std::ostream &os) const
 {
-    os << format("%-28s %12s %12s %7s\n", "event kind", "events",
-                 "wall ms", "share");
+    os << format("%-28s %12s %12s %7s %9s %9s\n", "event kind",
+                 "events", "wall ms", "share", "p50 ns", "p95 ns");
     for (const auto &[kind, k] : sorted()) {
         double share =
             _totalWallNs > 0
                 ? 100.0 * static_cast<double>(k.wallNs) /
                       static_cast<double>(_totalWallNs)
                 : 0.0;
-        os << format("%-28s %12llu %12.3f %6.1f%%\n", kind.c_str(),
-                     (unsigned long long)k.events,
-                     static_cast<double>(k.wallNs) * 1e-6, share);
+        os << format("%-28s %12llu %12.3f %6.1f%% %9.0f %9.0f\n",
+                     kind.c_str(), (unsigned long long)k.events,
+                     static_cast<double>(k.wallNs) * 1e-6, share,
+                     k.latencyNs.p50(), k.latencyNs.p95());
     }
     os << format("total: %llu events, %.3f ms, %.2f M events/s\n",
                  (unsigned long long)_totalEvents,

@@ -28,10 +28,21 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/stats.hh"
 #include "sim/thread_safety.hh"
 
 namespace genie
 {
+
+/**
+ * The sanctioned host-clock read (monotonic nanoseconds). Telemetry
+ * callers (SweepEngine progress, bench harnesses) must use this
+ * instead of touching std::chrono directly, so every wall-clock read
+ * in the library funnels through one auditable site — and the
+ * determinism lint rule stays tree-wide with a single suppression.
+ * Host time read here must never feed back into simulated behavior.
+ */
+std::uint64_t profilerNowNs();
 
 class HostProfiler GENIE_THREAD_LOCAL_OK : public EventProfiler
 {
@@ -41,6 +52,9 @@ class HostProfiler GENIE_THREAD_LOCAL_OK : public EventProfiler
     {
         std::uint64_t events = 0;
         std::uint64_t wallNs = 0;
+        /** Per-event handler latency histogram (ns), for the p50/p95
+         * columns of report(). */
+        Distribution latencyNs;
     };
 
     void beginEvent(Tick when, const char *kind) override;

@@ -1,0 +1,336 @@
+#include "diff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+bool
+globMatch(std::string_view pattern, std::string_view text)
+{
+    // Iterative star-backtracking matcher (no recursion, O(n*m)).
+    std::size_t p = 0, t = 0;
+    std::size_t starP = std::string_view::npos, starT = 0;
+    while (t < text.size()) {
+        if (p < pattern.size() &&
+            (pattern[p] == '?' || pattern[p] == text[t])) {
+            ++p;
+            ++t;
+        } else if (p < pattern.size() && pattern[p] == '*') {
+            starP = p++;
+            starT = t;
+        } else if (starP != std::string_view::npos) {
+            p = starP + 1;
+            t = ++starT;
+        } else {
+            return false;
+        }
+    }
+    while (p < pattern.size() && pattern[p] == '*')
+        ++p;
+    return p == pattern.size();
+}
+
+std::vector<DiffRule>
+defaultGenieDiffRules()
+{
+    // Host-derived numbers: meaningful only on the machine that
+    // produced them, never comparable across runs.
+    return {
+        {"*wall_ms*", true, 0.0},
+        {"*wall_ns*", true, 0.0},
+        {"*meps*", true, 0.0},
+        {"*points_per_sec*", true, 0.0},
+        {"*.host.*", true, 0.0},
+    };
+}
+
+namespace
+{
+
+const DiffRule *
+matchRule(const std::vector<DiffRule> &rules, const std::string &path)
+{
+    for (const auto &r : rules) {
+        if (globMatch(r.glob, path))
+            return &r;
+    }
+    return nullptr;
+}
+
+std::string
+renderLeaf(const JsonValue &v)
+{
+    switch (v.type()) {
+      case JsonValue::Type::Null:
+        return "null";
+      case JsonValue::Type::Bool:
+        return v.boolean() ? "true" : "false";
+      case JsonValue::Type::Number:
+        return v.numberLexeme();
+      case JsonValue::Type::String:
+        return "\"" + v.string() + "\"";
+      case JsonValue::Type::Array:
+        return format("[array of %zu]", v.array().size());
+      case JsonValue::Type::Object:
+        return format("{object of %zu}", v.members().size());
+    }
+    return "?";
+}
+
+void
+note(std::vector<DiffEntry> &sink, DiffEntry e)
+{
+    sink.push_back(std::move(e));
+}
+
+const char *
+typeName(JsonValue::Type t)
+{
+    switch (t) {
+      case JsonValue::Type::Null: return "null";
+      case JsonValue::Type::Bool: return "bool";
+      case JsonValue::Type::Number: return "number";
+      case JsonValue::Type::String: return "string";
+      case JsonValue::Type::Array: return "array";
+      case JsonValue::Type::Object: return "object";
+    }
+    return "?";
+}
+
+class Differ
+{
+  public:
+    Differ(const DiffOptions &opt, DiffResult &out)
+        : options(opt), result(out)
+    {}
+
+    void
+    walk(const std::string &path, const JsonValue *a,
+         const JsonValue *b)
+    {
+        const DiffRule *rule = matchRule(options.rules, path);
+        if (rule != nullptr && rule->ignore) {
+            ++result.ignoredLeaves;
+            return;
+        }
+        if (a == nullptr) {
+            note(options.strict ? result.failures : result.warnings,
+                 {DiffKind::Added, path, "-", renderLeaf(*b), 0.0,
+                  0.0});
+            return;
+        }
+        if (b == nullptr) {
+            note(result.failures, {DiffKind::Removed, path,
+                                   renderLeaf(*a), "-", 0.0, 0.0});
+            return;
+        }
+        if (a->type() != b->type()) {
+            note(result.failures,
+                 {DiffKind::TypeChanged, path,
+                  std::string(typeName(a->type())),
+                  std::string(typeName(b->type())), 0.0, 0.0});
+            return;
+        }
+        switch (a->type()) {
+          case JsonValue::Type::Object:
+            walkObject(path, *a, *b);
+            return;
+          case JsonValue::Type::Array:
+            walkArray(path, *a, *b);
+            return;
+          default:
+            compareLeaf(path, *a, *b, rule);
+            return;
+        }
+    }
+
+  private:
+    const DiffOptions &options;
+    DiffResult &result;
+
+    void
+    walkObject(const std::string &path, const JsonValue &a,
+               const JsonValue &b)
+    {
+        // Canonical order: sorted union of both key sets, so the
+        // report is stable however the files ordered their members.
+        std::set<std::string> keys;
+        for (const auto &[k, v] : a.members())
+            keys.insert(k);
+        for (const auto &[k, v] : b.members())
+            keys.insert(k);
+        for (const auto &k : keys) {
+            std::string sub = path.empty() ? k : path + "." + k;
+            walk(sub, a.get(k), b.get(k));
+        }
+    }
+
+    void
+    walkArray(const std::string &path, const JsonValue &a,
+              const JsonValue &b)
+    {
+        std::size_t n = std::max(a.array().size(), b.array().size());
+        for (std::size_t i = 0; i < n; ++i) {
+            std::string sub = path + format("[%zu]", i);
+            walk(sub,
+                 i < a.array().size() ? &a.array()[i] : nullptr,
+                 i < b.array().size() ? &b.array()[i] : nullptr);
+        }
+    }
+
+    void
+    compareLeaf(const std::string &path, const JsonValue &a,
+                const JsonValue &b, const DiffRule *rule)
+    {
+        ++result.comparedLeaves;
+        if (a.isNumber()) {
+            double av = a.number(), bv = b.number();
+            if (a.numberLexeme() == b.numberLexeme() || av == bv)
+                return;
+            double mag = std::max(std::fabs(av), std::fabs(bv));
+            double relPct =
+                mag > 0.0 ? std::fabs(av - bv) / mag * 100.0 : 0.0;
+            double tol =
+                rule != nullptr ? rule->tolerancePct : 0.0;
+            DiffEntry e{DiffKind::Changed, path, a.numberLexeme(),
+                        b.numberLexeme(), relPct, tol};
+            note(relPct <= tol ? result.tolerated : result.failures,
+                 std::move(e));
+            return;
+        }
+        bool same = a.isString() ? a.string() == b.string()
+                    : a.isBool() ? a.boolean() == b.boolean()
+                                 : true; // null == null
+        if (!same) {
+            note(result.failures,
+                 {DiffKind::Changed, path, renderLeaf(a),
+                  renderLeaf(b), 0.0, 0.0});
+        }
+    }
+};
+
+void
+sortEntries(std::vector<DiffEntry> &entries)
+{
+    std::stable_sort(entries.begin(), entries.end(),
+                     [](const DiffEntry &a, const DiffEntry &b) {
+                         return a.path < b.path;
+                     });
+}
+
+const char *
+kindLabel(DiffKind k)
+{
+    switch (k) {
+      case DiffKind::Changed: return "changed";
+      case DiffKind::Removed: return "removed";
+      case DiffKind::Added: return "added";
+      case DiffKind::TypeChanged: return "type-changed";
+    }
+    return "?";
+}
+
+void
+renderEntryTable(std::string &out, const std::vector<DiffEntry> &es)
+{
+    out += "| path | kind | baseline | candidate | delta | "
+           "tolerance |\n";
+    out += "|---|---|---|---|---:|---:|\n";
+    for (const auto &e : es) {
+        out += format("| `%s` | %s | %s | %s | %s | %s |\n",
+                      e.path.c_str(), kindLabel(e.kind),
+                      e.before.c_str(), e.after.c_str(),
+                      e.kind == DiffKind::Changed && e.relDeltaPct > 0
+                          ? format("%.4f%%", e.relDeltaPct).c_str()
+                          : "-",
+                      e.tolerancePct > 0
+                          ? format("%.4f%%", e.tolerancePct).c_str()
+                          : "-");
+    }
+}
+
+} // namespace
+
+DiffResult
+diffJson(const JsonValue &baseline, const JsonValue &candidate,
+         const DiffOptions &options)
+{
+    DiffResult result;
+    Differ d(options, result);
+    d.walk("", &baseline, &candidate);
+    sortEntries(result.failures);
+    sortEntries(result.warnings);
+    sortEntries(result.tolerated);
+    return result;
+}
+
+std::string
+renderDiffReport(const DiffResult &result, const std::string &aName,
+                 const std::string &bName)
+{
+    std::string out;
+    out += format("# genie_diff: `%s` vs `%s`\n\n", aName.c_str(),
+                  bName.c_str());
+    out += format("- verdict: **%s**\n",
+                  result.clean() ? "PASS" : "FAIL");
+    out += format("- leaves compared: %zu (ignored: %zu)\n",
+                  result.comparedLeaves, result.ignoredLeaves);
+    out += format("- failures: %zu, warnings: %zu, within "
+                  "tolerance: %zu\n",
+                  result.failures.size(), result.warnings.size(),
+                  result.tolerated.size());
+    if (!result.failures.empty()) {
+        out += "\n## Failures\n\n";
+        renderEntryTable(out, result.failures);
+    }
+    if (!result.warnings.empty()) {
+        out += "\n## Warnings\n\n";
+        renderEntryTable(out, result.warnings);
+    }
+    if (!result.tolerated.empty()) {
+        out += "\n## Within tolerance\n\n";
+        renderEntryTable(out, result.tolerated);
+    }
+    return out;
+}
+
+bool
+parseDiffRule(const std::string &spec, DiffRule &out,
+              std::string &error)
+{
+    auto eq = spec.rfind('=');
+    if (eq == std::string::npos || eq == 0 ||
+        eq + 1 >= spec.size()) {
+        error = "expected GLOB=PCT or GLOB=ignore, got '" + spec +
+                "'";
+        return false;
+    }
+    out = DiffRule{};
+    out.glob = spec.substr(0, eq);
+    std::string value = spec.substr(eq + 1);
+    if (value == "ignore") {
+        out.ignore = true;
+        return true;
+    }
+    if (!value.empty() && value.back() == '%')
+        value.pop_back();
+    char *end = nullptr;
+    double pct = std::strtod(value.c_str(), &end);
+    if (end == nullptr || *end != '\0' || value.empty() ||
+        pct < 0.0) {
+        error = "bad tolerance '" + spec +
+                "' (want a non-negative percent or 'ignore')";
+        return false;
+    }
+    out.tolerancePct = pct;
+    return true;
+}
+
+} // namespace genie

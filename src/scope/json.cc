@@ -1,0 +1,419 @@
+#include "json.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    const JsonValue *found = nullptr;
+    for (const auto &[k, v] : _members) {
+        if (k == key)
+            found = &v; // last duplicate wins, like every browser
+    }
+    return found;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v._type = Type::Bool;
+    v._bool = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double d, std::string lexeme)
+{
+    JsonValue v;
+    v._type = Type::Number;
+    v._number = d;
+    v._scalar = std::move(lexeme);
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v._type = Type::String;
+    v._scalar = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v._type = Type::Array;
+    v._array = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(JsonMembers members)
+{
+    JsonValue v;
+    v._type = Type::Object;
+    v._members = std::move(members);
+    return v;
+}
+
+namespace
+{
+
+/** Encode @p cp (a BMP code point) as UTF-8 onto @p out. */
+void
+appendUtf8(std::string &out, unsigned cp)
+{
+    if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+}
+
+/** Recursive-descent parser over the whole buffered document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    JsonParseResult
+    run()
+    {
+        JsonParseResult r;
+        skipWs();
+        if (!parseValue(r.value)) {
+            fillError(r);
+            return r;
+        }
+        skipWs();
+        if (pos != s.size()) {
+            err = "trailing characters after document";
+            fillError(r);
+            return r;
+        }
+        r.ok = true;
+        return r;
+    }
+
+  private:
+    const std::string &s;
+    std::size_t pos = 0;
+    std::string err;
+    /** Nesting guard: our writers stay shallow; a hostile input must
+     * not blow the parser's stack. */
+    int depth = 0;
+    static constexpr int maxDepth = 128;
+
+    void
+    fillError(JsonParseResult &r) const
+    {
+        r.ok = false;
+        r.error = err.empty() ? "parse error" : err;
+        r.errorLine = 1;
+        r.errorColumn = 1;
+        for (std::size_t i = 0; i < pos && i < s.size(); ++i) {
+            if (s[i] == '\n') {
+                ++r.errorLine;
+                r.errorColumn = 1;
+            } else {
+                ++r.errorColumn;
+            }
+        }
+    }
+
+    bool atEnd() const { return pos >= s.size(); }
+    char peek() const { return s[pos]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            char c = s[pos];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++pos;
+            else
+                break;
+        }
+    }
+
+    bool
+    fail(std::string message)
+    {
+        if (err.empty())
+            err = std::move(message);
+        return false;
+    }
+
+    bool
+    expect(char c)
+    {
+        if (atEnd() || s[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return true;
+    }
+
+    bool
+    literal(const char *word, JsonValue v, JsonValue &out)
+    {
+        for (const char *p = word; *p != '\0'; ++p, ++pos) {
+            if (atEnd() || s[pos] != *p)
+                return fail(std::string("bad literal (expected ") +
+                            word + ")");
+        }
+        out = std::move(v);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (atEnd())
+            return fail("unexpected end of input");
+        if (++depth > maxDepth)
+            return fail("document nested too deeply");
+        bool ok;
+        switch (peek()) {
+          case '{':
+            ok = parseObject(out);
+            break;
+          case '[':
+            ok = parseArray(out);
+            break;
+          case '"': {
+            std::string str;
+            ok = parseString(str);
+            if (ok)
+                out = JsonValue::makeString(std::move(str));
+            break;
+          }
+          case 't':
+            ok = literal("true", JsonValue::makeBool(true), out);
+            break;
+          case 'f':
+            ok = literal("false", JsonValue::makeBool(false), out);
+            break;
+          case 'n':
+            ok = literal("null", JsonValue::makeNull(), out);
+            break;
+          default:
+            ok = parseNumber(out);
+            break;
+        }
+        --depth;
+        return ok;
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        if (!expect('{'))
+            return false;
+        JsonMembers members;
+        skipWs();
+        if (!atEnd() && peek() == '}') {
+            ++pos;
+            out = JsonValue::makeObject(std::move(members));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!expect(':'))
+                return false;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (atEnd())
+                return fail("unterminated object");
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos;
+                out = JsonValue::makeObject(std::move(members));
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        if (!expect('['))
+            return false;
+        std::vector<JsonValue> items;
+        skipWs();
+        if (!atEnd() && peek() == ']') {
+            ++pos;
+            out = JsonValue::makeArray(std::move(items));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            items.push_back(std::move(v));
+            skipWs();
+            if (atEnd())
+                return fail("unterminated array");
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos;
+                out = JsonValue::makeArray(std::move(items));
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (atEnd() || peek() != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string");
+            char c = s[pos++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (atEnd())
+                return fail("unterminated escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    if (atEnd())
+                        return fail("truncated \\u escape");
+                    char h = s[pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos;
+        if (!atEnd() && peek() == '-')
+            ++pos;
+        if (atEnd() || !isDigit(peek()))
+            return fail("malformed number");
+        if (peek() == '0')
+            ++pos; // leading zero: no further integer digits
+        else
+            while (!atEnd() && isDigit(peek()))
+                ++pos;
+        if (!atEnd() && peek() == '.') {
+            ++pos;
+            if (atEnd() || !isDigit(peek()))
+                return fail("malformed number (bare decimal point)");
+            while (!atEnd() && isDigit(peek()))
+                ++pos;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos;
+            if (atEnd() || !isDigit(peek()))
+                return fail("malformed number (empty exponent)");
+            while (!atEnd() && isDigit(peek()))
+                ++pos;
+        }
+        std::string lexeme = s.substr(start, pos - start);
+        double d = std::strtod(lexeme.c_str(), nullptr);
+        out = JsonValue::makeNumber(d, std::move(lexeme));
+        return true;
+    }
+
+    static bool isDigit(char c) { return c >= '0' && c <= '9'; }
+};
+
+} // namespace
+
+JsonParseResult
+parseJson(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+JsonParseResult
+parseJsonFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        JsonParseResult r;
+        r.error = format("cannot open '%s'", path.c_str());
+        return r;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseJson(buf.str());
+}
+
+} // namespace genie

@@ -1,0 +1,248 @@
+#include "report.hh"
+
+#include <algorithm>
+
+#include "dse/pareto.hh"
+#include "metrics/export.hh"
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+std::string
+ticksStr(Tick t)
+{
+    return format("%llu", (unsigned long long)t);
+}
+
+std::string
+pctStr(double fraction)
+{
+    return format("%.2f%%", fraction * 100.0);
+}
+
+double
+shareOf(Tick part, Tick whole)
+{
+    return whole > 0 ? static_cast<double>(part) /
+                           static_cast<double>(whole)
+                     : 0.0;
+}
+
+void
+renderBlameTable(std::string &out,
+                 const std::vector<BlameEntry> &entries,
+                 const char *label, Tick covered)
+{
+    out += format("| %s | on-path | share | total | overlapped | "
+                  "what-if |\n",
+                  label);
+    out += "|---|---:|---:|---:|---:|---:|\n";
+    for (const auto &e : entries) {
+        if (e.onPathTicks == 0 && e.totalTicks == 0)
+            continue;
+        out += format(
+            "| %s | %s | %s | %s | %s | %s |\n", e.name.c_str(),
+            ticksStr(e.onPathTicks).c_str(),
+            pctStr(shareOf(e.onPathTicks, covered)).c_str(),
+            ticksStr(e.totalTicks).c_str(),
+            ticksStr(e.overlappedTicks).c_str(),
+            formatSpeedup(e.whatIfSpeedup).c_str());
+    }
+}
+
+void
+renderResults(std::string &out, const SocResults &r)
+{
+    out += "## Results\n\n";
+    out += format("- end-to-end: %s ticks (%s us)\n",
+                  ticksStr(r.totalTicks).c_str(),
+                  formatStatNumber(r.totalUs()).c_str());
+    out += format("- accelerator cycles: %llu\n",
+                  (unsigned long long)r.accelCycles);
+    out += format("- energy: %s pJ (dynamic %s, leakage %s), avg "
+                  "power %s mW, EDP %s J*s\n",
+                  formatStatNumber(r.energyPj).c_str(),
+                  formatStatNumber(r.dynamicPj).c_str(),
+                  formatStatNumber(r.leakagePj).c_str(),
+                  formatStatNumber(r.avgPowerMw).c_str(),
+                  formatStatNumber(r.edp).c_str());
+    out += format("- bus utilization: %s, cache miss rate: %s, DMA "
+                  "bytes: %llu\n",
+                  pctStr(r.busUtilization).c_str(),
+                  pctStr(r.cacheMissRate).c_str(),
+                  (unsigned long long)r.dmaBytes);
+    if (r.stalled)
+        out += "- **run stalled** (watchdog abort; numbers are "
+               "partial)\n";
+    out += "\n";
+}
+
+void
+renderCriticalPath(std::string &out, const BlameReport &b,
+                   const SpanDag *dag, std::size_t topSegments)
+{
+    out += "## Critical path\n\n";
+    out += format("- coverage: %s of %s ticks explained "
+                  "(%zu segments; %llu flow hops, %llu inferred)\n\n",
+                  pctStr(b.coverage).c_str(),
+                  ticksStr(b.endTick).c_str(), b.path.size(),
+                  (unsigned long long)b.flowHops,
+                  (unsigned long long)b.inferredHops);
+    renderBlameTable(out, b.byCategory, "category", b.coveredTicks);
+    out += "\n## Component blame\n\n";
+    renderBlameTable(out, b.byTrack, "component", b.coveredTicks);
+
+    if (dag == nullptr || b.path.empty() || topSegments == 0)
+        return;
+    // The longest charged segments, longest first (ties: later
+    // segment first — deterministic because segment intervals are
+    // disjoint).
+    std::vector<const CriticalSegment *> top;
+    top.reserve(b.path.size());
+    for (const auto &seg : b.path)
+        top.push_back(&seg);
+    std::stable_sort(top.begin(), top.end(),
+                     [](const CriticalSegment *a,
+                        const CriticalSegment *b2) {
+                         Tick la = a->end - a->begin;
+                         Tick lb = b2->end - b2->begin;
+                         if (la != lb)
+                             return la > lb;
+                         return a->begin > b2->begin;
+                     });
+    if (top.size() > topSegments)
+        top.resize(topSegments);
+    out += "\n## Longest critical-path segments\n\n";
+    out += "| span | component | category | charged | interval | "
+           "link |\n";
+    out += "|---|---|---|---:|---|---|\n";
+    for (const auto *seg : top) {
+        const ScopeSpan &s = dag->spans[seg->spanIndex];
+        out += format("| %s | %s | %s | %s | [%s, %s) | %s |\n",
+                      s.name.c_str(), s.track.c_str(),
+                      traceCategoryName(s.cat),
+                      ticksStr(seg->end - seg->begin).c_str(),
+                      ticksStr(seg->begin).c_str(),
+                      ticksStr(seg->end).c_str(),
+                      seg->viaFlow ? "flow" : "inferred");
+    }
+}
+
+} // namespace
+
+std::string
+formatSpeedup(double whatIfSpeedup)
+{
+    if (whatIfSpeedup == 0.0)
+        return "inf";
+    return format("%.3fx", whatIfSpeedup);
+}
+
+std::string
+topBlameCategory(const BlameReport &blame)
+{
+    const BlameEntry *best = nullptr;
+    for (const auto &e : blame.byCategory) {
+        if (e.onPathTicks == 0)
+            continue;
+        if (best == nullptr || e.onPathTicks > best->onPathTicks)
+            best = &e;
+    }
+    return best != nullptr ? best->name : "-";
+}
+
+std::string
+renderRunReport(const RunReportInput &input)
+{
+    std::string out;
+    out += format("# Genie-Scope run report: %s\n\n",
+                  input.title.c_str());
+    if (!input.configLine.empty())
+        out += format("- config: `%s`\n", input.configLine.c_str());
+    out += "\n";
+    if (input.results != nullptr)
+        renderResults(out, *input.results);
+    if (input.blame != nullptr)
+        renderCriticalPath(out, *input.blame, input.dag,
+                           input.topSegments);
+    return out;
+}
+
+std::string
+renderSweepReport(const SweepReportInput &input)
+{
+    std::string out;
+    out += format("# Genie-Scope sweep report: %s\n\n",
+                  input.title.c_str());
+    if (input.points == nullptr || input.points->empty()) {
+        out += "No design points.\n";
+        return out;
+    }
+    const auto &points = *input.points;
+    auto frontier = paretoFrontier(points);
+    std::size_t best = edpOptimal(points);
+    out += format("- design points: %zu; Pareto-optimal "
+                  "(delay, power): %zu; EDP-optimal: #%zu\n",
+                  points.size(), frontier.size(), best);
+    if (!input.blameScopeNote.empty())
+        out += format("- %s\n", input.blameScopeNote.c_str());
+    out += "\n";
+
+    std::vector<bool> onFrontier(points.size(), false);
+    for (std::size_t i : frontier)
+        onFrontier[i] = true;
+    auto blameFor =
+        [&](std::size_t i) -> const BlameReport * {
+        auto it = std::lower_bound(
+            input.blames.begin(), input.blames.end(), i,
+            [](const IndexedBlame &b, std::size_t want) {
+                return b.first < want;
+            });
+        if (it == input.blames.end() || it->first != i)
+            return nullptr;
+        return &it->second;
+    };
+
+    bool withBlame = !input.blames.empty();
+    out += "| # | config | total_us | power_mw | edp | pareto |";
+    if (withBlame)
+        out += " top blame | on-path share | coverage |";
+    out += "\n|---:|---|---:|---:|---:|:---:|";
+    if (withBlame)
+        out += "---|---:|---:|";
+    out += "\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const auto &p = points[i];
+        out += format("| %zu | `%s` | %s | %s | %s | %s |", i,
+                      p.config.describe().c_str(),
+                      formatStatNumber(p.results.totalUs()).c_str(),
+                      formatStatNumber(p.results.avgPowerMw).c_str(),
+                      formatStatNumber(p.results.edp).c_str(),
+                      onFrontier[i] ? (i == best ? "EDP*" : "*")
+                                    : "");
+        if (withBlame) {
+            const BlameReport *b = blameFor(i);
+            if (b == nullptr) {
+                out += " - | - | - |";
+            } else {
+                Tick topTicks = 0;
+                std::string topCat = topBlameCategory(*b);
+                for (const auto &e : b->byCategory)
+                    topTicks = std::max(topTicks, e.onPathTicks);
+                out += format(
+                    " %s | %s | %s |", topCat.c_str(),
+                    pctStr(shareOf(topTicks, b->coveredTicks))
+                        .c_str(),
+                    pctStr(b->coverage).c_str());
+            }
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace genie

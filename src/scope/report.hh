@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic markdown rendering of Genie-Scope analyses: the
+ * single-run critical-path report and the sweep cross-run report.
+ *
+ * Output bytes are a pure function of simulated results — no wall
+ * clock, no MEPS, no host identifiers — so a report regenerated on
+ * any machine, at any thread count, compares byte-identical (and
+ * genie_diff / plain `cmp` can gate on it in CI).
+ */
+
+#ifndef GENIE_SCOPE_REPORT_HH
+#define GENIE_SCOPE_REPORT_HH
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/results.hh"
+#include "dse/sweep.hh"
+#include "scope/span_dag.hh"
+#include "sim/thread_safety.hh"
+
+namespace genie
+{
+
+/** Inputs for one run's report. Pointers may be null; sections for
+ * missing inputs are omitted. */
+struct RunReportInput GENIE_THREAD_LOCAL_OK
+{
+    /** Workload name (report title). */
+    std::string title;
+    /** SocConfig::describe() of the design point. */
+    std::string configLine;
+    const SocResults *results = nullptr;
+    const BlameReport *blame = nullptr;
+    /** Longest-segments table size. */
+    std::size_t topSegments = 12;
+    /** Span names for the segments table (dag that produced blame);
+     * null hides the table. */
+    const SpanDag *dag = nullptr;
+};
+
+/** Render the single-run report. */
+std::string renderRunReport(const RunReportInput &input);
+
+/** One sweep point's blame, keyed by index into the points vector. */
+using IndexedBlame = std::pair<std::size_t, BlameReport>;
+
+struct SweepReportInput GENIE_THREAD_LOCAL_OK
+{
+    std::string title;
+    const std::vector<DesignPoint> *points = nullptr;
+    /** Per-point blame (sparse; sorted by index). Empty = no blame
+     * columns. */
+    std::vector<IndexedBlame> blames;
+    /** Note rendered when blame was computed for a subset only. */
+    std::string blameScopeNote;
+};
+
+/** Render the cross-run sweep report with Pareto annotations. */
+std::string renderSweepReport(const SweepReportInput &input);
+
+/** "1.84x" for finite speedups, "inf" for the 0.0 sentinel. */
+std::string formatSpeedup(double whatIfSpeedup);
+
+/** The category with the largest on-path charge (ties: enum order);
+ * "-" when nothing was charged. */
+std::string topBlameCategory(const BlameReport &blame);
+
+} // namespace genie
+
+#endif // GENIE_SCOPE_REPORT_HH

@@ -1,0 +1,245 @@
+#include "span_dag.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <tuple>
+
+#include "sim/interval_set.hh"
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+SpanDag
+buildSpanDag(const Tracer &tracer)
+{
+    SpanDag dag;
+    auto views = tracer.spanViews();
+    dag.spans.reserve(views.size());
+    for (const auto &v : views) {
+        if (v.open)
+            continue;
+        ScopeSpan s;
+        s.id = v.id;
+        s.begin = v.begin;
+        s.end = v.end;
+        s.track = std::string(v.track);
+        s.name = std::string(v.name);
+        s.cat = v.cat;
+        dag.spans.push_back(std::move(s));
+        dag.endTick = std::max(dag.endTick, v.end);
+    }
+    dag.flowInto.assign(dag.spans.size(), 0);
+
+    // Spans arrive in record order, so ids are strictly increasing
+    // and a binary search maps id -> index.
+    auto indexOf = [&](TraceSpanId id) -> std::size_t {
+        auto it = std::lower_bound(
+            dag.spans.begin(), dag.spans.end(), id,
+            [](const ScopeSpan &s, TraceSpanId want) {
+                return s.id < want;
+            });
+        if (it == dag.spans.end() || it->id != id)
+            return dag.spans.size();
+        return static_cast<std::size_t>(it - dag.spans.begin());
+    };
+
+    for (const auto &f : tracer.flowLinks()) {
+        std::size_t to = indexOf(f.to);
+        std::size_t from = indexOf(f.from);
+        if (to >= dag.spans.size() || from >= dag.spans.size())
+            continue; // an endpoint was an open span; drop the edge
+        dag.flowInto[to] = f.from;
+        ++dag.flowCount;
+    }
+    return dag;
+}
+
+std::vector<CriticalSegment>
+criticalPath(const SpanDag &dag)
+{
+    std::vector<CriticalSegment> path;
+    const auto &spans = dag.spans;
+    if (spans.empty() || dag.endTick == 0)
+        return path;
+
+    // Lexicographic (end, begin, id) orders every tie-break below, so
+    // the walk is a pure function of the recorded spans.
+    auto key = [&](std::size_t i) {
+        return std::make_tuple(spans[i].end, spans[i].begin,
+                               spans[i].id);
+    };
+
+    // Non-empty spans sorted by (end, begin, id) for the inferred-
+    // dependence fallback: "what finished most recently before the
+    // frontier?"
+    std::vector<std::size_t> byEnd;
+    byEnd.reserve(spans.size());
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        if (spans[i].end > spans[i].begin)
+            byEnd.push_back(i);
+    }
+    std::sort(byEnd.begin(), byEnd.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return key(a) < key(b);
+              });
+    if (byEnd.empty())
+        return path;
+
+    auto indexOf = [&](TraceSpanId id) -> std::size_t {
+        auto it = std::lower_bound(
+            spans.begin(), spans.end(), id,
+            [](const ScopeSpan &s, TraceSpanId want) {
+                return s.id < want;
+            });
+        GENIE_ASSERT(it != spans.end() && it->id == id,
+                     "flow edge references unknown span %llu",
+                     (unsigned long long)id);
+        return static_cast<std::size_t>(it - spans.begin());
+    };
+
+    // Start from the latest-ending span: the one whose completion is
+    // the end of the run.
+    std::size_t cur = byEnd.back();
+    Tick frontier = dag.endTick;
+    bool viaFlow = false;
+
+    while (true) {
+        const ScopeSpan &s = spans[cur];
+        Tick segEnd = std::min(s.end, frontier);
+        Tick segBegin = std::min(s.begin, segEnd);
+        if (segEnd > segBegin)
+            path.push_back({cur, segBegin, segEnd, viaFlow});
+        frontier = std::min(frontier, s.begin);
+        if (frontier == 0)
+            break;
+
+        TraceSpanId pred = dag.flowInto[cur];
+        if (pred != 0) {
+            // Recorded causality. Flow edges satisfy from < to, so
+            // ids strictly decrease along any chain (termination).
+            std::size_t next = indexOf(pred);
+            GENIE_ASSERT(spans[next].id < s.id,
+                         "flow edge is not a DAG edge");
+            cur = next;
+            viaFlow = true;
+            continue;
+        }
+
+        // No recorded edge: infer a handoff from the latest non-empty
+        // span that finished at or before the frontier. Its begin is
+        // strictly below its end <= frontier, so the frontier strictly
+        // decreases (termination).
+        auto it = std::upper_bound(
+            byEnd.begin(), byEnd.end(), frontier,
+            [&](Tick want, std::size_t i) {
+                return want < spans[i].end;
+            });
+        if (it == byEnd.begin())
+            break; // nothing ended before the frontier: done
+        cur = *(it - 1);
+        GENIE_ASSERT(spans[cur].begin < frontier,
+                     "inferred hop made no progress");
+        viaFlow = false;
+    }
+    return path;
+}
+
+namespace
+{
+
+double
+whatIf(Tick endTick, Tick onPath)
+{
+    if (onPath == 0)
+        return 1.0;
+    if (onPath >= endTick)
+        return 0.0; // unbounded; rendered as "inf"
+    return static_cast<double>(endTick) /
+           static_cast<double>(endTick - onPath);
+}
+
+} // namespace
+
+BlameReport
+blame(const SpanDag &dag)
+{
+    BlameReport r;
+    r.endTick = dag.endTick;
+    r.path = criticalPath(dag);
+
+    std::array<Tick, numTraceCategories> catOnPath{};
+    std::array<std::uint64_t, numTraceCategories> catSegments{};
+    std::array<IntervalSet, numTraceCategories> catAll{};
+    // std::map keeps tracks in name order without a separate sort.
+    std::map<std::string, BlameEntry> tracks;
+    std::map<std::string, IntervalSet> trackAll;
+
+    for (const auto &s : dag.spans) {
+        catAll[static_cast<std::size_t>(s.cat)].add(s.begin, s.end);
+        trackAll[s.track].add(s.begin, s.end);
+    }
+
+    bool first = true;
+    for (const auto &seg : r.path) {
+        const ScopeSpan &s = dag.spans[seg.spanIndex];
+        Tick len = seg.end - seg.begin;
+        r.coveredTicks += len;
+        catOnPath[static_cast<std::size_t>(s.cat)] += len;
+        ++catSegments[static_cast<std::size_t>(s.cat)];
+        auto &t = tracks[s.track];
+        t.onPathTicks += len;
+        ++t.segments;
+        if (!first) {
+            if (seg.viaFlow)
+                ++r.flowHops;
+            else
+                ++r.inferredHops;
+        }
+        first = false;
+    }
+    r.coverage = r.endTick > 0
+                     ? static_cast<double>(r.coveredTicks) /
+                           static_cast<double>(r.endTick)
+                     : 0.0;
+
+    for (std::size_t c = 0; c < numTraceCategories; ++c) {
+        BlameEntry e;
+        e.name = traceCategoryName(static_cast<TraceCategory>(c));
+        e.onPathTicks = catOnPath[c];
+        e.totalTicks = catAll[c].measure();
+        e.overlappedTicks = e.totalTicks > e.onPathTicks
+                                ? e.totalTicks - e.onPathTicks
+                                : 0;
+        e.whatIfSpeedup = whatIf(r.endTick, e.onPathTicks);
+        e.segments = catSegments[c];
+        r.byCategory.push_back(std::move(e));
+    }
+
+    for (auto &[name, entry] : tracks) {
+        entry.name = name;
+        entry.totalTicks = trackAll[name].measure();
+        entry.overlappedTicks =
+            entry.totalTicks > entry.onPathTicks
+                ? entry.totalTicks - entry.onPathTicks
+                : 0;
+        entry.whatIfSpeedup = whatIf(r.endTick, entry.onPathTicks);
+        r.byTrack.push_back(entry);
+    }
+    // Components: biggest on-path contribution first; stable name
+    // order among equals (std::map already yields name order).
+    std::stable_sort(r.byTrack.begin(), r.byTrack.end(),
+                     [](const BlameEntry &a, const BlameEntry &b) {
+                         return a.onPathTicks > b.onPathTicks;
+                     });
+    return r;
+}
+
+BlameReport
+blameRun(const Tracer &tracer)
+{
+    return blame(buildSpanDag(tracer));
+}
+
+} // namespace genie

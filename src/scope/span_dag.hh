@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Genie-Scope: the weighted span DAG and critical-path attribution.
+ *
+ * The Tracer records *what* happened (spans) and *why* (flow links:
+ * span A's component scheduled the event that recorded span B). This
+ * module turns that stream into an explanation of the run:
+ *
+ *  - buildSpanDag() indexes the spans and flows of one traced run.
+ *  - criticalPath() walks backwards from the latest-ending span,
+ *    charging wall-clock segments to the span active at each instant
+ *    and hopping to its causal predecessor: the recorded flow edge
+ *    when one exists, otherwise the latest-ending span that finished
+ *    at or before the charge frontier (an *inferred* dependence,
+ *    flagged as such — typically a resource handoff the flow
+ *    instrumentation cannot see, e.g. "the bus freed up").
+ *  - blame() folds the charged segments into per-category and
+ *    per-component (track) totals: ticks on the critical path, ticks
+ *    of total activity, ticks overlapped (hidden behind other work),
+ *    and the what-if lower-bound speedup from deleting the category's
+ *    on-path time entirely (Amdahl on the charged segments).
+ *
+ * Everything here is a pure function of the recorded trace: no clocks,
+ * no pointers ordering, no floating accumulation across unordered
+ * sets. Two identical runs — or the same run traced on different
+ * sweep threads — blame byte-identically.
+ */
+
+#ifndef GENIE_SCOPE_SPAN_DAG_HH
+#define GENIE_SCOPE_SPAN_DAG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/thread_safety.hh"
+#include "sim/types.hh"
+#include "trace/tracer.hh"
+
+namespace genie
+{
+
+/** One span in the analysis DAG (strings copied out of the Tracer so
+ * a SpanDag outlives the Soc that produced it). */
+struct ScopeSpan GENIE_THREAD_LOCAL_OK
+{
+    TraceSpanId id = 0;
+    Tick begin = 0;
+    Tick end = 0;
+    std::string track;
+    std::string name;
+    TraceCategory cat = TraceCategory::Flush;
+};
+
+/** The indexed spans+flows of one run. */
+struct SpanDag GENIE_THREAD_LOCAL_OK
+{
+    /** Closed spans, ordered by id (record order). */
+    std::vector<ScopeSpan> spans;
+    /** flowInto[i] = id of the causal predecessor of spans[i], or 0
+     * when the run recorded no flow edge into it. */
+    std::vector<TraceSpanId> flowInto;
+    /** Latest span end tick (0 for an empty trace). */
+    Tick endTick = 0;
+    /** Recorded flow edges that join two closed spans. */
+    std::size_t flowCount = 0;
+};
+
+/** Snapshot the spans and flows of @p tracer. Open spans are dropped
+ * (they have no end to charge); flows into or out of dropped spans
+ * are dropped with them. */
+SpanDag buildSpanDag(const Tracer &tracer);
+
+/** One charged interval of the critical path. */
+struct CriticalSegment GENIE_THREAD_LOCAL_OK
+{
+    /** Index into SpanDag::spans of the span charged. */
+    std::size_t spanIndex = 0;
+    /** Charged interval [begin, end): the part of the span's duration
+     * not already explained by later path segments. */
+    Tick begin = 0;
+    Tick end = 0;
+    /** True when the hop *into* this span followed a recorded flow
+     * edge; false for the walk root and inferred dependences. */
+    bool viaFlow = false;
+};
+
+/**
+ * The critical path of @p dag, as charged segments ordered from the
+ * end of the run backwards to (or toward) tick 0. Deterministic: all
+ * tie-breaks are (end, begin, id) lexicographic.
+ */
+std::vector<CriticalSegment> criticalPath(const SpanDag &dag);
+
+/** Attribution totals for one category or one component track. */
+struct BlameEntry GENIE_THREAD_LOCAL_OK
+{
+    std::string name;
+    /** Ticks of critical-path segments charged here. */
+    Tick onPathTicks = 0;
+    /** Union of all span intervals here (double counting removed). */
+    Tick totalTicks = 0;
+    /** totalTicks not on the critical path: activity hidden behind
+     * other work. High overlap = already well pipelined. */
+    Tick overlappedTicks = 0;
+    /** Lower bound on whole-run speedup if the on-path ticks charged
+     * here became free: endTick / (endTick - onPathTicks). Infinity
+     * (reported as 0) cannot occur while coverage < 100%. */
+    double whatIfSpeedup = 1.0;
+    /** Number of critical-path segments charged here. */
+    std::uint64_t segments = 0;
+};
+
+/** The full attribution report for one run. */
+struct BlameReport GENIE_THREAD_LOCAL_OK
+{
+    Tick endTick = 0;
+    /** Ticks explained by the critical path (disjoint segments). */
+    Tick coveredTicks = 0;
+    /** coveredTicks / endTick (0 when endTick is 0). */
+    double coverage = 0.0;
+    /** Path hops that followed a recorded flow edge. */
+    std::uint64_t flowHops = 0;
+    /** Path hops that fell back to latest-end inference. */
+    std::uint64_t inferredHops = 0;
+    std::vector<CriticalSegment> path;
+    /** Per-category entries, every category present, enum order. */
+    std::vector<BlameEntry> byCategory;
+    /** Per-track entries, descending onPathTicks then name. */
+    std::vector<BlameEntry> byTrack;
+};
+
+/** Run criticalPath() on @p dag and fold the attribution totals. */
+BlameReport blame(const SpanDag &dag);
+
+/** Convenience: buildSpanDag + blame in one call. */
+BlameReport blameRun(const Tracer &tracer);
+
+} // namespace genie
+
+#endif // GENIE_SCOPE_SPAN_DAG_HH

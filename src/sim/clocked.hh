@@ -89,13 +89,15 @@ class Clocked
     const EventQueue &eventQueue() const { return eventq; }
 
     /** Schedule @p action on the clock edge @p cycles ahead. @p kind
-     * tags the event for profiler attribution. */
+     * tags the event for profiler attribution. Flow-aware: Clocked
+     * components are exactly the instrumented ones, so their events
+     * carry the ambient span cursor as a causal origin. */
     EventId
     scheduleCycles(Cycles cycles, std::function<void()> action,
                    const char *kind = nullptr)
     {
-        return eventq.schedule(clockEdge(cycles), std::move(action),
-                               kind);
+        return eventq.scheduleFlow(clockEdge(cycles),
+                                   std::move(action), kind);
     }
 
   protected:

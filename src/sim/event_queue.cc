@@ -50,11 +50,18 @@ EventId
 EventQueue::schedule(Tick when, std::function<void()> action,
                      const char *kind)
 {
+    return scheduleImpl(when, std::move(action), kind, 0);
+}
+
+EventId
+EventQueue::scheduleImpl(Tick when, std::function<void()> action,
+                         const char *kind, std::uint64_t flowFrom)
+{
     if (when < _curTick)
         panic("scheduling event in the past (%llu < %llu)",
               (unsigned long long)when, (unsigned long long)_curTick);
     auto *e = new Entry{when, nextSeq++, nextId++, std::move(action),
-                        kind, false};
+                        kind, flowFrom, false};
     ++entriesAllocated;
     heap.push(e);
     liveIndex.emplace(e->id, e);
@@ -111,7 +118,17 @@ EventQueue::step()
     std::function<void()> action = std::move(e->action);
     const char *kind = e->kind;
     Tick when = e->when;
+    std::uint64_t flowFrom = e->flowFrom;
     freeEntry(e);
+    if (_tracer != nullptr) {
+        // Hand the captured origin to the firing action: the first
+        // span it records closes the flow edge, and inheriting the
+        // origin as the cursor keeps causality threaded through
+        // span-less intermediary events (e.g. a chain of cpu.step
+        // events between a DMA completion and the next ioctl).
+        _pendingOrigin = flowFrom;
+        _flowCursor = flowFrom;
+    }
     if (_profiler != nullptr) {
         _profiler->beginEvent(when, kind);
         action();

@@ -101,6 +101,35 @@ class EventQueue
         return schedule(_curTick + delta, std::move(action), kind);
     }
 
+    /**
+     * Flow-aware variant of schedule() (Genie-Scope): the event
+     * additionally captures the ambient flow cursor — the id of the
+     * span most recently recorded in the currently executing event —
+     * as its causal origin. When the event fires, the origin becomes
+     * the pending flow source, and the first span the fired action
+     * records closes a flowFrom edge back to it (trace/tracer.hh).
+     * With tracing disabled the cursor is permanently 0 and this is
+     * schedule() plus one integer copy; recording is strictly
+     * passive either way — traced results stay byte-identical to
+     * untraced.
+     */
+    EventId
+    scheduleFlow(Tick when, std::function<void()> action,
+                 const char *kind = nullptr)
+    {
+        return scheduleImpl(when, std::move(action), kind,
+                            _flowCursor);
+    }
+
+    /** Flow-aware variant of scheduleIn(). */
+    EventId
+    scheduleFlowIn(Tick delta, std::function<void()> action,
+                   const char *kind = nullptr)
+    {
+        return scheduleImpl(_curTick + delta, std::move(action), kind,
+                            _flowCursor);
+    }
+
     /** Cancel a previously scheduled event. Safe on fired events. */
     void deschedule(EventId id);
 
@@ -188,6 +217,34 @@ class EventQueue
     /** The attached profiler, or null. */
     EventProfiler *profiler() const { return _profiler; }
 
+    // ---- Ambient flow cursor (Genie-Scope causal links) ----
+    //
+    // The queue carries two span ids that thread causality between
+    // events without the kernel depending on the trace library: the
+    // *cursor* (span most recently recorded while the current event
+    // executes) and the *pending origin* (the firing event's captured
+    // flowFrom, consumed by the first span the action records). Both
+    // are written only by the attached Tracer and by step(); they are
+    // observability state, so the setters are const like the lazily
+    // reaped heap. With no Tracer attached both stay 0 forever.
+
+    /** Span id the next scheduleFlow() call records as its origin. */
+    std::uint64_t flowCursor() const { return _flowCursor; }
+
+    /** Advance the cursor: @p spanId was just recorded in the
+     * currently executing event (Tracer-only call). */
+    void setFlowCursor(std::uint64_t spanId) const
+    {
+        _flowCursor = spanId;
+    }
+
+    /** The firing event's captured origin, or 0 once consumed. */
+    std::uint64_t pendingFlowOrigin() const { return _pendingOrigin; }
+
+    /** Consume the pending origin after recording its flow edge
+     * (Tracer-only call). */
+    void consumeFlowOrigin() const { _pendingOrigin = 0; }
+
     /**
      * Invariant check: panics if any live (scheduled, uncancelled,
      * unfired) event remains. Call after run() on a flow that must
@@ -204,8 +261,13 @@ class EventQueue
         EventId id;
         std::function<void()> action;
         const char *kind = nullptr; ///< profiler attribution tag
+        /** Causal origin span captured by scheduleFlow(); 0 = none. */
+        std::uint64_t flowFrom = 0;
         bool cancelled = false;
     };
+
+    EventId scheduleImpl(Tick when, std::function<void()> action,
+                         const char *kind, std::uint64_t flowFrom);
 
     struct EntryCompare
     {
@@ -236,6 +298,10 @@ class EventQueue
     // Mutable alongside the heap: lazy reaping of cancelled entries
     // happens from const queries (nextTick) and must stay accounted.
     mutable std::size_t entriesAllocated = 0;
+    // Ambient flow state (see the accessor block above): written by
+    // the attached Tracer through const handles, hence mutable.
+    mutable std::uint64_t _flowCursor = 0;
+    mutable std::uint64_t _pendingOrigin = 0;
 
     // Heap of owning pointers; cancellation marks the entry and the heap
     // lazily discards it when it reaches the top.

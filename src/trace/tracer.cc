@@ -124,6 +124,20 @@ Tracer::Tracer(const EventQueue &eq, TraceCategoryMask m)
     strings.emplace_back("");
 }
 
+void
+Tracer::noteSpanRecorded(TraceSpanId id)
+{
+    // First span recorded in a flow-scheduled event closes the causal
+    // edge back to the span that scheduled it; later spans in the
+    // same event chain off the cursor of whoever schedules next.
+    std::uint64_t origin = eventq.pendingFlowOrigin();
+    if (origin != 0 && origin != id) {
+        flows.push_back({origin, id});
+        eventq.consumeFlowOrigin();
+    }
+    eventq.setFlowCursor(id);
+}
+
 std::uint32_t
 Tracer::intern(std::string_view s)
 {
@@ -153,7 +167,9 @@ Tracer::begin(TraceCategory c, std::string_view track,
     records.push_back(r);
     ++openCount;
     // Ids are 1-based record indices so 0 stays the invalid handle.
-    return static_cast<TraceSpanId>(records.size());
+    auto id = static_cast<TraceSpanId>(records.size());
+    noteSpanRecorded(id);
+    return id;
 }
 
 void
@@ -191,6 +207,7 @@ Tracer::complete(TraceCategory c, std::string_view track,
     r.kind = Kind::Span;
     r.open = false;
     records.push_back(r);
+    noteSpanRecorded(static_cast<TraceSpanId>(records.size()));
 }
 
 void
@@ -282,6 +299,28 @@ Tracer::durations(TraceCategory c, std::string_view name) const
     return d;
 }
 
+std::vector<SpanView>
+Tracer::spanViews() const
+{
+    std::vector<SpanView> out;
+    out.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const Record &r = records[i];
+        if (r.kind != Kind::Span)
+            continue;
+        SpanView v;
+        v.id = static_cast<TraceSpanId>(i + 1);
+        v.begin = r.begin;
+        v.end = r.end;
+        v.track = strings[r.track];
+        v.name = strings[r.name];
+        v.cat = r.cat;
+        v.open = r.open;
+        out.push_back(v);
+    }
+    return out;
+}
+
 std::uint64_t
 Tracer::instantCount(TraceCategory c, std::string_view name) const
 {
@@ -355,10 +394,35 @@ Tracer::writeChromeJson(std::ostream &os) const
                           ticksToMicros(r.end - r.begin).c_str());
         }
     }
+    // Perfetto flow events: an "s" (start) at the origin span and a
+    // matching "f" (finish, binding to the enclosing slice) at the
+    // destination, paired by flow id. The "s" is stamped at the
+    // origin's end tick — the latest instant inside its slice, and
+    // the closest renderable moment to the schedule call.
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+        const FlowLink &fl = flows[i];
+        const Record &from =
+            records[static_cast<std::size_t>(fl.from - 1)];
+        const Record &to = records[static_cast<std::size_t>(fl.to - 1)];
+        out += format(",\n{\"ph\":\"s\",\"pid\":0,\"tid\":%u,"
+                      "\"cat\":\"%s\",\"name\":\"flow\",\"id\":%zu,"
+                      "\"ts\":%s}",
+                      trackIds[from.track],
+                      traceCategoryName(from.cat), i + 1,
+                      ticksToMicros(from.open ? from.begin : from.end)
+                          .c_str());
+        out += format(",\n{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,"
+                      "\"tid\":%u,\"cat\":\"%s\",\"name\":\"flow\","
+                      "\"id\":%zu,\"ts\":%s}",
+                      trackIds[to.track], traceCategoryName(to.cat),
+                      i + 1, ticksToMicros(to.begin).c_str());
+    }
     out += format("\n],\"metadata\":{\"tickUnit\":\"ps\","
-                  "\"categories\":\"%s\",\"events\":%llu}}\n",
+                  "\"categories\":\"%s\",\"events\":%llu,"
+                  "\"flows\":%llu}}\n",
                   traceCategoriesToString(mask).c_str(),
-                  static_cast<unsigned long long>(records.size()));
+                  static_cast<unsigned long long>(records.size()),
+                  static_cast<unsigned long long>(flows.size()));
     os << out;
 }
 

@@ -109,6 +109,35 @@ struct TraceConfig GENIE_THREAD_LOCAL_OK
 using TraceSpanId = std::uint64_t;
 constexpr TraceSpanId invalidTraceSpan = 0;
 
+/**
+ * One causal edge between two recorded spans (Genie-Scope): the
+ * component that recorded span `from` scheduled — via the flow-aware
+ * scheduleFlow()/scheduleFlowIn()/scheduleCycles() helpers — the
+ * event in which span `to` was recorded. Since `from` is always
+ * recorded before `to`, from < to and the flow set forms a DAG over
+ * span ids by construction.
+ */
+struct FlowLink GENIE_THREAD_LOCAL_OK
+{
+    TraceSpanId from = 0;
+    TraceSpanId to = 0;
+};
+
+/**
+ * Read-only view of one recorded span, for analysis consumers
+ * (src/scope). `id` is the 1-based record id flows refer to.
+ */
+struct SpanView GENIE_THREAD_LOCAL_OK
+{
+    TraceSpanId id = 0;
+    Tick begin = 0;
+    Tick end = 0;
+    std::string_view track;
+    std::string_view name;
+    TraceCategory cat = TraceCategory::Flush;
+    bool open = false;
+};
+
 /** Span-duration summary for one category (or one span name). */
 struct TraceDurations GENIE_THREAD_LOCAL_OK
 {
@@ -199,6 +228,16 @@ class Tracer GENIE_THREAD_LOCAL_OK
     std::uint64_t instantCount(TraceCategory c,
                                std::string_view name) const;
 
+    /**
+     * Every recorded span (instants excluded) as analysis views, in
+     * record order. The string_views alias the tracer's interned
+     * pool and stay valid for its lifetime.
+     */
+    std::vector<SpanView> spanViews() const;
+
+    /** Causal edges between spans, in recording order. */
+    const std::vector<FlowLink> &flowLinks() const { return flows; }
+
     // ---- Sinks ----
 
     /** Serialize as Chrome trace-event JSON (Perfetto-compatible). */
@@ -227,10 +266,16 @@ class Tracer GENIE_THREAD_LOCAL_OK
 
     std::uint32_t intern(std::string_view s);
 
+    /** Close a pending flow edge into span @p id (if the executing
+     * event carries a consumable origin) and advance the ambient
+     * cursor. Called by every span-recording entry point. */
+    void noteSpanRecorded(TraceSpanId id);
+
     const EventQueue &eventq;
     TraceCategoryMask mask;
 
     std::vector<Record> records;
+    std::vector<FlowLink> flows;
     /** Interned track/name strings; records index into this pool. */
     std::vector<std::string> strings;
     std::unordered_map<std::string, std::uint32_t> stringIndex;

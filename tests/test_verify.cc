@@ -720,6 +720,94 @@ TEST(LintEventAffinity, RendezvousSettersNeedAnOwningContext)
                     .empty());
 }
 
+TEST(LintEventAffinity, FlowVariantsNeedTagsAndLicenseDeschedule)
+{
+    // scheduleFlow/scheduleFlowIn are schedule sites like any other:
+    // untagged ones are flagged, tagged ones license deschedule.
+    auto bad = findingsFor(
+        {{"src/mem/port.cc",
+          "namespace genie {\n"
+          "void Port::push() { eq.scheduleFlow(when, action); }\n"
+          "} // namespace genie\n"}},
+        "event-affinity");
+    ASSERT_EQ(bad.size(), 1u);
+    EXPECT_NE(bad[0].message.find("un-tagged"), std::string::npos);
+
+    const char *good =
+        "namespace genie {\n"
+        "void Port::push() {\n"
+        "    eq.scheduleFlowIn(delay, action, \"mem.port\");\n"
+        "    eq.deschedule(pending);\n"
+        "}\n"
+        "} // namespace genie\n";
+    EXPECT_TRUE(
+        findingsFor({{"src/mem/port.cc", good}}, "event-affinity")
+            .empty());
+}
+
+TEST(LintFlowSite, TracedTuMustUseFlowScheduling)
+{
+    // A TU that records spans (calls tracerFor) dropping back to a
+    // plain schedule loses the causal edge; the flow variants (and
+    // Clocked::scheduleCycles) are the sanctioned paths.
+    const char *offender =
+        "namespace genie {\n"
+        "void Unit::go() {\n"
+        "    auto span = eq.tracerFor(this);\n"
+        "    eq.scheduleIn(delay, action, \"accel.unit\");\n"
+        "}\n"
+        "} // namespace genie\n";
+    auto fs =
+        findingsFor({{"src/accel/unit.cc", offender}}, "flow-site");
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].line, 4);
+    EXPECT_NE(fs[0].message.find("scheduleFlow"), std::string::npos);
+
+    const char *fixed =
+        "namespace genie {\n"
+        "void Unit::go() {\n"
+        "    auto span = eq.tracerFor(this);\n"
+        "    eq.scheduleFlowIn(delay, action, \"accel.unit\");\n"
+        "    scheduleCycles(1, tick, \"accel.unit\");\n"
+        "}\n"
+        "} // namespace genie\n";
+    EXPECT_TRUE(
+        findingsFor({{"src/accel/unit.cc", fixed}}, "flow-site")
+            .empty());
+}
+
+TEST(LintFlowSite, UntracedTusAndTheMechanismAreExempt)
+{
+    // No tracerFor: plain scheduling is fine (the event-affinity tag
+    // rule still applies separately).
+    const char *untraced =
+        "namespace genie {\n"
+        "void Watchdog::arm() {\n"
+        "    eq.scheduleIn(period, check, \"fault.watchdog\");\n"
+        "}\n"
+        "} // namespace genie\n";
+    EXPECT_TRUE(
+        findingsFor({{"src/fault/watchdog.cc", untraced}}, "flow-site")
+            .empty());
+
+    // src/sim (the mechanism) and src/trace (the Tracer) are exempt
+    // even when tracerFor appears in the token stream.
+    const char *mechanism =
+        "namespace genie {\n"
+        "void EventQueue::helper() {\n"
+        "    tracerFor(this);\n"
+        "    schedule(when, action, \"sim.helper\");\n"
+        "}\n"
+        "} // namespace genie\n";
+    EXPECT_TRUE(
+        findingsFor({{"src/sim/event_queue.cc", mechanism}},
+                    "flow-site")
+            .empty());
+    EXPECT_TRUE(
+        findingsFor({{"src/trace/tracer.cc", mechanism}}, "flow-site")
+            .empty());
+}
+
 TEST(LintAmbient, FlagsEnvLocaleAndPointerKeyedContainers)
 {
     auto fs = findingsFor(

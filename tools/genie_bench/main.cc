@@ -19,6 +19,7 @@
  * tracks against the checked-in baseline.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -33,6 +34,8 @@
 #include "dse/sweep_engine.hh"
 #include "metrics/export.hh"
 #include "metrics/profiler.hh"
+#include "scope/report.hh"
+#include "scope/span_dag.hh"
 #include "workloads/workload.hh"
 
 namespace
@@ -66,6 +69,16 @@ const Scenario scenarios[] = {
      "mem=dma lanes=8 partitions=8 pipelined=1", false},
 };
 
+/** Critical-path attribution of the scenario (from a separate traced
+ * run, so the timed run stays tracer-free). All simulated-time
+ * quantities: deterministic across machines. */
+struct BenchBlame
+{
+    std::string topCategory;  ///< largest on-path category ("-" none)
+    double topShare = 0.0;    ///< its share of covered ticks
+    double coverage = 0.0;    ///< covered / end tick
+};
+
 struct BenchResult
 {
     const Scenario *scenario = nullptr;
@@ -73,6 +86,7 @@ struct BenchResult
     std::uint64_t events = 0;
     double meps = 0.0;
     SocResults sim;
+    BenchBlame blame;
 };
 
 std::vector<std::string>
@@ -111,6 +125,26 @@ runScenario(const Scenario &s)
                  ? static_cast<double>(r.events) / (r.wallMs * 1e3)
                  : 0.0;
     r.sim = results;
+
+    // Blame from a second, traced run: attaching the tracer to the
+    // timed run would tax the MEPS numbers the harness exists to
+    // track. Genie-Trace passivity keeps both runs byte-identical in
+    // simulated results.
+    SocConfig tracedConfig = config;
+    tracedConfig.tracing.enabled = true;
+    tracedConfig.tracing.categories = allTraceCategories;
+    Soc tracedSoc(tracedConfig, out.trace, dddg);
+    tracedSoc.run();
+    BlameReport b = blameRun(*tracedSoc.tracer());
+    r.blame.topCategory = topBlameCategory(b);
+    r.blame.coverage = b.coverage;
+    Tick topTicks = 0;
+    for (const auto &e : b.byCategory)
+        topTicks = std::max(topTicks, e.onPathTicks);
+    r.blame.topShare =
+        b.coveredTicks > 0 ? static_cast<double>(topTicks) /
+                                 static_cast<double>(b.coveredTicks)
+                           : 0.0;
     return r;
 }
 
@@ -197,7 +231,11 @@ benchJson(const std::vector<BenchResult> &results,
         j += format("\"dma_bytes\": %llu, ",
                     (unsigned long long)r.sim.dmaBytes);
         j += format("\"cache_miss_rate\": %.4f", r.sim.cacheMissRate);
-        j += "}}";
+        j += "},\n      ";
+        j += format("\"blame\": {\"top_category\": \"%s\", "
+                    "\"top_share\": %.4f, \"coverage\": %.4f}}",
+                    r.blame.topCategory.c_str(), r.blame.topShare,
+                    r.blame.coverage);
         j += i + 1 < results.size() ? ",\n" : "\n";
     }
     j += "  ],\n";
@@ -285,6 +323,11 @@ main(int argc, char **argv)
                         "sim %10.2f us\n",
                         r.wallMs, (unsigned long long)r.events,
                         r.meps, r.sim.totalUs());
+            std::printf("  blame: %s (%.1f%% of path, coverage "
+                        "%.1f%%)\n",
+                        r.blame.topCategory.c_str(),
+                        r.blame.topShare * 100.0,
+                        r.blame.coverage * 100.0);
             results.push_back(r);
         }
         std::printf("bench %-20s reduced fig6+fig8 DMA spaces\n",

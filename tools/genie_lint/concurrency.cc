@@ -270,7 +270,8 @@ checkEventAffinity(const DeclIndex &index, std::vector<Finding> &out)
         for (std::size_t i = 0; i < toks.size(); ++i) {
             const std::string &t = toks[i].text;
             if ((t == "schedule" || t == "scheduleIn" ||
-                 t == "scheduleAt") &&
+                 t == "scheduleAt" || t == "scheduleFlow" ||
+                 t == "scheduleFlowIn") &&
                 isMemberCall(toks, i)) {
                 // A kind-tagged call has at least three arguments:
                 // tick, action, kind. (A stripped string-literal kind
@@ -336,6 +337,60 @@ checkEventAffinity(const DeclIndex &index, std::vector<Finding> &out)
                      "kind-tagged schedule site: a component may only "
                      "cancel events it scheduled itself (queue "
                      "affinity)"});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// flow-site
+// ---------------------------------------------------------------- //
+
+/**
+ * A translation unit that records spans (it calls tracerFor) must
+ * schedule follow-on work through the flow-aware variants —
+ * scheduleFlow()/scheduleFlowIn()/scheduleCycles() — so the event
+ * queue captures each event's causal origin. A plain schedule()
+ * inside a traced TU silently drops the flow edge: the span still
+ * renders, but critical-path attribution sees a hole and falls back
+ * to an inferred hop. src/sim (the mechanism itself) and src/trace
+ * (the Tracer) are exempt.
+ */
+void
+checkFlowSite(const DeclIndex &index, std::vector<Finding> &out)
+{
+    for (const auto &path : index.filePaths()) {
+        if (!startsWith(path, "src/") ||
+            startsWith(path, "src/sim/") ||
+            startsWith(path, "src/trace/"))
+            continue;
+        const SourceFile *sf = index.file(path);
+        const auto &toks = sf->tokens;
+
+        bool traced = false;
+        for (const auto &tok : toks) {
+            if (tok.text == "tracerFor") {
+                traced = true;
+                break;
+            }
+        }
+        if (!traced)
+            continue;
+
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const std::string &t = toks[i].text;
+            if ((t == "schedule" || t == "scheduleIn" ||
+                 t == "scheduleAt") &&
+                isMemberCall(toks, i)) {
+                out.push_back(
+                    {"flow-site", path, toks[i].line,
+                     "plain " + t + "() in a traced translation "
+                     "unit (it calls tracerFor): components that "
+                     "record spans must schedule through "
+                     "scheduleFlow()/scheduleFlowIn()/"
+                     "scheduleCycles() so the causal origin of the "
+                     "event is captured and critical-path "
+                     "attribution stays complete"});
             }
         }
     }
@@ -425,6 +480,7 @@ analyzeConcurrency(const DeclIndex &index)
     checkSharedState(index, out);
     checkGuardedBy(index, out);
     checkEventAffinity(index, out);
+    checkFlowSite(index, out);
     checkAmbient(index, out);
     std::stable_sort(out.begin(), out.end(),
                      [](const Finding &a, const Finding &b) {
