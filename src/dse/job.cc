@@ -1,0 +1,122 @@
+#include "job.hh"
+
+#include "accel/dddg.hh"
+#include "core/config_parse.hh"
+#include "dse/sweep_engine.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping; descriptor fields are plain ASCII
+ * (workload names, `key=value` pairs, filter specs). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<SocConfig>
+enumerateSpace(const std::string &space, const SocConfig &base)
+{
+    if (space == "single")
+        return {base};
+    if (space == "isolated")
+        return DesignSpace::isolated(base);
+    if (space == "dma")
+        return DesignSpace::dma(base);
+    if (space == "fig6" || space == "dma-options")
+        return DesignSpace::dmaOptions(base);
+    if (space == "cache")
+        return DesignSpace::cache(base);
+    if (space == "fig8") {
+        auto configs = DesignSpace::dma(base);
+        auto cacheConfigs = DesignSpace::cache(base);
+        configs.insert(configs.end(), cacheConfigs.begin(),
+                       cacheConfigs.end());
+        return configs;
+    }
+    if (space == "acp")
+        return DesignSpace::acp(base);
+    if (space == "iface")
+        return DesignSpace::iface(base);
+    fatal("unknown space '%s' "
+          "(single|isolated|dma|fig6|cache|fig8|acp|iface)",
+          space.c_str());
+}
+
+std::vector<SocConfig>
+jobConfigs(const JobDescriptor &job)
+{
+    SocConfig base = parseConfig(job.config);
+    auto configs = enumerateSpace(job.space, base);
+    if (!job.filter.empty()) {
+        configs =
+            filterConfigs(configs, SpaceFilter::parse(job.filter));
+    }
+    if (configs.empty())
+        fatal("job %s: the filter rejected every design point",
+              job.id.empty() ? describeJob(job).c_str()
+                             : job.id.c_str());
+    return configs;
+}
+
+std::string
+describeJob(const JobDescriptor &job)
+{
+    std::string s = job.workload + " space=" + job.space;
+    if (!job.filter.empty())
+        s += " filter=" + job.filter;
+    for (const auto &opt : job.config)
+        s += " " + opt;
+    return s;
+}
+
+std::string
+jobJsonLine(const JobDescriptor &job)
+{
+    std::string s = "{\"schema\": \"genie-serve-job-1\"";
+    if (!job.id.empty())
+        s += format(", \"id\": \"%s\"", jsonEscape(job.id).c_str());
+    s += format(", \"workload\": \"%s\", \"space\": \"%s\"",
+                jsonEscape(job.workload).c_str(),
+                jsonEscape(job.space).c_str());
+    if (!job.filter.empty()) {
+        s += format(", \"filter\": \"%s\"",
+                    jsonEscape(job.filter).c_str());
+    }
+    if (!job.config.empty()) {
+        s += ", \"config\": [";
+        for (std::size_t i = 0; i < job.config.size(); ++i) {
+            s += format("%s\"%s\"", i ? ", " : "",
+                        jsonEscape(job.config[i]).c_str());
+        }
+        s += "]";
+    }
+    s += format(", \"threads\": %u}\n", job.threads);
+    return s;
+}
+
+std::vector<DesignPoint>
+runJob(const JobDescriptor &job, SweepEngine &engine)
+{
+    auto built = makeWorkload(job.workload)->build();
+    Dddg dddg(built.trace);
+    auto configs = jobConfigs(job);
+    return engine.run(configs, built.trace, dddg);
+}
+
+} // namespace genie

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * JobDescriptor: the one job abstraction shared by every way of
+ * running simulations — the genie_sweep CLI, the genie_serve daemon's
+ * submission protocol, and the spool files its worker subprocesses
+ * are handed.
+ *
+ * A job names a workload, a design space (or "single" for one point),
+ * an optional axis filter, and the base configuration the space is
+ * enumerated around. Everything downstream — enumeration order,
+ * canonical keys, results serialization — is derived from the
+ * descriptor by the same code regardless of who submitted it, which
+ * is what makes a daemon-served sweep byte-identical to a plain
+ * genie_sweep of the same space (the serve-smoke CI contract).
+ *
+ * The descriptor serializes to one JSON line (jobJsonLine) used both
+ * as the `genie-serve-1` submit payload and as the worker spool file
+ * format; parsing lives in serve/protocol (it needs a JSON reader).
+ */
+
+#ifndef GENIE_DSE_JOB_HH
+#define GENIE_DSE_JOB_HH
+
+#include <string>
+#include <vector>
+
+#include "dse/sweep.hh"
+#include "sim/thread_safety.hh"
+
+namespace genie
+{
+
+class SweepEngine;
+
+struct JobDescriptor GENIE_THREAD_LOCAL_OK
+{
+    /** Server-assigned identity ("j-000042"); empty for CLI runs. */
+    std::string id;
+    /** Workload name (workloads/registry). */
+    std::string workload;
+    /** Design space: single|isolated|dma|fig6|cache|fig8|acp|iface. */
+    std::string space = "single";
+    /** SpaceFilter spec ("" = unfiltered). */
+    std::string filter;
+    /** Base-config `key=value` options the space is enumerated
+     * around (core/config_parse). */
+    std::vector<std::string> config;
+    /** Worker threads for the sweep (0 = hardware concurrency). */
+    unsigned threads = 1;
+};
+
+/**
+ * Enumerate @p space around @p base. Spaces are the Figure 3 families
+ * plus "single" (exactly the base point — the daemon's single-run
+ * submission). fatal() on unknown names.
+ */
+std::vector<SocConfig> enumerateSpace(const std::string &space,
+                                      const SocConfig &base);
+
+/** The configs of @p job, in canonical enumeration order: parse the
+ * base config, enumerate the space, apply the filter. fatal() when
+ * the filter rejects every point. */
+std::vector<SocConfig> jobConfigs(const JobDescriptor &job);
+
+/** One-line human summary ("stencil-stencil2d space=fig6 ..."). */
+std::string describeJob(const JobDescriptor &job);
+
+/** Serialize @p job as one JSON line (trailing newline), the
+ * `genie-serve-1` submit/spool form. */
+std::string jobJsonLine(const JobDescriptor &job);
+
+/**
+ * Build the workload, enumerate the configs, and run them under
+ * @p engine. Results come back in enumeration order; engine state
+ * (progress, failures, stats) is the caller's to inspect. Throws
+ * what SweepEngine::run throws.
+ */
+std::vector<DesignPoint> runJob(const JobDescriptor &job,
+                                SweepEngine &engine);
+
+} // namespace genie
+
+#endif // GENIE_DSE_JOB_HH

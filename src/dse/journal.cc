@@ -194,21 +194,23 @@ parseJournalLine(const std::string &line, JournalRecord &out)
     return true;
 }
 
-std::vector<JournalRecord>
-loadJournal(const std::string &path)
+JournalLoadResult
+loadJournalChecked(const std::string &path)
 {
+    JournalLoadResult out;
     std::ifstream in(path);
     if (!in)
-        return {};
+        return out;
     std::string line;
     bool sawHeader = false;
     bool first = true;
-    std::vector<JournalRecord> records;
+    bool lastLineBad = false;
     while (std::getline(in, line)) {
         if (line.find("\"schema\": \"genie-sweep-1\"") !=
             std::string::npos) {
             sawHeader = true;
             first = false;
+            lastLineBad = false;
             continue;
         }
         if (first && !line.empty()) {
@@ -217,15 +219,39 @@ loadJournal(const std::string &path)
                   path.c_str());
         }
         first = false;
+        // A previously seen bad line turned out to be *interior*
+        // (something followed it): that is corruption, not a torn
+        // tail, and silently skipping it would make disk corruption
+        // invisible. Count it; the final tally is warned below.
+        if (lastLineBad)
+            ++out.corruptLines;
+        lastLineBad = false;
+        if (line.empty())
+            continue;
         JournalRecord rec;
         if (parseJournalLine(line, rec))
-            records.push_back(std::move(rec));
+            out.records.push_back(std::move(rec));
+        else
+            lastLineBad = true;
     }
-    if (!records.empty() && !sawHeader) {
+    out.tornFinalLine = lastLineBad;
+    if (!out.records.empty() && !sawHeader) {
         fatal("journal %s: records without a genie-sweep-1 header",
               path.c_str());
     }
-    return records;
+    if (out.corruptLines > 0) {
+        warn("journal %s: skipped %zu corrupt interior line(s) — "
+             "this is disk corruption, not an interrupted write; the "
+             "affected points will be re-simulated",
+             path.c_str(), out.corruptLines);
+    }
+    return out;
+}
+
+std::vector<JournalRecord>
+loadJournal(const std::string &path)
+{
+    return loadJournalChecked(path).records;
 }
 
 void

@@ -60,11 +60,34 @@ std::string journalRecordLine(const std::string &key,
  */
 bool parseJournalLine(const std::string &line, JournalRecord &out);
 
+/** Everything loadJournalChecked learned about a journal file. */
+struct JournalLoadResult GENIE_THREAD_LOCAL_OK
+{
+    std::vector<JournalRecord> records;
+    /**
+     * Interior lines that failed to parse: non-blank, non-header
+     * lines other than a torn *final* line. A torn final line is the
+     * expected kill-mid-write shape and stays silent; anything else
+     * is disk corruption and must never be invisible — the loader
+     * warns loudly and callers surface this count (the engine's
+     * journal_corrupt_lines stat, genie_sweep's corrupt_lines resume
+     * field).
+     */
+    std::size_t corruptLines = 0;
+    /** True when the final line was torn (skipped silently). */
+    bool tornFinalLine = false;
+};
+
 /**
- * Load every complete record from @p path. A missing file is an empty
- * journal (first run of a `--resume` path), but a file that exists
- * and lacks the `genie-sweep-1` header is a user error: fatal().
+ * Load every complete record from @p path, counting interior corrupt
+ * lines (see JournalLoadResult). A missing file is an empty journal
+ * (first run of a `--resume` path), but a file that exists and lacks
+ * the `genie-sweep-1` header is a user error: fatal().
  */
+JournalLoadResult loadJournalChecked(const std::string &path);
+
+/** The records of loadJournalChecked(), for callers that do not
+ * inspect corruption counts themselves (the loader still warns). */
 std::vector<JournalRecord> loadJournal(const std::string &path);
 
 /** Serialize @p results as the frozen `"results": {...}` object body

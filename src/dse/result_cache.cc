@@ -13,7 +13,10 @@ ResultCache::lookup(const std::string &key, SocResults &out)
         return false;
     }
     ++_hits;
-    out = it->second;
+    lru.erase(it->second.lruPos);
+    lru.push_back(key);
+    it->second.lruPos = std::prev(lru.end());
+    out = it->second.results;
     return true;
 }
 
@@ -21,7 +24,17 @@ void
 ResultCache::insert(const std::string &key, const SocResults &results)
 {
     std::lock_guard<std::mutex> lock(mutex);
-    entries.emplace(key, results);
+    if (entries.count(key))
+        return; // first writer wins
+    if (_maxEntries != 0 && entries.size() >= _maxEntries) {
+        auto victim = entries.find(lru.front());
+        lru.pop_front();
+        if (victim != entries.end())
+            entries.erase(victim);
+        ++_evictions;
+    }
+    lru.push_back(key);
+    entries.emplace(key, Entry{results, std::prev(lru.end())});
 }
 
 std::size_t
@@ -43,6 +56,13 @@ ResultCache::misses() const
 {
     std::lock_guard<std::mutex> lock(mutex);
     return _misses;
+}
+
+std::uint64_t
+ResultCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return _evictions;
 }
 
 } // namespace genie

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * ResultStore: the durable, self-verifying, content-addressed store
+ * of simulated design points (schema `genie-store-1`).
+ *
+ * The in-memory ResultCache memoizes points for the lifetime of one
+ * process; the ResultStore is its on-disk big sibling, shared across
+ * processes, daemon restarts, and days. Records are addressed by
+ * configuration content: the filename is the configCanonicalKey's
+ * fingerprint (fingerprintHex), and the record itself carries the
+ * full canonical key, so a fingerprint collision degrades to a miss,
+ * never to a wrong result — the fingerprint is the index, the key is
+ * the identity, exactly as in the ResultCache.
+ *
+ * Durability and self-verification:
+ *
+ *  - One record per file. A record is the genie-store-1 header line
+ *    (carrying a CRC32 of the payload) followed by one payload line
+ *    in the journal's `genie-sweep-1` record format, so results
+ *    round-trip bit-exactly through the same serializer the
+ *    checkpoint journal already proves.
+ *  - Writes are atomic: the record is written to a `.tmp` sibling,
+ *    fsync'd, then renamed into place. A `kill -9` at any instant
+ *    leaves either the old state or the new record, never a torn
+ *    visible record; stale `.tmp` debris is swept on open.
+ *  - Every read re-verifies the CRC and the canonical key. A corrupt
+ *    record — torn, truncated, bit-flipped, or semantically
+ *    mismatched — is *quarantined* (moved to `quarantine/` for
+ *    post-mortem) and reported as a miss, so the caller simply
+ *    re-simulates the point. Corruption is loud (warn + counters)
+ *    but never fatal and never poisons results.
+ *  - Concurrent writers are safe by convergence: two processes that
+ *    insert the same key write byte-identical records, and the
+ *    rename makes whichever finishes last a no-op.
+ *
+ * Eviction: with a byte budget set, least-recently-used records are
+ * unlinked until the store fits. Recency is tracked in memory and
+ * mirrored best-effort into file mtimes so it survives reopen.
+ */
+
+#ifndef GENIE_DSE_RESULT_STORE_HH
+#define GENIE_DSE_RESULT_STORE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/results.hh"
+#include "sim/thread_safety.hh"
+
+namespace genie
+{
+
+/** CRC-32 (IEEE 802.3 polynomial, the zlib/PNG convention) of
+ * @p size bytes at @p data. Exposed so tests can corrupt records
+ * deliberately and so the worker protocol can checksum payloads. */
+std::uint32_t crc32Ieee(const void *data, std::size_t size);
+
+/**
+ * Write @p contents to @p path atomically and durably: a `.tmp`
+ * sibling is written, fsync'd, and renamed into place, so readers
+ * see either the old file or the complete new one — never a torn
+ * write. Returns false (after a warn) on IO failure; never throws.
+ * Shared by the store's records, the daemon's job spool, and the
+ * worker's result files.
+ */
+bool writeFileDurably(const std::string &path,
+                      const std::string &contents);
+
+/** Counters describing everything the store has done since open().
+ * All monotonic except records/bytes, which track current content. */
+struct ResultStoreStats GENIE_THREAD_LOCAL_OK
+{
+    std::uint64_t hits = 0;       ///< lookups served from disk
+    std::uint64_t misses = 0;     ///< lookups that found nothing
+    std::uint64_t inserts = 0;    ///< fresh records written
+    std::uint64_t evictions = 0;  ///< records unlinked by the budget
+    std::uint64_t corrupt = 0;    ///< records quarantined
+    std::uint64_t reloaded = 0;   ///< records indexed by open()
+    std::size_t records = 0;      ///< records currently indexed
+    std::uint64_t bytes = 0;      ///< payload bytes currently indexed
+};
+
+class ResultStore
+{
+  public:
+    ResultStore() = default;
+    ResultStore(const ResultStore &) = delete;
+    ResultStore &operator=(const ResultStore &) = delete;
+
+    /**
+     * Open (creating if needed) the store rooted at @p dir with an
+     * optional byte budget (@p maxBytes, 0 = unbounded). Scans the
+     * directory: well-formed records are indexed oldest-first (so
+     * reopen preserves LRU order), corrupt records are quarantined,
+     * and stale `.tmp` debris from killed writers is removed.
+     * fatal() only when the directory itself cannot be created.
+     */
+    void open(const std::string &dir, std::uint64_t maxBytes = 0);
+
+    bool isOpen() const;
+
+    /**
+     * If a record for @p key exists and verifies (CRC and canonical
+     * key both match), copy its results into @p out and return true.
+     * A corrupt record is quarantined and reported as a miss.
+     */
+    bool lookup(const std::string &key, SocResults &out);
+
+    /**
+     * Durably persist @p results under @p key / @p fingerprint
+     * (atomic write-rename, fsync'd). First writer wins; inserting a
+     * key that is already indexed only refreshes its recency. May
+     * evict least-recently-used records to honor the byte budget.
+     */
+    void insert(const std::string &key, std::uint64_t fingerprint,
+                const SocResults &results);
+
+    /** Snapshot of the store counters. */
+    ResultStoreStats stats() const;
+
+    /** The directory this store was opened on ("" before open). */
+    const std::string &directory() const { return _dir; }
+
+    /** Subdirectory quarantined records are moved into. */
+    static const char *quarantineSubdir() { return "quarantine"; }
+
+  private:
+    /** Index entry; only ever reached through the guarded index. */
+    struct Record GENIE_THREAD_LOCAL_OK
+    {
+        std::string file; ///< filename within the store directory
+        std::uint64_t bytes = 0;
+        std::list<std::string>::iterator lruPos;
+    };
+
+    mutable std::mutex mutex;
+    /** Root directory; set once by open() before any sharing. */
+    std::string _dir GENIE_SHARED_OK(written by open before the store
+                                     is shared and read-only after);
+    std::uint64_t _budget GENIE_SHARED_OK(written by open before the
+                                          store is shared) = 0;
+    std::map<std::string, Record> index GENIE_GUARDED_BY(mutex);
+    /** Least recently used at the front. */
+    std::list<std::string> lru GENIE_GUARDED_BY(mutex);
+    std::uint64_t _bytes GENIE_GUARDED_BY(mutex) = 0;
+    ResultStoreStats counters GENIE_GUARDED_BY(mutex);
+
+    void quarantine(const std::string &file, const char *why)
+        GENIE_REQUIRES(mutex);
+    void evictToBudget() GENIE_REQUIRES(mutex);
+    void touch(const std::string &key) GENIE_REQUIRES(mutex);
+    std::string path(const std::string &file) const;
+};
+
+} // namespace genie
+
+#endif // GENIE_DSE_RESULT_STORE_HH

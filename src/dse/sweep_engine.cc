@@ -10,6 +10,7 @@
 #include "core/fingerprint.hh"
 #include "core/soc.hh"
 #include "dse/journal.hh"
+#include "dse/result_store.hh"
 #include "metrics/profiler.hh"
 #include "sim/logging.hh"
 
@@ -47,6 +48,7 @@ struct SweepEngine::Impl
     std::atomic<std::size_t> cachedHits GENIE_SHARED_OK(atomic){0};
     std::atomic<std::size_t> failed GENIE_SHARED_OK(atomic){0};
     std::atomic<std::size_t> freshStarted GENIE_SHARED_OK(atomic){0};
+    std::atomic<std::size_t> storeHits GENIE_SHARED_OK(atomic){0};
     std::atomic<bool> stopped GENIE_SHARED_OK(atomic){false};
     std::atomic<std::uint64_t> events GENIE_SHARED_OK(atomic){0};
     std::atomic<std::uint64_t> wallNs GENIE_SHARED_OK(atomic){0};
@@ -118,6 +120,11 @@ SweepEngine::SweepEngine(SweepOptions options)
     statMeps = &statGroup.add(
         "meps", "aggregate simulated events per host second, "
                 "in millions");
+    statStoreHits = &statGroup.add(
+        "store_hits", "points served from the durable result store");
+    statJournalCorrupt = &statGroup.add(
+        "journal_corrupt_lines",
+        "corrupt interior journal lines skipped during resume");
 }
 
 SweepEngine::~SweepEngine() = default;
@@ -203,6 +210,9 @@ SweepEngine::publishStats()
     *statFailed = static_cast<double>(impl->failed.load());
     *statEvents = static_cast<double>(impl->events.load());
     *statMeps = meps();
+    *statStoreHits = static_cast<double>(impl->storeHits.load());
+    *statJournalCorrupt =
+        static_cast<double>(_journalCorruptLines);
 }
 
 std::vector<DesignPoint>
@@ -214,6 +224,8 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
     _interrupted = false;
     _events = 0;
     _wallNs = 0;
+    _storeHits = 0;
+    _journalCorruptLines = 0;
 
     impl = std::make_unique<Impl>();
     Impl &st = *impl;
@@ -223,10 +235,16 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
 
     // Resume: preload every journaled point into the cache. Points
     // of other spaces/workloads cost a map entry and nothing else —
-    // keys only hit when the config truly matches.
+    // keys only hit when the config truly matches. Interior corrupt
+    // lines (real disk corruption, not a torn tail) are counted and
+    // surfaced: the loader warns, and the count lands in the
+    // journal_corrupt_lines stat and journalCorruptLines().
     if (!opts.resumePath.empty()) {
-        for (auto &rec : loadJournal(opts.resumePath))
+        JournalLoadResult loaded =
+            loadJournalChecked(opts.resumePath);
+        for (auto &rec : loaded.records)
             st.cache->insert(rec.key, rec.results);
+        _journalCorruptLines = loaded.corruptLines;
     }
 
     // Journal: append when restarting onto the same file, otherwise
@@ -318,6 +336,25 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
             reportProgress(false);
             return;
         }
+        // Durable tier: a store hit is promoted into the in-memory
+        // cache (so repeats stay cheap even if the store later
+        // evicts or quarantines the record) and counts as cached.
+        if (opts.store &&
+            opts.store->lookup(st.keys[i], cachedResults)) {
+            points[i].results = cachedResults;
+            st.cache->insert(st.keys[i], cachedResults);
+            st.storeHits.fetch_add(1);
+            st.cachedHits.fetch_add(1);
+            reportProgress(false);
+            return;
+        }
+        // Drain check sits just before the expensive part: a stop
+        // requested mid-queue keeps already-popped cached points
+        // flowing but starts no new simulation.
+        if (opts.stopRequested && opts.stopRequested->load()) {
+            st.stopped.store(true);
+            return;
+        }
         if (opts.maxFreshPoints != 0 &&
             st.freshStarted.fetch_add(1) >= opts.maxFreshPoints) {
             st.stopped.store(true);
@@ -346,6 +383,14 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
         st.events.fetch_add(profiler.totalEvents() - eventsBefore);
         st.wallNs.fetch_add(profiler.totalWallNs() - nsBefore);
         st.cache->insert(st.keys[i], points[i].results);
+        // Write-through: the point is durable the moment it
+        // completes, so a killed process loses at most what was
+        // still in flight.
+        if (opts.store) {
+            opts.store->insert(st.keys[i],
+                               configFingerprint(configs[i]),
+                               points[i].results);
+        }
         if (st.journalEnabled) {
             std::string line = journalRecordLine(
                 st.keys[i], configFingerprint(configs[i]),
@@ -360,6 +405,10 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
     auto worker = [&](std::size_t self) {
         HostProfiler profiler;
         while (!st.stopped.load()) {
+            if (opts.stopRequested && opts.stopRequested->load()) {
+                st.stopped.store(true);
+                break;
+            }
             std::size_t i = st.take(self);
             if (i == static_cast<std::size_t>(-1))
                 break;
@@ -390,6 +439,7 @@ SweepEngine::run(const std::vector<SocConfig> &configs,
     _interrupted = st.stopped.load();
     _events = st.events.load();
     _wallNs = st.wallNs.load();
+    _storeHits = st.storeHits.load();
     {
         // The join is a happens-before edge, but take the lock
         // anyway: it keeps the guarded-by contract provable and

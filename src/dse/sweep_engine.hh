@@ -38,6 +38,7 @@
 #ifndef GENIE_DSE_SWEEP_ENGINE_HH
 #define GENIE_DSE_SWEEP_ENGINE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -52,6 +53,8 @@
 
 namespace genie
 {
+
+class ResultStore;
 
 /** Live counters reported through SweepOptions::onProgress and
  * mirrored into the "sweep" StatGroup. */
@@ -144,6 +147,24 @@ struct SweepOptions GENIE_SHARED_OK(written before run starts and
     /** Share a cache across sweeps/invocations; null = private. */
     ResultCache *cache = nullptr;
 
+    /**
+     * Durable second tier behind the in-memory cache: on a cache
+     * miss the engine consults the store (a store hit counts as
+     * cached and is promoted into the cache), and every fresh
+     * simulation is written through, so completed points survive the
+     * process — the genie_serve crash-tolerance contract. The store
+     * must be open; null = no persistence.
+     */
+    ResultStore *store = nullptr;
+
+    /**
+     * Cooperative stop: when the pointee becomes true (a signal
+     * handler's drain request), workers stop dealing new points,
+     * in-flight points finish and journal normally, and run()
+     * returns with interrupted() set. Null = never stopped.
+     */
+    const std::atomic<bool> *stopRequested = nullptr;
+
     /** Called after every completed/cached/failed point. Invoked
      * under a lock: implementations need not be thread-safe. */
     std::function<void(const SweepProgress &)> onProgress;
@@ -183,8 +204,21 @@ class SweepEngine
         return _failures;
     }
 
-    /** True when maxFreshPoints stopped the last run early. */
+    /** True when maxFreshPoints or stopRequested stopped the last
+     * run early. */
     bool interrupted() const { return _interrupted; }
+
+    /** Points of the last run served from the durable ResultStore
+     * (a subset of the cached count). */
+    std::uint64_t storeHits() const { return _storeHits; }
+
+    /** Corrupt interior journal lines skipped while resuming the
+     * last run (see JournalLoadResult::corruptLines); nonzero means
+     * disk corruption and the affected points were re-simulated. */
+    std::size_t journalCorruptLines() const
+    {
+        return _journalCorruptLines;
+    }
 
     /** Simulated events retired across all workers (HostProfiler). */
     std::uint64_t simulatedEvents() const { return _events; }
@@ -234,12 +268,20 @@ class SweepEngine
                                      after workers join) = nullptr;
     Stat *statMeps GENIE_SHARED_OK(bound in ctor; pointee written
                                    after workers join) = nullptr;
+    Stat *statStoreHits GENIE_SHARED_OK(bound in ctor; pointee
+                                        written after workers
+                                        join) = nullptr;
+    Stat *statJournalCorrupt GENIE_SHARED_OK(bound in ctor; pointee
+                                             written before workers
+                                             spawn) = nullptr;
 
     /** Owner-thread mirrors of the last run, copied after the join. */
     std::vector<FailedPoint> _failures GENIE_THREAD_LOCAL_OK;
     bool _interrupted GENIE_THREAD_LOCAL_OK = false;
     std::uint64_t _events GENIE_THREAD_LOCAL_OK = 0;
     std::uint64_t _wallNs GENIE_THREAD_LOCAL_OK = 0;
+    std::uint64_t _storeHits GENIE_THREAD_LOCAL_OK = 0;
+    std::size_t _journalCorruptLines GENIE_THREAD_LOCAL_OK = 0;
 
     void publishStats();
 };

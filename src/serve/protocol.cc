@@ -1,0 +1,284 @@
+#include "protocol.hh"
+
+#include "scope/json.hh"
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+/** Same minimal escaping as jobJsonLine: protocol strings are plain
+ * ASCII identifiers, error messages, and `key=value` pairs. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/**
+ * Fill @p out from a parsed JSON object carrying job fields (the
+ * submit request and the spool line share this shape). Returns false
+ * with @p error set on type errors or a missing workload.
+ */
+bool
+jobFromJson(const JsonValue &doc, JobDescriptor &out,
+            std::string &error)
+{
+    const JsonValue *workload = doc.get("workload");
+    if (!workload || !workload->isString() ||
+        workload->string().empty()) {
+        error = "submit requires a \"workload\" string";
+        return false;
+    }
+    out.workload = workload->string();
+
+    if (const JsonValue *id = doc.get("id")) {
+        if (!id->isString()) {
+            error = "\"id\" must be a string";
+            return false;
+        }
+        out.id = id->string();
+    }
+    if (const JsonValue *space = doc.get("space")) {
+        if (!space->isString() || space->string().empty()) {
+            error = "\"space\" must be a non-empty string";
+            return false;
+        }
+        out.space = space->string();
+    }
+    if (const JsonValue *filter = doc.get("filter")) {
+        if (!filter->isString()) {
+            error = "\"filter\" must be a string";
+            return false;
+        }
+        out.filter = filter->string();
+    }
+    if (const JsonValue *config = doc.get("config")) {
+        if (!config->isArray()) {
+            error = "\"config\" must be an array of "
+                    "\"key=value\" strings";
+            return false;
+        }
+        for (const JsonValue &item : config->array()) {
+            if (!item.isString()) {
+                error = "\"config\" entries must be strings";
+                return false;
+            }
+            out.config.push_back(item.string());
+        }
+    }
+    if (const JsonValue *threads = doc.get("threads")) {
+        if (!threads->isNumber() || threads->number() < 0 ||
+            threads->number() > 256) {
+            error = "\"threads\" must be a number in [0, 256]";
+            return false;
+        }
+        out.threads = static_cast<unsigned>(threads->number());
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+serveSchemaName()
+{
+    return "genie-serve-1";
+}
+
+std::string
+serveGreetingLine()
+{
+    return format("{\"schema\": \"%s\"}\n", serveSchemaName());
+}
+
+ServeRequest
+parseServeRequest(const std::string &line)
+{
+    ServeRequest req;
+    JsonParseResult parsed = parseJson(line);
+    if (!parsed.ok) {
+        req.error = format("malformed request: %s (column %zu)",
+                           parsed.error.c_str(), parsed.errorColumn);
+        return req;
+    }
+    if (!parsed.value.isObject()) {
+        req.error = "request must be a JSON object";
+        return req;
+    }
+    const JsonValue *op = parsed.value.get("op");
+    if (!op || !op->isString()) {
+        req.error = "request requires an \"op\" string";
+        return req;
+    }
+    const std::string &name = op->string();
+    if (name == "ping") {
+        req.op = ServeOp::Ping;
+    } else if (name == "submit") {
+        if (!jobFromJson(parsed.value, req.job, req.error))
+            return req;
+        req.op = ServeOp::Submit;
+    } else if (name == "status" || name == "wait" ||
+               name == "results") {
+        const JsonValue *job = parsed.value.get("job");
+        if (!job || !job->isString() || job->string().empty()) {
+            req.error =
+                format("\"%s\" requires a \"job\" id", name.c_str());
+            return req;
+        }
+        req.jobId = job->string();
+        req.op = name == "status"  ? ServeOp::Status
+                 : name == "wait"  ? ServeOp::Wait
+                                   : ServeOp::Results;
+    } else if (name == "stats") {
+        req.op = ServeOp::Stats;
+    } else if (name == "drain") {
+        req.op = ServeOp::Drain;
+    } else {
+        req.error = format("unknown op \"%s\"", name.c_str());
+    }
+    return req;
+}
+
+bool
+parseJobLine(const std::string &line, JobDescriptor &out,
+             std::string &error)
+{
+    JsonParseResult parsed = parseJson(line);
+    if (!parsed.ok) {
+        error = format("malformed job line: %s", parsed.error.c_str());
+        return false;
+    }
+    if (!parsed.value.isObject()) {
+        error = "job line must be a JSON object";
+        return false;
+    }
+    const JsonValue *schema = parsed.value.get("schema");
+    if (!schema || !schema->isString() ||
+        schema->string() != "genie-serve-job-1") {
+        error = "job line lacks the genie-serve-job-1 schema";
+        return false;
+    }
+    JobDescriptor desc;
+    if (!jobFromJson(parsed.value, desc, error))
+        return false;
+    out = desc;
+    return true;
+}
+
+const char *
+serveJobStateName(ServeJobState state)
+{
+    switch (state) {
+      case ServeJobState::Queued:
+        return "queued";
+      case ServeJobState::Running:
+        return "running";
+      case ServeJobState::Done:
+        return "done";
+      case ServeJobState::Failed:
+        return "failed";
+      case ServeJobState::Quarantined:
+        return "quarantined";
+    }
+    return "unknown";
+}
+
+bool
+serveJobStateTerminal(ServeJobState state)
+{
+    return state == ServeJobState::Done ||
+           state == ServeJobState::Failed ||
+           state == ServeJobState::Quarantined;
+}
+
+std::string
+serveOkLine()
+{
+    return "{\"ok\": true}\n";
+}
+
+std::string
+serveErrorLine(const std::string &error)
+{
+    return format("{\"ok\": false, \"error\": \"%s\"}\n",
+                  jsonEscape(error).c_str());
+}
+
+std::string
+serveSubmittedLine(const std::string &jobId)
+{
+    return format("{\"ok\": true, \"job\": \"%s\"}\n",
+                  jsonEscape(jobId).c_str());
+}
+
+std::string
+serveStatusLine(const std::string &jobId, ServeJobState state,
+                unsigned attempts, const std::string &error)
+{
+    std::string s =
+        format("{\"ok\": true, \"job\": \"%s\", \"state\": \"%s\", "
+               "\"attempts\": %u",
+               jsonEscape(jobId).c_str(), serveJobStateName(state),
+               attempts);
+    if (!error.empty())
+        s += format(", \"error\": \"%s\"", jsonEscape(error).c_str());
+    s += "}\n";
+    return s;
+}
+
+std::string
+serveResultsLine(std::uint64_t bytes)
+{
+    return format("{\"ok\": true, \"bytes\": %llu}\n",
+                  static_cast<unsigned long long>(bytes));
+}
+
+std::string
+serveSubmitLine(const JobDescriptor &job)
+{
+    // Same field shapes as jobJsonLine, with the op in place of the
+    // spool schema tag.
+    std::string s = format("{\"op\": \"submit\", \"workload\": "
+                           "\"%s\", \"space\": \"%s\"",
+                           jsonEscape(job.workload).c_str(),
+                           jsonEscape(job.space).c_str());
+    if (!job.filter.empty()) {
+        s += format(", \"filter\": \"%s\"",
+                    jsonEscape(job.filter).c_str());
+    }
+    if (!job.config.empty()) {
+        s += ", \"config\": [";
+        for (std::size_t i = 0; i < job.config.size(); ++i) {
+            s += format("%s\"%s\"", i ? ", " : "",
+                        jsonEscape(job.config[i]).c_str());
+        }
+        s += "]";
+    }
+    s += format(", \"threads\": %u}\n", job.threads);
+    return s;
+}
+
+std::string
+serveJobOpLine(const char *op, const std::string &jobId)
+{
+    return format("{\"op\": \"%s\", \"job\": \"%s\"}\n", op,
+                  jsonEscape(jobId).c_str());
+}
+
+std::string
+serveSimpleOpLine(const char *op)
+{
+    return format("{\"op\": \"%s\"}\n", op);
+}
+
+} // namespace genie

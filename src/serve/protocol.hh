@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The `genie-serve-1` wire protocol.
+ *
+ * genie_serve speaks line-delimited JSON over a Unix-domain stream
+ * socket: each request is one JSON object on one line, each response
+ * is one JSON object on one line (the `results` op additionally
+ * streams the raw results document after its framing line). The
+ * daemon greets every connection with a schema line so clients can
+ * verify they dialed a genie_serve socket before sending anything.
+ *
+ * Requests
+ *
+ *   {"op": "ping"}
+ *   {"op": "submit", "workload": "gemm", "space": "dma",
+ *    "filter": "...", "config": ["lanes=4", ...], "threads": 2}
+ *   {"op": "status", "job": "j-000001"}
+ *   {"op": "wait",   "job": "j-000001"}   (response deferred until
+ *                                          the job is terminal)
+ *   {"op": "results","job": "j-000001"}
+ *   {"op": "stats"}
+ *   {"op": "drain"}
+ *
+ * Responses
+ *
+ *   {"ok": true, ...}                       success
+ *   {"ok": false, "error": "..."}           failure (incl. "busy"
+ *                                           backpressure and
+ *                                           "draining" refusals)
+ *
+ * The job spool uses the sibling `genie-serve-job-1` schema (see
+ * jobJsonLine in dse/job.hh); parseJobLine below reads it back.
+ * Parsing reuses the Genie-Scope JSON reader, so the daemon accepts
+ * exactly RFC 8259 documents and rejects everything else with a
+ * position-annotated error instead of guessing.
+ */
+
+#ifndef GENIE_SERVE_PROTOCOL_HH
+#define GENIE_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dse/job.hh"
+#include "sim/thread_safety.hh"
+
+namespace genie
+{
+
+/** Protocol schema tag, also the greeting line's schema value. */
+const char *serveSchemaName();
+
+/** The greeting line the daemon writes on every new connection. */
+std::string serveGreetingLine();
+
+/** Every operation a client can request. */
+enum class ServeOp : std::uint8_t
+{
+    Invalid, ///< unparseable or unknown; see ServeRequest::error
+    Ping,
+    Submit,
+    Status,
+    Wait,
+    Results,
+    Stats,
+    Drain,
+};
+
+/** One parsed request line. */
+struct ServeRequest GENIE_THREAD_LOCAL_OK
+{
+    ServeOp op = ServeOp::Invalid;
+    JobDescriptor job; ///< submit payload (id unset by clients)
+    std::string jobId; ///< status/wait/results target
+    std::string error; ///< parse diagnostics when op == Invalid
+};
+
+/** Parse one request line; never throws. Malformed input yields
+ * op == Invalid with a human-readable error. */
+ServeRequest parseServeRequest(const std::string &line);
+
+/**
+ * Parse one `genie-serve-job-1` spool line (the jobJsonLine format)
+ * back into a descriptor. Returns false with @p error set on any
+ * malformed input; never throws.
+ */
+bool parseJobLine(const std::string &line, JobDescriptor &out,
+                  std::string &error);
+
+/** The daemon's view of a job's lifecycle. */
+enum class ServeJobState : std::uint8_t
+{
+    Queued,      ///< waiting for a worker (includes retry backoff)
+    Running,     ///< a worker process is simulating it
+    Done,        ///< results available
+    Failed,      ///< deterministic failure; will not retry
+    Quarantined, ///< poison job: crashed/timed out maxAttempts times
+};
+
+const char *serveJobStateName(ServeJobState state);
+
+/** True for states that will never change again. */
+bool serveJobStateTerminal(ServeJobState state);
+
+// Response builders. Every response is a single line ending in \n.
+std::string serveOkLine();
+std::string serveErrorLine(const std::string &error);
+std::string serveSubmittedLine(const std::string &jobId);
+std::string serveStatusLine(const std::string &jobId,
+                            ServeJobState state, unsigned attempts,
+                            const std::string &error);
+/** Framing line preceding @p bytes bytes of raw results payload. */
+std::string serveResultsLine(std::uint64_t bytes);
+
+// Request builders (the genie_submit client side).
+std::string serveSubmitLine(const JobDescriptor &job);
+/** For ops that target a job: "status", "wait", "results". */
+std::string serveJobOpLine(const char *op, const std::string &jobId);
+/** For argument-free ops: "ping", "stats", "drain". */
+std::string serveSimpleOpLine(const char *op);
+
+} // namespace genie
+
+#endif // GENIE_SERVE_PROTOCOL_HH

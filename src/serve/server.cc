@@ -1,0 +1,709 @@
+#include "server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <poll.h>
+#include <signal.h>
+#include <sstream>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "dse/result_store.hh"
+#include "metrics/profiler.hh"
+#include "sim/logging.hh"
+#include "workloads/workload.hh"
+
+namespace fs = std::filesystem;
+
+namespace genie
+{
+
+namespace
+{
+
+constexpr std::uint64_t nsPerMs = 1000000ull;
+
+/** Worker exit codes the daemon's retry policy keys off (see
+ * serve/worker.hh for the worker side of the contract). */
+constexpr int exitUserError = 2;
+constexpr int exitInterrupted = 6;
+
+std::string
+readSmallFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** First line of a worker's .err file, for terminal diagnostics. */
+std::string
+firstLineOf(const std::string &text)
+{
+    std::size_t nl = text.find('\n');
+    return nl == std::string::npos ? text : text.substr(0, nl);
+}
+
+/**
+ * Submit-time validation: reject jobs the worker could only fail
+ * deterministically on, so a typo'd workload name is an error reply,
+ * not a spooled job that burns a worker attempt to learn the same.
+ */
+std::string
+validateJob(const JobDescriptor &desc)
+{
+    const auto names = workloadNames();
+    if (std::find(names.begin(), names.end(), desc.workload) ==
+        names.end()) {
+        return format("unknown workload \"%s\"",
+                      desc.workload.c_str());
+    }
+    try {
+        jobConfigs(desc);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+} // namespace
+
+Server::Server(ServeOptions options) : opts(std::move(options)) {}
+
+Server::~Server()
+{
+    for (auto &[fd, client] : clients)
+        ::close(fd);
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        ::unlink(opts.socketPath.c_str());
+    }
+    // Leave running children alone: the daemon may be restarting, and
+    // their durable store writes stay valid either way.
+}
+
+std::string
+Server::spoolDir() const
+{
+    return opts.stateDir + "/spool";
+}
+
+std::string
+Server::storeDir() const
+{
+    return opts.stateDir + "/store";
+}
+
+std::string
+Server::jobPath(const std::string &id) const
+{
+    return spoolDir() + "/" + id + ".job";
+}
+
+std::string
+Server::outPath(const std::string &id) const
+{
+    return spoolDir() + "/" + id + ".out";
+}
+
+std::string
+Server::errPath(const std::string &id) const
+{
+    return spoolDir() + "/" + id + ".err";
+}
+
+void
+Server::start()
+{
+    std::error_code ec;
+    fs::create_directories(spoolDir(), ec);
+    if (ec) {
+        fatal("genie_serve: cannot create state directory %s: %s",
+              spoolDir().c_str(), ec.message().c_str());
+    }
+    fs::create_directories(storeDir(), ec);
+    recoverSpool();
+    bindSocket();
+}
+
+void
+Server::recoverSpool()
+{
+    // Crash recovery: every accepted job left a durable spool file.
+    // A job whose .out exists finished before the crash; everything
+    // else re-enqueues and re-runs — cheaply, because completed
+    // points come back as ResultStore hits.
+    std::error_code ec;
+    std::vector<std::string> ids;
+    for (const auto &entry : fs::directory_iterator(spoolDir(), ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        std::string name = entry.path().filename().string();
+        if (name.size() <= 4 ||
+            name.compare(name.size() - 4, 4, ".job") != 0)
+            continue;
+        ids.push_back(name.substr(0, name.size() - 4));
+    }
+    std::sort(ids.begin(), ids.end());
+    for (const std::string &id : ids) {
+        // Track the numbering high-water mark so restarted daemons
+        // never reuse a live id.
+        if (id.size() > 2 && id.compare(0, 2, "j-") == 0) {
+            std::uint64_t n = std::strtoull(id.c_str() + 2, nullptr, 10);
+            nextJobNumber = std::max(nextJobNumber, n + 1);
+        }
+        JobDescriptor desc;
+        std::string error;
+        std::string line = readSmallFile(jobPath(id));
+        if (!parseJobLine(line, desc, error)) {
+            warn("genie_serve: unreadable spool entry %s (%s); "
+                 "skipping it",
+                 jobPath(id).c_str(), error.c_str());
+            continue;
+        }
+        desc.id = id;
+        Job job;
+        job.desc = desc;
+        if (fs::exists(outPath(id), ec)) {
+            job.state = ServeJobState::Done;
+        } else {
+            job.state = ServeJobState::Queued;
+            queue.push_back(id);
+            ++_counters.recovered;
+        }
+        jobs.emplace(id, std::move(job));
+    }
+    if (_counters.recovered > 0) {
+        inform("genie_serve: recovered %llu unfinished job(s) from "
+               "the spool",
+               static_cast<unsigned long long>(_counters.recovered));
+    }
+}
+
+void
+Server::bindSocket()
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts.socketPath.size() >= sizeof(addr.sun_path)) {
+        fatal("genie_serve: socket path too long (%zu bytes, max "
+              "%zu): %s",
+              opts.socketPath.size(), sizeof(addr.sun_path) - 1,
+              opts.socketPath.c_str());
+    }
+    std::memcpy(addr.sun_path, opts.socketPath.c_str(),
+                opts.socketPath.size() + 1);
+    ::unlink(opts.socketPath.c_str());
+    listenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd < 0) {
+        fatal("genie_serve: socket(): %s", std::strerror(errno));
+    }
+    if (::bind(listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        fatal("genie_serve: bind(%s): %s", opts.socketPath.c_str(),
+              std::strerror(errno));
+    }
+    if (::listen(listenFd, 128) != 0)
+        fatal("genie_serve: listen(): %s", std::strerror(errno));
+}
+
+int
+Server::run()
+{
+    for (;;) {
+        if (opts.drainFlag && opts.drainFlag->load() && !draining) {
+            draining = true;
+            inform("genie_serve: drain requested; finishing %u "
+                   "running and %zu queued job(s)",
+                   running, queue.size());
+        }
+        reapWorkers();
+        enforceTimeouts();
+        if (!draining)
+            dispatch();
+        if (draining && running == 0)
+            return 0;
+
+        std::vector<pollfd> fds;
+        fds.push_back({listenFd, POLLIN, 0});
+        for (const auto &[fd, client] : clients)
+            fds.push_back({fd, POLLIN, 0});
+        // A short tick bounds how stale the timeout/backoff/reap
+        // checks can get; poll() wakes earlier for any IO.
+        int rc = ::poll(fds.data(), fds.size(), 50);
+        if (rc < 0 && errno != EINTR) {
+            warn("genie_serve: poll(): %s", std::strerror(errno));
+        }
+        if (rc <= 0)
+            continue;
+        if (fds[0].revents & POLLIN)
+            acceptClient();
+        for (std::size_t i = 1; i < fds.size(); ++i) {
+            if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                readClient(fds[i].fd);
+        }
+    }
+}
+
+void
+Server::acceptClient()
+{
+    int fd = ::accept4(listenFd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0)
+        return;
+    clients.emplace(fd, Client{});
+    sendLine(fd, serveGreetingLine());
+}
+
+void
+Server::closeClient(int fd)
+{
+    // A vanished client must not strand a wait registration.
+    for (auto &[id, job] : jobs) {
+        job.waiters.erase(std::remove(job.waiters.begin(),
+                                      job.waiters.end(), fd),
+                          job.waiters.end());
+    }
+    clients.erase(fd);
+    ::close(fd);
+}
+
+void
+Server::readClient(int fd)
+{
+    auto it = clients.find(fd);
+    if (it == clients.end())
+        return;
+    char buf[4096];
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EINTR))
+            return;
+        closeClient(fd);
+        return;
+    }
+    it->second.inbuf.append(buf, static_cast<std::size_t>(n));
+    std::string &inbuf = it->second.inbuf;
+    std::size_t start = 0;
+    for (;;) {
+        std::size_t nl = inbuf.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        std::string line = inbuf.substr(start, nl - start);
+        start = nl + 1;
+        if (!line.empty())
+            handleLine(fd, line);
+        // handleLine may have closed the client (write failure).
+        if (clients.find(fd) == clients.end())
+            return;
+    }
+    inbuf.erase(0, start);
+}
+
+void
+Server::sendLine(int fd, const std::string &line)
+{
+    std::size_t off = 0;
+    while (off < line.size()) {
+        // MSG_NOSIGNAL: a client that hung up yields EPIPE, not a
+        // process-killing SIGPIPE.
+        ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            closeClient(fd);
+            return;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+void
+Server::handleLine(int fd, const std::string &line)
+{
+    ServeRequest req = parseServeRequest(line);
+    switch (req.op) {
+      case ServeOp::Invalid:
+        sendLine(fd, serveErrorLine(req.error));
+        return;
+      case ServeOp::Ping:
+        sendLine(fd, format("{\"ok\": true, \"schema\": \"%s\"}\n",
+                            serveSchemaName()));
+        return;
+      case ServeOp::Submit:
+        handleSubmit(fd, req.job);
+        return;
+      case ServeOp::Stats:
+        sendLine(fd, statsLine());
+        return;
+      case ServeOp::Drain:
+        draining = true;
+        sendLine(fd, serveOkLine());
+        return;
+      case ServeOp::Status:
+      case ServeOp::Wait:
+      case ServeOp::Results:
+        break;
+    }
+
+    auto it = jobs.find(req.jobId);
+    if (it == jobs.end()) {
+        sendLine(fd, serveErrorLine(
+                         format("unknown job \"%s\"",
+                                req.jobId.c_str())));
+        return;
+    }
+    Job &job = it->second;
+    if (req.op == ServeOp::Status) {
+        sendLine(fd, serveStatusLine(req.jobId, job.state,
+                                     job.attempts, job.error));
+        return;
+    }
+    if (req.op == ServeOp::Wait) {
+        if (serveJobStateTerminal(job.state)) {
+            sendLine(fd, serveStatusLine(req.jobId, job.state,
+                                         job.attempts, job.error));
+        } else {
+            job.waiters.push_back(fd); // answered on completion
+        }
+        return;
+    }
+    // results
+    if (job.state != ServeJobState::Done) {
+        sendLine(fd, serveErrorLine(format(
+                         "job \"%s\" has no results (state: %s)",
+                         req.jobId.c_str(),
+                         serveJobStateName(job.state))));
+        return;
+    }
+    std::string payload = readSmallFile(outPath(req.jobId));
+    if (payload.empty()) {
+        sendLine(fd, serveErrorLine(format(
+                         "results file for \"%s\" is missing",
+                         req.jobId.c_str())));
+        return;
+    }
+    sendLine(fd, serveResultsLine(payload.size()));
+    if (clients.find(fd) != clients.end())
+        sendLine(fd, payload);
+}
+
+void
+Server::handleSubmit(int fd, const JobDescriptor &desc)
+{
+    if (draining) {
+        sendLine(fd, serveErrorLine("draining"));
+        return;
+    }
+    if (queue.size() >= opts.maxQueue) {
+        // Backpressure, not buffering: refuse loudly so the client
+        // retries, instead of queueing without bound.
+        ++_counters.busy;
+        sendLine(fd, serveErrorLine("busy"));
+        return;
+    }
+    std::string invalid = validateJob(desc);
+    if (!invalid.empty()) {
+        sendLine(fd, serveErrorLine(invalid));
+        return;
+    }
+
+    std::string id = format("j-%06llu",
+                            static_cast<unsigned long long>(
+                                nextJobNumber++));
+    Job job;
+    job.desc = desc;
+    job.desc.id = id;
+    // The durable spool write happens *before* the acknowledgement:
+    // once a client sees the job id, the job survives any daemon
+    // crash.
+    if (!writeFileDurably(jobPath(id), jobJsonLine(job.desc))) {
+        sendLine(fd, serveErrorLine("cannot spool job"));
+        return;
+    }
+    jobs.emplace(id, std::move(job));
+    queue.push_back(id);
+    ++_counters.submitted;
+    sendLine(fd, serveSubmittedLine(id));
+}
+
+void
+Server::notifyWaiters(Job &job)
+{
+    std::vector<int> waiters;
+    waiters.swap(job.waiters);
+    for (int fd : waiters) {
+        if (clients.find(fd) == clients.end())
+            continue;
+        sendLine(fd, serveStatusLine(job.desc.id, job.state,
+                                     job.attempts, job.error));
+    }
+}
+
+void
+Server::dispatch()
+{
+    const std::uint64_t now = profilerNowNs();
+    while (running < opts.workers) {
+        // Take the first queue entry whose backoff has elapsed;
+        // entries still cooling down keep their position.
+        auto pick = queue.end();
+        for (auto it = queue.begin(); it != queue.end(); ++it) {
+            auto jit = jobs.find(*it);
+            if (jit == jobs.end()) {
+                pick = it; // stale id; drop below
+                break;
+            }
+            if (jit->second.readyNs <= now) {
+                pick = it;
+                break;
+            }
+        }
+        if (pick == queue.end())
+            return;
+        std::string id = *pick;
+        queue.erase(pick);
+        auto jit = jobs.find(id);
+        if (jit == jobs.end())
+            continue;
+        spawn(jit->second);
+    }
+}
+
+void
+Server::spawn(Job &job)
+{
+    const std::string &id = job.desc.id;
+    job.timedOut = false;
+    job.termSent = false;
+    job.killSent = false;
+    ++job.attempts;
+
+    // Build the argv before forking: only async-signal-safe calls
+    // are allowed between fork and exec.
+    std::vector<std::string> argv;
+    if (!opts.workerCommand.empty()) {
+        argv = {"/bin/sh", "-c", opts.workerCommand};
+    } else {
+        argv = {opts.selfExe,
+                "--worker",
+                "--job=" + jobPath(id),
+                "--out=" + outPath(id),
+                "--err=" + errPath(id),
+                "--store=" + storeDir()};
+        if (opts.storeBudgetBytes > 0) {
+            argv.push_back(format(
+                "--store-budget=%llu",
+                static_cast<unsigned long long>(
+                    opts.storeBudgetBytes)));
+        }
+    }
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (std::string &arg : argv)
+        cargv.push_back(arg.data());
+    cargv.push_back(nullptr);
+
+    int pid = ::fork();
+    if (pid < 0) {
+        // Treat a failed fork like a crashed attempt: back off and
+        // retry; the host may just be momentarily out of processes.
+        warn("genie_serve: fork(): %s", std::strerror(errno));
+        attemptFinished(job, 0x7f00 /* exit 127 */);
+        return;
+    }
+    if (pid == 0) {
+        ::execv(cargv[0], cargv.data());
+        _exit(127);
+    }
+    job.pid = pid;
+    job.state = ServeJobState::Running;
+    const std::uint64_t now = profilerNowNs();
+    job.deadlineNs =
+        opts.timeoutMs > 0 ? now + opts.timeoutMs * nsPerMs : 0;
+    job.killNs = 0;
+    ++running;
+}
+
+void
+Server::enforceTimeouts()
+{
+    const std::uint64_t now = profilerNowNs();
+    for (auto &[id, job] : jobs) {
+        if (job.state != ServeJobState::Running || job.pid < 0)
+            continue;
+        if (job.deadlineNs > 0 && now >= job.deadlineNs &&
+            !job.termSent) {
+            // Escalation step 1: SIGTERM. The real worker treats it
+            // as a drain request and exits with its checkpoint
+            // written; only a wedged worker needs step 2.
+            warn("genie_serve: job %s exceeded %llu ms; sending "
+                 "SIGTERM",
+                 id.c_str(),
+                 static_cast<unsigned long long>(opts.timeoutMs));
+            ::kill(job.pid, SIGTERM);
+            job.termSent = true;
+            job.timedOut = true;
+            job.killNs = now + opts.termGraceMs * nsPerMs;
+            ++_counters.timeouts;
+        } else if (job.termSent && !job.killSent &&
+                   now >= job.killNs) {
+            warn("genie_serve: job %s ignored SIGTERM for %llu ms; "
+                 "escalating to SIGKILL",
+                 id.c_str(),
+                 static_cast<unsigned long long>(opts.termGraceMs));
+            ::kill(job.pid, SIGKILL);
+            job.killSent = true;
+        }
+    }
+}
+
+void
+Server::reapWorkers()
+{
+    for (auto &[id, job] : jobs) {
+        if (job.state != ServeJobState::Running || job.pid < 0)
+            continue;
+        int status = 0;
+        int rc = ::waitpid(job.pid, &status, WNOHANG);
+        if (rc == job.pid) {
+            attemptFinished(job, status);
+        } else if (rc < 0 && errno == ECHILD) {
+            // Should not happen (we only wait on our own forks), but
+            // never leave a job wedged in Running if it does.
+            attemptFinished(job, 0x7f00);
+        }
+    }
+}
+
+void
+Server::attemptFinished(Job &job, int status)
+{
+    const std::string &id = job.desc.id;
+    if (job.pid >= 0) {
+        job.pid = -1;
+        if (running > 0)
+            --running;
+    }
+
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+        job.state = ServeJobState::Done;
+        job.error.clear();
+        ++_counters.completed;
+        inform("genie_serve: job %s done (attempt %u)", id.c_str(),
+               job.attempts);
+        notifyWaiters(job);
+        return;
+    }
+
+    // Diagnose the failed attempt and decide: retry or terminal?
+    std::string why;
+    bool retryable = false;
+    if (WIFSIGNALED(status)) {
+        int sig = WTERMSIG(status);
+        ++_counters.crashes;
+        retryable = true;
+        if (job.timedOut && sig == SIGKILL) {
+            why = "timeout: SIGTERM ignored, escalated to SIGKILL";
+        } else if (job.timedOut) {
+            why = format("timeout: killed by signal %d", sig);
+        } else {
+            why = format("worker crashed: signal %d", sig);
+        }
+    } else {
+        int code = WIFEXITED(status) ? WEXITSTATUS(status) : 127;
+        std::string detail =
+            firstLineOf(readSmallFile(errPath(id)));
+        if (code == exitUserError) {
+            why = detail.empty()
+                      ? "worker reported a configuration error"
+                      : detail;
+            retryable = false;
+        } else if (code == exitInterrupted) {
+            // The worker checkpointed and exited on SIGTERM; its
+            // completed points are in the store, so the retry only
+            // simulates the remainder.
+            why = job.timedOut ? "timeout: worker checkpointed"
+                               : "worker interrupted";
+            retryable = true;
+        } else {
+            why = detail.empty()
+                      ? format("worker exited with code %d", code)
+                      : detail;
+            // Deterministic failure: retrying replays it. Exit 127
+            // (exec failed / fork failed marker) is host trouble and
+            // retryable.
+            retryable = code == 127;
+        }
+    }
+
+    if (retryable && job.attempts < opts.maxAttempts) {
+        const std::uint64_t backoff =
+            (opts.backoffMs * nsPerMs) << (job.attempts - 1);
+        job.state = ServeJobState::Queued;
+        job.readyNs = profilerNowNs() + backoff;
+        job.error = why;
+        queue.push_back(id);
+        ++_counters.retries;
+        warn("genie_serve: job %s attempt %u failed (%s); retrying "
+             "in %llu ms",
+             id.c_str(), job.attempts, why.c_str(),
+             static_cast<unsigned long long>(backoff / nsPerMs));
+        return;
+    }
+
+    if (retryable) {
+        // Poison job: it has crashed or timed out on every attempt.
+        // Quarantine it so it can never wedge the queue, and keep
+        // serving everything else.
+        job.state = ServeJobState::Quarantined;
+        job.error = format("quarantined after %u attempts; last: %s",
+                           job.attempts, why.c_str());
+        ++_counters.quarantined;
+        warn("genie_serve: job %s %s", id.c_str(), job.error.c_str());
+    } else {
+        job.state = ServeJobState::Failed;
+        job.error = why;
+        ++_counters.failed;
+        warn("genie_serve: job %s failed: %s", id.c_str(),
+             why.c_str());
+    }
+    notifyWaiters(job);
+}
+
+std::string
+Server::statsLine() const
+{
+    unsigned queued = static_cast<unsigned>(queue.size());
+    return format(
+        "{\"ok\": true, \"schema\": \"%s\", \"workers\": %u, "
+        "\"running\": %u, \"queued\": %u, \"draining\": %s, "
+        "\"submitted\": %llu, \"recovered\": %llu, "
+        "\"completed\": %llu, \"failed\": %llu, "
+        "\"quarantined\": %llu, \"crashes\": %llu, "
+        "\"timeouts\": %llu, \"retries\": %llu, \"busy\": %llu}\n",
+        serveSchemaName(), opts.workers, running, queued,
+        draining ? "true" : "false",
+        static_cast<unsigned long long>(_counters.submitted),
+        static_cast<unsigned long long>(_counters.recovered),
+        static_cast<unsigned long long>(_counters.completed),
+        static_cast<unsigned long long>(_counters.failed),
+        static_cast<unsigned long long>(_counters.quarantined),
+        static_cast<unsigned long long>(_counters.crashes),
+        static_cast<unsigned long long>(_counters.timeouts),
+        static_cast<unsigned long long>(_counters.retries),
+        static_cast<unsigned long long>(_counters.busy));
+}
+
+} // namespace genie

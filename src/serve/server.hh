@@ -1,0 +1,192 @@
+/**
+ * @file
+ * The genie_serve daemon: a crash-tolerant simulation service.
+ *
+ * The server owns a Unix-domain listening socket and a pool of worker
+ * *subprocesses* (not threads): every job runs in its own forked
+ * process, so a simulator crash — segfault, abort, OOM kill — takes
+ * down one attempt of one job, never the daemon. The daemon itself is
+ * a single-threaded poll() event loop; there is no shared mutable
+ * state between concurrent requests, no signal handler in the
+ * library (children are reaped with per-pid waitpid(WNOHANG) each
+ * tick), and every timer reads the one sanctioned host clock
+ * (profilerNowNs), which keeps the loop trivially TSan-clean and
+ * deterministic to test.
+ *
+ * Fault handling, in order of escalation:
+ *
+ *  - worker exceeds its wall-clock budget: SIGTERM (the worker
+ *    checkpoints via SweepOptions::stopRequested), then after a grace
+ *    period SIGKILL — the escalation a stuck simulation cannot block;
+ *  - worker dies by signal or times out: the attempt is retried with
+ *    exponential backoff (backoffMs << attempt), up to maxAttempts;
+ *  - a job that exhausts its attempts is *quarantined* — marked
+ *    poison and never scheduled again, so one bad config cannot wedge
+ *    the queue — while everything else keeps flowing;
+ *  - a worker exiting 2 (user/config error) or 1 (deterministic
+ *    simulation failure) fails immediately: retrying a deterministic
+ *    failure would burn maxAttempts to learn nothing.
+ *
+ * Admission control: the queue is bounded (maxQueue); a submit that
+ * would exceed it is refused with "busy" instead of growing without
+ * bound — the client retries, and every job the daemon *did* accept
+ * is preserved.
+ *
+ * Durability: accepted jobs are spooled to disk (one durable
+ * `genie-serve-job-1` file each) before the submit is acknowledged,
+ * and workers write results through the shared ResultStore. Kill the
+ * daemon at any instant and restart it: spooled jobs without results
+ * re-enqueue, jobs whose results file exists surface as done, and
+ * re-run points come back as store hits — the end-to-end contract the
+ * serve-smoke CI job proves byte-identical against plain genie_sweep.
+ *
+ * Shutdown: SIGTERM/SIGINT set ServeOptions::drainFlag (from the
+ * tool's signal handler); the loop stops accepting submissions,
+ * finishes or checkpoints what is running, and run() returns 0.
+ */
+
+#ifndef GENIE_SERVE_SERVER_HH
+#define GENIE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "sim/thread_safety.hh"
+
+namespace genie
+{
+
+struct ServeOptions GENIE_THREAD_LOCAL_OK
+{
+    /** Unix-domain socket path (must fit sockaddr_un). */
+    std::string socketPath;
+    /** State directory: spool/ for jobs, store/ for results. */
+    std::string stateDir;
+    /** Worker subprocesses running concurrently. */
+    unsigned workers = 2;
+    /** Queued-job bound; submits beyond it get "busy". */
+    std::size_t maxQueue = 64;
+    /** Spawn attempts before a job is quarantined as poison. */
+    unsigned maxAttempts = 3;
+    /** Per-attempt wall-clock budget in milliseconds (0 = none). */
+    std::uint64_t timeoutMs = 0;
+    /** SIGTERM-to-SIGKILL escalation grace in milliseconds. */
+    std::uint64_t termGraceMs = 2000;
+    /** Retry backoff base; attempt n waits backoffMs << (n-1). */
+    std::uint64_t backoffMs = 200;
+    /** Byte budget handed to each worker's ResultStore (0 = none). */
+    std::uint64_t storeBudgetBytes = 0;
+    /** argv[0] to exec for workers (the genie_serve binary). */
+    std::string selfExe;
+    /**
+     * Test hook: when non-empty, workers run `/bin/sh -c <cmd>`
+     * instead of the real simulation. Crash/timeout/retry paths are
+     * exercised with commands like `kill -9 $$` without simulating.
+     */
+    std::string workerCommand;
+    /** Set by the tool's SIGTERM/SIGINT handler: drain and exit. */
+    const std::atomic<bool> *drainFlag = nullptr;
+};
+
+/** Daemon-lifetime counters, reported by the `stats` op. */
+struct ServeCounters GENIE_THREAD_LOCAL_OK
+{
+    std::uint64_t submitted = 0;   ///< jobs accepted
+    std::uint64_t recovered = 0;   ///< jobs re-enqueued from spool
+    std::uint64_t completed = 0;   ///< jobs finished with results
+    std::uint64_t failed = 0;      ///< deterministic failures
+    std::uint64_t quarantined = 0; ///< poison jobs
+    std::uint64_t crashes = 0;     ///< attempts ended by a signal
+    std::uint64_t timeouts = 0;    ///< attempts that hit the budget
+    std::uint64_t retries = 0;     ///< attempts re-enqueued
+    std::uint64_t busy = 0;        ///< submits refused by backpressure
+};
+
+class Server
+{
+  public:
+    explicit Server(ServeOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Create the state directories, recover the spool, and bind the
+     * socket. fatal() when the socket or state dir cannot be set up.
+     */
+    void start();
+
+    /** Event loop; returns 0 after a clean drain. */
+    int run();
+
+    const ServeCounters &counters() const { return _counters; }
+
+    /** Jobs currently queued (including backoff waits). */
+    std::size_t queueDepth() const { return queue.size(); }
+
+    std::string spoolDir() const;
+    std::string storeDir() const;
+
+  private:
+    struct Job
+    {
+        JobDescriptor desc;
+        ServeJobState state = ServeJobState::Queued;
+        unsigned attempts = 0;
+        int pid = -1;
+        std::uint64_t deadlineNs = 0; ///< timeout trip point
+        std::uint64_t killNs = 0;     ///< SIGKILL escalation point
+        std::uint64_t readyNs = 0;    ///< backoff release point
+        bool timedOut = false;
+        bool termSent = false;
+        bool killSent = false;
+        std::string error;         ///< terminal diagnostics
+        std::vector<int> waiters;  ///< fds blocked in `wait`
+    };
+
+    struct Client
+    {
+        std::string inbuf;
+    };
+
+    ServeOptions opts;
+    int listenFd = -1;
+    bool draining = false;
+    std::uint64_t nextJobNumber = 1;
+    std::map<int, Client> clients;
+    std::map<std::string, Job> jobs;
+    std::deque<std::string> queue; ///< job ids awaiting a worker
+    unsigned running = 0;
+    ServeCounters _counters;
+
+    std::string jobPath(const std::string &id) const;
+    std::string outPath(const std::string &id) const;
+    std::string errPath(const std::string &id) const;
+
+    void recoverSpool();
+    void bindSocket();
+    void acceptClient();
+    void closeClient(int fd);
+    void readClient(int fd);
+    void handleLine(int fd, const std::string &line);
+    void handleSubmit(int fd, const JobDescriptor &desc);
+    void sendLine(int fd, const std::string &line);
+    void notifyWaiters(Job &job);
+
+    void dispatch();
+    void spawn(Job &job);
+    void reapWorkers();
+    void enforceTimeouts();
+    void attemptFinished(Job &job, int status);
+    std::string statsLine() const;
+};
+
+} // namespace genie
+
+#endif // GENIE_SERVE_SERVER_HH

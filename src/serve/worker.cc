@@ -1,0 +1,89 @@
+#include "worker.hh"
+
+#include <exception>
+#include <fstream>
+#include <sstream>
+
+#include "dse/journal.hh"
+#include "dse/result_store.hh"
+#include "dse/sweep_engine.hh"
+#include "serve/protocol.hh"
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+namespace
+{
+
+/** Leave a one-line diagnostic for the daemon to surface. */
+void
+reportError(const std::string &errPath, const std::string &message)
+{
+    if (!errPath.empty())
+        writeFileDurably(errPath, message + "\n");
+    warn("genie_serve worker: %s", message.c_str());
+}
+
+} // namespace
+
+int
+runServeWorker(const ServeWorkerArgs &args)
+{
+    JobDescriptor desc;
+    {
+        std::ifstream in(args.jobPath);
+        std::string line;
+        if (!in || !std::getline(in, line)) {
+            reportError(args.errPath,
+                        "cannot read job file " + args.jobPath);
+            return serveWorkerUserError;
+        }
+        std::string error;
+        if (!parseJobLine(line, desc, error)) {
+            reportError(args.errPath, error);
+            return serveWorkerUserError;
+        }
+    }
+
+    try {
+        // The store is both the crash-durability mechanism (each
+        // completed point lands before the next starts) and the
+        // retry accelerator (a re-run of a killed attempt replays
+        // its finished points as store hits).
+        ResultStore store;
+        SweepOptions sweepOpts;
+        sweepOpts.threads = desc.threads;
+        sweepOpts.stopRequested = args.stopRequested;
+        if (!args.storeDir.empty()) {
+            store.open(args.storeDir, args.storeBudgetBytes);
+            sweepOpts.store = &store;
+        }
+        SweepEngine engine(std::move(sweepOpts));
+        std::vector<DesignPoint> points = runJob(desc, engine);
+        if (engine.interrupted()) {
+            reportError(args.errPath,
+                        "interrupted: checkpointed to the store");
+            return serveWorkerInterrupted;
+        }
+        std::ostringstream out;
+        writeSweepResultsJson(out, points, desc.workload);
+        if (!writeFileDurably(args.outPath, out.str())) {
+            reportError(args.errPath,
+                        "cannot write results to " + args.outPath);
+            return serveWorkerSimFailure;
+        }
+        return serveWorkerDone;
+    } catch (const FatalError &e) {
+        reportError(args.errPath, e.what());
+        return serveWorkerUserError;
+    } catch (const SweepError &e) {
+        reportError(args.errPath, e.what());
+        return serveWorkerSimFailure;
+    } catch (const std::exception &e) {
+        reportError(args.errPath, e.what());
+        return serveWorkerSimFailure;
+    }
+}
+
+} // namespace genie

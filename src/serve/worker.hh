@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The genie_serve worker: one forked attempt at one job.
+ *
+ * The daemon execs `genie_serve --worker --job=... --out=... ...`
+ * for every attempt; this module is what runs on the other side of
+ * that exec. The worker reads the spooled `genie-serve-job-1`
+ * descriptor, runs the sweep through the same SweepEngine/runJob
+ * path genie_sweep uses (so served results are byte-identical to CLI
+ * results), writes the `genie-sweep-results-1` document durably to
+ * the .out path, and reports its fate through the exit-code contract
+ * below. Completed points are written through the shared ResultStore
+ * as they finish, so even a SIGKILLed attempt leaves its finished
+ * work durable — the retry re-simulates only the remainder.
+ *
+ * Exit-code contract (the daemon's retry policy keys off this):
+ *
+ *   0  results written; job done
+ *   1  deterministic simulation failure — do not retry
+ *   2  user/config error (bad job file, unknown workload) — do not
+ *      retry
+ *   6  interrupted: SIGTERM arrived, the sweep checkpointed, no
+ *      results written — retry resumes from the store
+ *   signal-death (no exit code): crash — retry
+ */
+
+#ifndef GENIE_SERVE_WORKER_HH
+#define GENIE_SERVE_WORKER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sim/thread_safety.hh"
+
+namespace genie
+{
+
+// The contract's named constants.
+constexpr int serveWorkerDone = 0;
+constexpr int serveWorkerSimFailure = 1;
+constexpr int serveWorkerUserError = 2;
+constexpr int serveWorkerInterrupted = 6;
+
+struct ServeWorkerArgs GENIE_THREAD_LOCAL_OK
+{
+    std::string jobPath;  ///< spooled genie-serve-job-1 descriptor
+    std::string outPath;  ///< where the results document lands
+    std::string errPath;  ///< one-line failure diagnostics
+    std::string storeDir; ///< shared ResultStore ("" = none)
+    std::uint64_t storeBudgetBytes = 0;
+    /** Wired to the tool's SIGTERM handler: checkpoint and exit 6. */
+    const std::atomic<bool> *stopRequested = nullptr;
+};
+
+/** Run one worker attempt; returns the process exit code per the
+ * contract above. Never throws. */
+int runServeWorker(const ServeWorkerArgs &args);
+
+} // namespace genie
+
+#endif // GENIE_SERVE_WORKER_HH

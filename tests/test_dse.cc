@@ -568,6 +568,74 @@ TEST(SweepEngine, ConfigCostPrefersCacheAndNarrowDatapaths)
         << "fewer lanes mean more simulated compute cycles";
 }
 
+TEST(ResultCache, BoundedCacheEvictsLeastRecentlyUsed)
+{
+    ResultCache cache(2);
+    SocResults r;
+    cache.insert("a", r);
+    cache.insert("b", r);
+    SocResults out;
+    ASSERT_TRUE(cache.lookup("a", out)); // refresh: "b" is now LRU
+    cache.insert("c", r);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.lookup("b", out))
+        << "the least recently used entry is the victim";
+    EXPECT_TRUE(cache.lookup("a", out));
+    EXPECT_TRUE(cache.lookup("c", out));
+}
+
+TEST(ResultCache, DefaultIsUnbounded)
+{
+    ResultCache cache;
+    SocResults r;
+    for (int i = 0; i < 1000; ++i)
+        cache.insert(std::to_string(i), r);
+    EXPECT_EQ(cache.size(), 1000u);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(Journal, CheckedLoaderCountsInteriorCorruptLines)
+{
+    const std::string path =
+        ::testing::TempDir() + "genie_corrupt_journal.jsonl";
+    std::remove(path.c_str());
+    {
+        SocResults r;
+        std::ofstream out(path);
+        out << journalHeaderLine();
+        out << journalRecordLine("key-a", 0x1, r);
+        out << "garbage that is not a record\n"; // interior damage
+        out << journalRecordLine("key-b", 0x2, r);
+    }
+    JournalLoadResult loaded = loadJournalChecked(path);
+    EXPECT_EQ(loaded.records.size(), 2u)
+        << "records around the damage must still load";
+    EXPECT_EQ(loaded.corruptLines, 1u)
+        << "interior corruption must be counted, never silent";
+    EXPECT_FALSE(loaded.tornFinalLine);
+    std::remove(path.c_str());
+}
+
+TEST(Journal, TornFinalLineIsSilentlySkippedNotCorrupt)
+{
+    const std::string path =
+        ::testing::TempDir() + "genie_torn_journal.jsonl";
+    std::remove(path.c_str());
+    {
+        SocResults r;
+        std::ofstream out(path);
+        out << journalHeaderLine();
+        out << journalRecordLine("key-a", 0x1, r);
+        out << "{\"key\": \"key-b\", \"finge"; // kill-mid-write
+    }
+    JournalLoadResult loaded = loadJournalChecked(path);
+    EXPECT_EQ(loaded.records.size(), 1u);
+    EXPECT_EQ(loaded.corruptLines, 0u)
+        << "a torn final line is the expected interruption shape";
+    EXPECT_TRUE(loaded.tornFinalLine);
+    std::remove(path.c_str());
+}
+
 TEST(SpaceFilter, ParsesAxesAndRejectsGarbage)
 {
     SpaceFilter f = SpaceFilter::parse(

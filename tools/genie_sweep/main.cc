@@ -13,28 +13,40 @@
  *   genie_sweep md-knn --space=fig8 --filter="lanes=1,4" \
  *               --resume=sweep.jsonl --out=results.json
  *
- * Spaces: isolated (compute-only lanes x partitions), dma (Fig. 8 DMA
- * space, all optimizations), fig6 (DMA optimization cross-product),
- * cache (Fig. 8 cache space), fig8 (dma + cache concatenated), acp
- * (coherency-port lanes x partitions), iface (spin/interrupt x
- * dma/acp/cache — the three-regime SoC-interface space).
- * `key=value` pairs (core/config_parse.hh) set the base config the
- * space is enumerated around; --filter carves an axis-value subset.
+ * Spaces: single (just the base config), isolated (compute-only lanes
+ * x partitions), dma (Fig. 8 DMA space, all optimizations), fig6 (DMA
+ * optimization cross-product), cache (Fig. 8 cache space), fig8 (dma
+ * + cache concatenated), acp (coherency-port lanes x partitions),
+ * iface (spin/interrupt x dma/acp/cache — the three-regime
+ * SoC-interface space). `key=value` pairs (core/config_parse.hh) set
+ * the base config the space is enumerated around; --filter carves an
+ * axis-value subset.
  *
  * --resume=FILE preloads FILE into the result cache and, unless
  * --journal names a different file, keeps appending to it, so the
- * same command line is simply re-run after an interruption.
- * --max-points=N stops cleanly after N fresh simulations (exit code
- * 4) — the deterministic way to exercise interruption in CI.
+ * same command line is simply re-run after an interruption. Interior
+ * corrupt journal lines are skipped loudly and reported as a
+ * corrupt_lines count. --max-points=N stops cleanly after N fresh
+ * simulations (exit code 4) — the deterministic way to exercise
+ * interruption in CI. SIGINT/SIGTERM request a graceful drain:
+ * in-flight points finish and checkpoint, then the tool exits 5 with
+ * resume instructions — ctrl-C never tears a journal.
+ *
+ * --store=DIR adds the durable content-addressed ResultStore as a
+ * second memoization tier behind the in-memory cache (shared with
+ * genie_serve daemons pointed at the same directory);
+ * --store-budget=BYTES bounds it with LRU eviction.
  *
  * Results (--out, "-" = stdout) are the deterministic
  * genie-sweep-results-1 JSON in enumeration order: byte-identical
  * across thread counts and cold/warm/resumed runs. --stats-json
  * exports the engine's StatRegistry block (points done/cached/failed,
- * events, MEPS).
+ * events, MEPS, store hits, corrupt journal lines).
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -43,8 +55,10 @@
 #include <vector>
 
 #include "core/config_parse.hh"
+#include "dse/job.hh"
 #include "dse/journal.hh"
 #include "dse/pareto.hh"
+#include "dse/result_store.hh"
 #include "dse/sweep.hh"
 #include "dse/sweep_engine.hh"
 #include "metrics/export.hh"
@@ -55,49 +69,35 @@ namespace
 
 using namespace genie;
 
+/** Set by the SIGINT/SIGTERM handler; polled by the sweep workers
+ * (SweepOptions::stopRequested). */
+std::atomic<bool> gDrainRequested{false};
+
+void
+onDrainSignal(int)
+{
+    gDrainRequested.store(true);
+}
+
 int
 usage()
 {
     std::fprintf(
         stderr,
         "usage: genie_sweep <workload> [key=value ...]\n"
-        "         [--space=isolated|dma|fig6|cache|fig8|acp|iface]\n"
+        "         [--space=single|isolated|dma|fig6|cache|fig8|acp|"
+        "iface]\n"
         "         [--filter=\"lanes=1,4;partitions=1,4;...\"]\n"
         "         [--threads=N] [--journal=FILE] [--resume=FILE]\n"
+        "         [--store=DIR] [--store-budget=BYTES]\n"
         "         [--out=FILE] [--stats-json=FILE] "
         "[--max-points=N]\n"
         "         [--progress] [--pareto]\n"
         "       genie_sweep --list\n"
         "exit:  0 ok, 1 error, 2 usage, 4 interrupted by "
-        "--max-points\n");
+        "--max-points,\n"
+        "       5 drained by SIGINT/SIGTERM\n");
     return 2;
-}
-
-std::vector<SocConfig>
-enumerateSpace(const std::string &space, const SocConfig &base)
-{
-    if (space == "isolated")
-        return DesignSpace::isolated(base);
-    if (space == "dma")
-        return DesignSpace::dma(base);
-    if (space == "fig6" || space == "dma-options")
-        return DesignSpace::dmaOptions(base);
-    if (space == "cache")
-        return DesignSpace::cache(base);
-    if (space == "fig8") {
-        auto configs = DesignSpace::dma(base);
-        auto cacheConfigs = DesignSpace::cache(base);
-        configs.insert(configs.end(), cacheConfigs.begin(),
-                       cacheConfigs.end());
-        return configs;
-    }
-    if (space == "acp")
-        return DesignSpace::acp(base);
-    if (space == "iface")
-        return DesignSpace::iface(base);
-    fatal("unknown space '%s' "
-          "(isolated|dma|fig6|cache|fig8|acp|iface)",
-          space.c_str());
 }
 
 } // namespace
@@ -110,6 +110,8 @@ main(int argc, char **argv)
     std::string filterSpec;
     std::string outPath;
     std::string statsJsonPath;
+    std::string storeDir;
+    std::uint64_t storeBudget = 0;
     bool progress = false;
     bool pareto = false;
     SweepOptions options;
@@ -132,6 +134,10 @@ main(int argc, char **argv)
             options.journalPath = arg + 10;
         } else if (std::strncmp(arg, "--resume=", 9) == 0) {
             options.resumePath = arg + 9;
+        } else if (std::strncmp(arg, "--store=", 8) == 0) {
+            storeDir = arg + 8;
+        } else if (std::strncmp(arg, "--store-budget=", 15) == 0) {
+            storeBudget = std::strtoull(arg + 15, nullptr, 10);
         } else if (std::strncmp(arg, "--out=", 6) == 0) {
             outPath = arg + 6;
         } else if (std::strncmp(arg, "--stats-json=", 13) == 0) {
@@ -160,6 +166,12 @@ main(int argc, char **argv)
     if (options.journalPath.empty() && !options.resumePath.empty())
         options.journalPath = options.resumePath;
 
+    // Graceful drain: a signal stops the deal of new points;
+    // in-flight points finish and checkpoint normally.
+    std::signal(SIGINT, onDrainSignal);
+    std::signal(SIGTERM, onDrainSignal);
+    options.stopRequested = &gDrainRequested;
+
     try {
         auto built = makeWorkload(workload)->build();
         Dddg dddg(built.trace);
@@ -171,6 +183,12 @@ main(int argc, char **argv)
         }
         if (configs.empty())
             fatal("the filter rejected every design point");
+
+        ResultStore store;
+        if (!storeDir.empty()) {
+            store.open(storeDir, storeBudget);
+            options.store = &store;
+        }
 
         if (progress) {
             options.onProgress = [](const SweepProgress &p) {
@@ -208,6 +226,20 @@ main(int argc, char **argv)
                     wallMs,
                     (unsigned long long)engine.simulatedEvents(),
                     engine.meps());
+        if (engine.journalCorruptLines() > 0) {
+            // Never let disk corruption pass silently: the affected
+            // points were re-simulated, but the operator should know
+            // the journal took damage.
+            std::printf("  resume journal: corrupt_lines=%zu "
+                        "(interior corruption; affected points "
+                        "re-simulated)\n",
+                        engine.journalCorruptLines());
+        }
+        if (engine.storeHits() > 0) {
+            std::printf("  store: %llu hit(s) from %s\n",
+                        (unsigned long long)engine.storeHits(),
+                        storeDir.c_str());
+        }
 
         if (!statsJsonPath.empty()) {
             StatRegistry registry;
@@ -216,12 +248,15 @@ main(int argc, char **argv)
         }
 
         if (engine.interrupted()) {
-            std::printf("interrupted after %zu fresh points; resume "
-                        "with --resume=%s\n",
-                        final.done,
+            const char *how = gDrainRequested.load()
+                                  ? "drained by signal"
+                                  : "interrupted";
+            std::printf("%s after %zu fresh points; resume with "
+                        "--resume=%s\n",
+                        how, final.done,
                         journalPath.empty() ? "JOURNAL"
                                             : journalPath.c_str());
-            return 4;
+            return gDrainRequested.load() ? 5 : 4;
         }
 
         if (pareto) {
