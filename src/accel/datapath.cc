@@ -139,10 +139,14 @@ Datapath::scheduleTick()
     Tick at = clockEdge(0);
     if (lastTickAt != maxTick && at <= lastTickAt)
         at = lastTickAt + clockPeriod();
-    eventq.scheduleFlow(at, [this] {
-        tickScheduled = false;
-        tick();
-    }, "accel.tick");
+    // Raw dispatch (Genie-Turbo): the two hottest event kinds in the
+    // tree — accel.tick and accel.nodeComplete — skip std::function
+    // entirely.
+    eventq.scheduleFlowRaw(at, [](void *c, std::uint64_t) {
+        auto *self = static_cast<Datapath *>(c);
+        self->tickScheduled = false;
+        self->tick();
+    }, this, 0, "accel.tick");
 }
 
 void
@@ -290,8 +294,10 @@ Datapath::scheduleCompletion(Cycles lat, NodeId n)
     // would silently cost an extra cycle).
     Tick when = clockEdge(lat);
     GENIE_ASSERT(when > 0, "completion before time begins");
-    eventq.scheduleFlow(when - 1, [this, n] { onNodeComplete(n); },
-                    "accel.nodeComplete");
+    eventq.scheduleFlowRaw(when - 1, [](void *c, std::uint64_t node) {
+        static_cast<Datapath *>(c)->onNodeComplete(
+            static_cast<NodeId>(node));
+    }, this, n, "accel.nodeComplete");
 }
 
 Datapath::IssueResult
@@ -436,10 +442,11 @@ Datapath::finishIfDrained()
     if (cache && cache->hasOutstanding()) {
         if (!drainCheckScheduled) {
             drainCheckScheduled = true;
-            scheduleCycles(1, [this] {
-                drainCheckScheduled = false;
-                finishIfDrained();
-            }, "accel.drainCheck");
+            scheduleCyclesRaw(1, [](void *c, std::uint64_t) {
+                auto *self = static_cast<Datapath *>(c);
+                self->drainCheckScheduled = false;
+                self->finishIfDrained();
+            }, this, 0, "accel.drainCheck");
         }
         return;
     }

@@ -30,7 +30,9 @@ DriverCpu::run(std::vector<DriverOp> prog, std::function<void()> done)
     waitingOnFlag = false;
     intrPending = false;
     waitingOnIntr = false;
-    eventq.scheduleFlowIn(0, [this] { step(); }, "cpu.step");
+    eventq.scheduleFlowRawIn(0, [](void *c, std::uint64_t) {
+        static_cast<DriverCpu *>(c)->step();
+    }, this, 0, "cpu.step");
 }
 
 void
@@ -49,9 +51,10 @@ DriverCpu::signalFlag()
             eventq.curTick() - spinStart + params.spinNoticeLatency);
         // The flag was consumed by the pending SpinWait.
         flagSet = false;
-        eventq.scheduleFlowIn(params.spinNoticeLatency,
-                              [this] { step(); },
-                          "cpu.step");
+        eventq.scheduleFlowRawIn(params.spinNoticeLatency,
+                                 [](void *c, std::uint64_t) {
+            static_cast<DriverCpu *>(c)->step();
+        }, this, 0, "cpu.step");
     }
 }
 
@@ -65,7 +68,9 @@ DriverCpu::raiseInterrupt()
         // wakeup latency was already charged by the InterruptLine,
         // and a sleeping CPU burns no spin ticks.
         intrPending = false;
-        eventq.scheduleFlowIn(0, [this] { step(); }, "cpu.step");
+        eventq.scheduleFlowRawIn(0, [](void *c, std::uint64_t) {
+        static_cast<DriverCpu *>(c)->step();
+    }, this, 0, "cpu.step");
     }
 }
 
@@ -94,30 +99,37 @@ DriverCpu::step()
         flushEngine.startInvalidate(op.bytes, next);
         break;
       case DriverOp::Kind::Compute:
-        scheduleCycles(op.cycles, next, "cpu.compute");
+        scheduleCyclesRaw(op.cycles, [](void *c, std::uint64_t) {
+            static_cast<DriverCpu *>(c)->step();
+        }, this, 0, "cpu.compute");
         break;
       case DriverOp::Kind::Ioctl: {
         std::uint32_t command = op.command;
         ++statIoctls;
-        scheduleCycles(params.ioctlCycles, [this, command] {
+        scheduleCyclesRaw(params.ioctlCycles,
+                          [](void *c, std::uint64_t cmd) {
+            auto *self = static_cast<DriverCpu *>(c);
+            auto command = static_cast<std::uint32_t>(cmd);
             // The device runs concurrently with the CPU; the driver
             // returns from ioctl immediately after starting it.
             // Completion routes through the configured sink (e.g. an
             // InterruptLine) or, by default, the coherent spin flag.
-            registry.ioctl(aladdinFd, command, [this] {
-                if (completionSink)
-                    completionSink();
+            self->registry.ioctl(aladdinFd, command, [self] {
+                if (self->completionSink)
+                    self->completionSink();
                 else
-                    signalFlag();
+                    self->signalFlag();
             });
-            step();
-        }, "cpu.ioctl");
+            self->step();
+        }, this, command, "cpu.ioctl");
         break;
       }
       case DriverOp::Kind::SpinWait:
         if (flagSet) {
             flagSet = false;
-            eventq.scheduleFlowIn(0, next, "cpu.step");
+            eventq.scheduleFlowRawIn(0, [](void *c, std::uint64_t) {
+                static_cast<DriverCpu *>(c)->step();
+            }, this, 0, "cpu.step");
         } else {
             spinStart = eventq.curTick();
             waitingOnFlag = true;
@@ -126,18 +138,25 @@ DriverCpu::step()
       case DriverOp::Kind::IntrWait:
         if (intrPending) {
             intrPending = false;
-            eventq.scheduleFlowIn(0, next, "cpu.step");
+            eventq.scheduleFlowRawIn(0, [](void *c, std::uint64_t) {
+                static_cast<DriverCpu *>(c)->step();
+            }, this, 0, "cpu.step");
         } else {
             waitingOnIntr = true;
         }
         break;
       case DriverOp::Kind::Mfence:
-        scheduleCycles(params.mfenceCycles, next, "cpu.mfence");
+        scheduleCyclesRaw(params.mfenceCycles,
+                          [](void *c, std::uint64_t) {
+            static_cast<DriverCpu *>(c)->step();
+        }, this, 0, "cpu.mfence");
         break;
       case DriverOp::Kind::Call:
         if (op.callback)
             op.callback();
-        eventq.scheduleFlowIn(0, next, "cpu.step");
+        eventq.scheduleFlowRawIn(0, [](void *c, std::uint64_t) {
+                static_cast<DriverCpu *>(c)->step();
+            }, this, 0, "cpu.step");
         break;
     }
 }

@@ -100,10 +100,11 @@ SystemBus::scheduleArbitration(Tick when)
         return;
     arbitrationScheduled = true;
     Tick at = std::max(when, std::max(busyUntil, eventq.curTick()));
-    eventq.scheduleFlow(at, [this] {
-        arbitrationScheduled = false;
-        arbitrate();
-    }, "bus.arbitrate");
+    eventq.scheduleFlowRaw(at, [](void *c, std::uint64_t) {
+        auto *self = static_cast<SystemBus *>(c);
+        self->arbitrationScheduled = false;
+        self->arbitrate();
+    }, this, 0, "bus.arbitrate");
 }
 
 void

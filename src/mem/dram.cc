@@ -58,11 +58,13 @@ DramCtrl::kick(Tick when)
     if (when >= pendingKickAt && pendingKickAt > eventq.curTick())
         return; // an earlier wakeup is already pending
     pendingKickAt = when;
-    eventq.scheduleFlow(when, [this, when] {
-        if (pendingKickAt == when)
-            pendingKickAt = maxTick;
-        trySchedule();
-    }, "dram.kick");
+    // Raw dispatch: the wakeup tick packs into the payload word.
+    eventq.scheduleFlowRaw(when, [](void *c, std::uint64_t at) {
+        auto *self = static_cast<DramCtrl *>(c);
+        if (self->pendingKickAt == at)
+            self->pendingKickAt = maxTick;
+        self->trySchedule();
+    }, this, when, "dram.kick");
 }
 
 void

@@ -58,11 +58,26 @@ HostProfiler::endEvent()
     inEvent = false;
     std::uint64_t ns = end >= startNs ? end - startNs : 0;
 
-    auto [it, inserted] = kinds.try_emplace(
-        curKind != nullptr ? curKind : "(untagged)");
-    KindProfile &k = it->second;
-    if (inserted)
-        k.latencyNs = makeLatencyDist();
+    // Kind-table fast path (Genie-Turbo): schedule sites pass static
+    // string literals, so the pointer identity of `curKind` memoizes
+    // the by-name lookup — one flat hash probe per event instead of a
+    // string construction plus red-black-tree walk. Two distinct
+    // pointers with equal text simply memoize the same by-name node
+    // (std::map nodes are pointer-stable), so attribution output is
+    // unchanged.
+    KindProfile *kp;
+    auto cached = kindCache.find(curKind);
+    if (cached != kindCache.end()) {
+        kp = cached->second;
+    } else {
+        auto [it, inserted] = kinds.try_emplace(
+            curKind != nullptr ? curKind : "(untagged)");
+        if (inserted)
+            it->second.latencyNs = makeLatencyDist();
+        kp = &it->second;
+        kindCache.emplace(curKind, kp);
+    }
+    KindProfile &k = *kp;
     k.events += 1;
     k.wallNs += ns;
     k.latencyNs.sample(static_cast<double>(ns));
@@ -116,6 +131,7 @@ void
 HostProfiler::reset()
 {
     kinds.clear();
+    kindCache.clear();
     _totalEvents = 0;
     _totalWallNs = 0;
     inEvent = false;

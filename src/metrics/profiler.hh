@@ -25,6 +25,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -91,6 +92,10 @@ class HostProfiler GENIE_THREAD_LOCAL_OK : public EventProfiler
 
   private:
     std::map<std::string, KindProfile> kinds;
+    /** Pointer-identity memo of the by-name lookup: kind tags are
+     * static literals, so the same tag pointer recurs per site and
+     * endEvent() resolves it with one hash probe (Genie-Turbo). */
+    std::unordered_map<const char *, KindProfile *> kindCache;
     std::uint64_t _totalEvents = 0;
     std::uint64_t _totalWallNs = 0;
 

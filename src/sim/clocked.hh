@@ -100,6 +100,18 @@ class Clocked
                                    std::move(action), kind);
     }
 
+    /** Raw-dispatch scheduleCycles() (Genie-Turbo fast path): fires
+     * fn(ctx, arg) with no std::function on the path. Same flow
+     * capture and ordering as scheduleCycles(). */
+    EventId
+    scheduleCyclesRaw(Cycles cycles, EventQueue::RawEvent fn,
+                      void *ctx, std::uint64_t arg,
+                      const char *kind = nullptr)
+    {
+        return eventq.scheduleFlowRaw(clockEdge(cycles), fn, ctx, arg,
+                                      kind);
+    }
+
   protected:
     EventQueue &eventq;
     ClockDomain clock;

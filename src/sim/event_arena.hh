@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Arena-pooled object storage for the event kernel (Genie-Turbo).
+ *
+ * ObjectArena<T> owns every T the EventQueue ever materializes:
+ * storage is bump-allocated in fixed-size blocks, destroyed slots are
+ * recycled through a freelist, and each slot carries a generation
+ * counter so recycled storage can be told apart from the allocation a
+ * stale handle was minted for. This replaces the kernel's historical
+ * per-schedule new/delete pair — after Genie-Turbo, event allocation
+ * happens here and nowhere else (the event-alloc lint rule in
+ * tools/genie_lint polices that, and this header carries the one
+ * sanctioned placement-new/raw-destroy suppression).
+ *
+ * Lifetime rules (the arena contract, see DESIGN.md §15):
+ *  - create() placement-constructs a T in a recycled or fresh slot and
+ *    returns it with its slot index; the arena owns the storage.
+ *  - destroy(slot) runs ~T, bumps the slot generation (invalidating
+ *    every handle minted for the old generation), and pushes the slot
+ *    on the freelist. Double-destroy asserts.
+ *  - get(slot, gen) returns the live object only if the slot is live
+ *    AND the generation matches — a stale handle yields nullptr, never
+ *    a different object's storage.
+ *  - Blocks are never returned to the OS until the arena dies, so a
+ *    T* stays valid (pointer-stable) until its destroy().
+ *  - live() counts constructed-but-not-destroyed objects; the
+ *    EventQueue's drain/leak invariants are built on it closing to 0.
+ *
+ * Generations are 32-bit; a single slot would need 2^32 recycles for
+ * a stale handle to alias, far beyond any simulated run.
+ */
+
+#ifndef GENIE_SIM_EVENT_ARENA_HH
+#define GENIE_SIM_EVENT_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+template <typename T>
+class ObjectArena
+{
+  public:
+    /** Slots per storage block; one block is allocated at a time as
+     * the high-water mark grows. */
+    static constexpr std::uint32_t blockSlots = 256;
+
+    ObjectArena() = default;
+    ObjectArena(const ObjectArena &) = delete;
+    ObjectArena &operator=(const ObjectArena &) = delete;
+
+    ~ObjectArena()
+    {
+        GENIE_ASSERT(liveCount == 0,
+                     "ObjectArena destroyed with %zu live object(s)",
+                     liveCount);
+    }
+
+    /** Construct a T in a fresh or recycled slot. @p slotOut receives
+     * the slot index for later get()/destroy(). */
+    template <typename... Args>
+    T *
+    create(std::uint32_t &slotOut, Args &&...args)
+    {
+        std::uint32_t slot;
+        if (!freelist.empty()) {
+            slot = freelist.back();
+            freelist.pop_back();
+        } else {
+            slot = highWater++;
+            if ((slot / blockSlots) >= blocks.size())
+                blocks.push_back(std::make_unique<Slot[]>(blockSlots));
+        }
+        Slot &s = slotRef(slot);
+        GENIE_ASSERT(!s.live, "arena slot %u double-allocated", slot);
+        s.live = true;
+        ++liveCount;
+        slotOut = slot;
+        return ::new (static_cast<void *>(s.storage))
+            T(std::forward<Args>(args)...);
+    }
+
+    /** Destroy the object in @p slot: runs ~T, bumps the generation
+     * (staling old handles) and recycles the storage. */
+    void
+    destroy(std::uint32_t slot)
+    {
+        Slot &s = slotRef(slot);
+        GENIE_ASSERT(s.live, "arena slot %u double-destroyed", slot);
+        objectAt(s)->~T();
+        s.live = false;
+        ++s.gen;
+        GENIE_ASSERT(liveCount > 0, "arena live-count underflow");
+        --liveCount;
+        freelist.push_back(slot);
+    }
+
+    /** The live object at (@p slot, @p gen), or nullptr if the slot
+     * was never allocated, is currently free, or has been recycled
+     * since @p gen was minted. */
+    T *
+    get(std::uint32_t slot, std::uint32_t gen)
+    {
+        if (slot >= highWater)
+            return nullptr;
+        Slot &s = slotRef(slot);
+        if (!s.live || s.gen != gen)
+            return nullptr;
+        return objectAt(s);
+    }
+
+    /** Current generation of @p slot (valid for any allocated slot;
+     * pairs with the pointer create() returned to mint a handle). */
+    std::uint32_t
+    generation(std::uint32_t slot) const
+    {
+        GENIE_ASSERT(slot < highWater, "arena slot %u out of range",
+                     slot);
+        return blocks[slot / blockSlots][slot % blockSlots].gen;
+    }
+
+    /** Constructed-but-not-destroyed objects. */
+    std::size_t live() const { return liveCount; }
+
+    /** Slots ever allocated (capacity high-water mark). */
+    std::size_t capacity() const { return highWater; }
+
+  private:
+    struct Slot
+    {
+        alignas(T) unsigned char storage[sizeof(T)];
+        std::uint32_t gen = 0;
+        bool live = false;
+    };
+
+    Slot &
+    slotRef(std::uint32_t slot)
+    {
+        return blocks[slot / blockSlots][slot % blockSlots];
+    }
+
+    static T *objectAt(Slot &s)
+    {
+        return std::launder(reinterpret_cast<T *>(s.storage));
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> blocks;
+    std::vector<std::uint32_t> freelist;
+    std::uint32_t highWater = 0;
+    std::size_t liveCount = 0;
+};
+
+} // namespace genie
+
+#endif // GENIE_SIM_EVENT_ARENA_HH

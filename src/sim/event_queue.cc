@@ -27,23 +27,20 @@ EventQueue::~EventQueue()
              liveEvents, (unsigned long long)nextTick());
     }
 #endif
-    while (!heap.empty()) {
-        Entry *e = heap.top();
-        heap.pop();
+    for (Entry *e = pendingTop(); e != nullptr; e = pendingTop()) {
+        pendingPop();
         freeEntry(e);
     }
-    GENIE_ASSERT(entriesAllocated == 0,
+    GENIE_ASSERT(arena.live() == 0,
                  "EventQueue entry accounting leak: %zu entries "
                  "unfreed at destruction",
-                 entriesAllocated);
+                 arena.live());
 }
 
 void
 EventQueue::freeEntry(const Entry *e) const
 {
-    GENIE_ASSERT(entriesAllocated > 0, "entry accounting underflow");
-    --entriesAllocated;
-    delete e;
+    arena.destroy(e->slot);
 }
 
 EventId
@@ -53,39 +50,71 @@ EventQueue::schedule(Tick when, std::function<void()> action,
     return scheduleImpl(when, std::move(action), kind, 0);
 }
 
-EventId
-EventQueue::scheduleImpl(Tick when, std::function<void()> action,
-                         const char *kind, std::uint64_t flowFrom)
+EventQueue::Entry *
+EventQueue::enqueueEntry(Tick when, const char *kind,
+                         std::uint64_t flowFrom, EventId &idOut)
 {
     if (when < _curTick)
         panic("scheduling event in the past (%llu < %llu)",
               (unsigned long long)when, (unsigned long long)_curTick);
-    auto *e = new Entry{when, nextSeq++, nextId++, std::move(action),
-                        kind, flowFrom, false};
-    ++entriesAllocated;
-    heap.push(e);
-    liveIndex.emplace(e->id, e);
+    std::uint32_t slot;
+    Entry *e = arena.create(slot);
+    e->when = when;
+    e->seq = nextSeq++;
+    e->kind = kind;
+    e->flowFrom = flowFrom;
+    e->slot = slot;
+    pendingPush(e);
     ++liveEvents;
-    return e->id;
+    idOut = makeId(slot, arena.generation(slot));
+    return e;
+}
+
+EventId
+EventQueue::scheduleImpl(Tick when, std::function<void()> action,
+                         const char *kind, std::uint64_t flowFrom)
+{
+    EventId id;
+    Entry *e = enqueueEntry(when, kind, flowFrom, id);
+    e->action = std::move(action);
+    return id;
+}
+
+EventId
+EventQueue::scheduleRawImpl(Tick when, RawEvent fn, void *ctx,
+                            std::uint64_t arg, const char *kind,
+                            std::uint64_t flowFrom)
+{
+    EventId id;
+    Entry *e = enqueueEntry(when, kind, flowFrom, id);
+    e->fn = fn;
+    e->ctx = ctx;
+    e->arg = arg;
+    return id;
 }
 
 void
 EventQueue::deschedule(EventId id)
 {
-    auto it = liveIndex.find(id);
-    if (it == liveIndex.end())
+    if (id == invalidEventId)
+        return;
+    // O(1) arena probe: a stale generation (already fired, already
+    // cancelled and reaped, or never valid) yields null.
+    Entry *e = arena.get(std::uint32_t(id >> 32) - 1,
+                         std::uint32_t(id));
+    if (e == nullptr || e->cancelled)
         return; // already fired or cancelled
-    it->second->cancelled = true;
-    liveIndex.erase(it);
+    e->cancelled = true;
     --liveEvents;
 }
 
 void
 EventQueue::skipCancelled() const
 {
-    while (!heap.empty() && heap.top()->cancelled) {
-        Entry *e = heap.top();
-        heap.pop();
+    for (Entry *e = pendingTop();
+         e != nullptr && e->cancelled;
+         e = pendingTop()) {
+        pendingPop();
         freeEntry(e);
     }
 }
@@ -94,31 +123,35 @@ Tick
 EventQueue::nextTick() const
 {
     skipCancelled();
-    return heap.empty() ? maxTick : heap.top()->when;
+    Entry *e = pendingTop();
+    return e == nullptr ? maxTick : e->when;
 }
 
 bool
 EventQueue::step()
 {
     skipCancelled();
-    if (heap.empty())
+    Entry *e = pendingTop();
+    if (e == nullptr)
         return false;
-    Entry *e = heap.top();
-    heap.pop();
-    GENIE_ASSERT(e->when >= _curTick, "event heap time went backwards");
+    pendingPop();
+    GENIE_ASSERT(e->when >= _curTick, "event order went backwards");
     _curTick = e->when;
-    // Erase from the live index *before* running so a deschedule() of
-    // the now-firing id from inside the action is a harmless no-op
-    // (the Entry is already gone) rather than a double free.
-    liveIndex.erase(e->id);
     --liveEvents;
     ++executed;
-    // Move the action out so the entry can be deleted before the action
-    // runs: the action may reschedule and grow the heap.
-    std::function<void()> action = std::move(e->action);
-    const char *kind = e->kind;
-    Tick when = e->when;
-    std::uint64_t flowFrom = e->flowFrom;
+    // Pull the dispatch state out so the entry can be recycled before
+    // the handler runs: the handler may reschedule and reuse the slot.
+    // Recycling first also makes a deschedule() of the now-firing id
+    // from inside the handler a harmless stale-generation no-op.
+    const RawEvent fn = e->fn;
+    void *const ctx = e->ctx;
+    const std::uint64_t arg = e->arg;
+    const char *const kind = e->kind;
+    const Tick when = e->when;
+    const std::uint64_t flowFrom = e->flowFrom;
+    std::function<void()> action;
+    if (fn == nullptr)
+        action = std::move(e->action);
     freeEntry(e);
     if (_tracer != nullptr) {
         // Hand the captured origin to the firing action: the first
@@ -131,10 +164,16 @@ EventQueue::step()
     }
     if (_profiler != nullptr) {
         _profiler->beginEvent(when, kind);
-        action();
+        if (fn != nullptr)
+            fn(ctx, arg);
+        else
+            action();
         _profiler->endEvent();
     } else {
-        action();
+        if (fn != nullptr)
+            fn(ctx, arg);
+        else
+            action();
     }
     return true;
 }

@@ -7,17 +7,31 @@
  * owns its own EventQueue so that design-space sweeps can run thousands
  * of independent simulations concurrently on different threads.
  *
- * Events with equal ticks fire in FIFO order of scheduling (a strict
- * total order keeps simulations deterministic and reproducible).
+ * THE ORDERING CONTRACT: events fire in the strict total order
+ * (when ascending, then seq ascending), where seq is the schedule
+ * order — equal-tick events fire FIFO. Every queue strategy
+ * (sim/queue_strategy.hh) implements exactly this order, which is why
+ * the strategy knob is purely a host-speed choice: stats, traces and
+ * fingerprints are byte-identical across strategies
+ * (tests/test_queue_diff.cc).
  *
- * Entry lifetime: the heap holds *owning* raw pointers — the one
- * sanctioned manual-allocation site in the tree (see the
- * raw-new-delete entry in tools/genie_lint/suppressions.txt). An
- * Entry is freed at exactly one of three points: when it fires
- * (step()), when a cancelled entry is lazily reaped at the heap top
- * (skipCancelled()), or in the destructor. allocatedEntries() exposes
- * the live allocation count so tests can prove the accounting closes
- * under any deschedule()/run() interleaving.
+ * Entry lifetime (Genie-Turbo): entries live in an ObjectArena
+ * (sim/event_arena.hh) — bump-allocated blocks with freelist
+ * recycling, no per-schedule new/delete. An Entry is destroyed at
+ * exactly one of three points: when it fires (step()), when a
+ * cancelled entry is lazily reaped at the pending-set head
+ * (skipCancelled()), or in the destructor. EventIds encode
+ * (slot, generation) into the arena so deschedule() is an O(1) array
+ * probe, and allocatedEntries() exposes the arena's live count so
+ * tests can prove the accounting closes under any deschedule()/run()
+ * interleaving.
+ *
+ * Hot-path dispatch: beside the std::function path, schedule sites
+ * can pass a raw function pointer + context word
+ * (scheduleFlowRaw()/...). The kernel then skips std::function
+ * construction, move and destruction entirely — the devirtualized
+ * fast path the hottest kinds (accel.tick, accel.nodeComplete,
+ * cpu.step, bus.deliver, dram.finish) use.
  */
 
 #ifndef GENIE_SIM_EVENT_QUEUE_HH
@@ -26,9 +40,11 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/event_arena.hh"
+#include "sim/ladder_queue.hh"
+#include "sim/queue_strategy.hh"
 #include "sim/types.hh"
 
 namespace genie
@@ -39,7 +55,12 @@ class StatGroup;
 class StatRegistry;
 class FaultInjector;
 
-/** Opaque handle identifying a scheduled event (for cancellation). */
+/**
+ * Opaque handle identifying a scheduled event (for cancellation).
+ * Encodes the arena (slot, generation) pair; a handle for a fired or
+ * cancelled event goes stale (its slot's generation moves on) and
+ * deschedule() on it is a safe no-op.
+ */
 using EventId = std::uint64_t;
 
 /** Sentinel returned for "no event". */
@@ -67,16 +88,31 @@ class EventProfiler
 };
 
 /**
- * A min-heap driven discrete event queue with deterministic tie
- * breaking and O(1) amortized cancellation (lazy deletion).
+ * The discrete event queue: deterministic (when, seq) ordering, O(1)
+ * cancellation, arena-pooled entries, and a pluggable pending-set
+ * strategy (binary heap or self-tuning ladder queue).
  */
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    /**
+     * Raw-dispatch event handler: @p ctx is the scheduling component
+     * (typically `this`), @p arg one payload word packed by the
+     * schedule site. The devirtualized alternative to std::function
+     * for hot kinds.
+     */
+    using RawEvent = void (*)(void *ctx, std::uint64_t arg);
+
+    explicit EventQueue(QueueStrategy s = QueueStrategy::Ladder)
+        : strat(s)
+    {
+    }
     ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    /** The pending-set strategy this queue runs on. */
+    QueueStrategy strategy() const { return strat; }
 
     /** Current simulated time in ticks. */
     Tick curTick() const { return _curTick; }
@@ -130,6 +166,37 @@ class EventQueue
                             _flowCursor);
     }
 
+    /**
+     * Raw-dispatch schedule (Genie-Turbo fast path): @p fn fires as
+     * fn(ctx, arg) with no std::function anywhere on the path. Flow
+     * semantics match scheduleFlow(). Same ordering, cancellation and
+     * profiling behavior as the std::function path — a site may be
+     * converted freely without changing results.
+     */
+    EventId
+    scheduleFlowRaw(Tick when, RawEvent fn, void *ctx,
+                    std::uint64_t arg, const char *kind = nullptr)
+    {
+        return scheduleRawImpl(when, fn, ctx, arg, kind, _flowCursor);
+    }
+
+    /** Raw-dispatch scheduleFlowIn(). */
+    EventId
+    scheduleFlowRawIn(Tick delta, RawEvent fn, void *ctx,
+                      std::uint64_t arg, const char *kind = nullptr)
+    {
+        return scheduleRawImpl(_curTick + delta, fn, ctx, arg, kind,
+                               _flowCursor);
+    }
+
+    /** Raw-dispatch schedule() (no flow capture). */
+    EventId
+    scheduleRaw(Tick when, RawEvent fn, void *ctx, std::uint64_t arg,
+                const char *kind = nullptr)
+    {
+        return scheduleRawImpl(when, fn, ctx, arg, kind, 0);
+    }
+
     /** Cancel a previously scheduled event. Safe on fired events. */
     void deschedule(EventId id);
 
@@ -156,11 +223,11 @@ class EventQueue
     std::uint64_t numExecuted() const { return executed; }
 
     /**
-     * Heap-owned Entry allocations currently alive (live events plus
-     * cancelled-but-unreaped ones). Debug/test hook for the owning
-     * pointer heap; always >= size().
+     * Arena-owned Entry allocations currently alive (live events plus
+     * cancelled-but-unreaped ones). Debug/test hook for the entry
+     * arena; always >= size().
      */
-    std::size_t allocatedEntries() const { return entriesAllocated; }
+    std::size_t allocatedEntries() const { return arena.live(); }
 
     /**
      * Attach the event recorder for this queue's system (see
@@ -226,7 +293,7 @@ class EventQueue
     // flowFrom, consumed by the first span the action records). Both
     // are written only by the attached Tracer and by step(); they are
     // observability state, so the setters are const like the lazily
-    // reaped heap. With no Tracer attached both stay 0 forever.
+    // reaped pending set.
 
     /** Span id the next scheduleFlow() call records as its origin. */
     std::uint64_t flowCursor() const { return _flowCursor; }
@@ -254,20 +321,37 @@ class EventQueue
     void checkDrained() const;
 
   private:
+    /**
+     * One pending event. Layout is hot-path packed: the ordering key
+     * (when, seq) leads so strategy comparisons touch the first cache
+     * line; the 32-byte std::function tail is only visited on the
+     * non-raw dispatch path.
+     */
     struct Entry
     {
-        Tick when;
-        std::uint64_t seq;
-        EventId id;
-        std::function<void()> action;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        RawEvent fn = nullptr; ///< non-null => raw fast dispatch
+        void *ctx = nullptr;
+        std::uint64_t arg = 0;
         const char *kind = nullptr; ///< profiler attribution tag
         /** Causal origin span captured by scheduleFlow(); 0 = none. */
         std::uint64_t flowFrom = 0;
+        std::uint32_t slot = 0; ///< arena slot owning this entry
         bool cancelled = false;
+        std::function<void()> action; ///< empty on the raw path
     };
 
     EventId scheduleImpl(Tick when, std::function<void()> action,
                          const char *kind, std::uint64_t flowFrom);
+    EventId scheduleRawImpl(Tick when, RawEvent fn, void *ctx,
+                            std::uint64_t arg, const char *kind,
+                            std::uint64_t flowFrom);
+
+    /** Allocate + enqueue a blank entry keyed (when, nextSeq) and
+     * mint its (slot, generation) EventId. */
+    Entry *enqueueEntry(Tick when, const char *kind,
+                        std::uint64_t flowFrom, EventId &idOut);
 
     struct EntryCompare
     {
@@ -280,35 +364,72 @@ class EventQueue
         }
     };
 
-    /** Pop cancelled entries off the top of the heap. */
+    // EventId <-> arena (slot, generation) packing. slot+1 keeps every
+    // valid id distinct from invalidEventId.
+    static EventId makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (EventId(slot + 1) << 32) | EventId(gen);
+    }
+
+    // ---- Strategy seam: the pending set ----
+    // Exactly one of `heap` / `ladder` is in use, chosen at
+    // construction; both retire entries in identical (when, seq)
+    // order. Mutable alongside the arena: lazy reaping of cancelled
+    // entries happens from const queries (nextTick).
+
+    void
+    pendingPush(Entry *e) const
+    {
+        if (strat == QueueStrategy::Ladder)
+            ladder.push(e);
+        else
+            heap.push(e);
+    }
+
+    Entry *
+    pendingTop() const
+    {
+        if (strat == QueueStrategy::Ladder)
+            return ladder.top();
+        return heap.empty() ? nullptr : heap.top();
+    }
+
+    void
+    pendingPop() const
+    {
+        if (strat == QueueStrategy::Ladder)
+            ladder.pop();
+        else
+            heap.pop();
+    }
+
+    /** Pop cancelled entries off the head of the pending set. */
     void skipCancelled() const;
 
-    /** Free @p e, keeping the allocation count honest. */
+    /** Destroy @p e's arena slot, keeping the live count honest. */
     void freeEntry(const Entry *e) const;
 
+    QueueStrategy strat;
     Tick _curTick = 0;
     Tracer *_tracer = nullptr;
     StatRegistry *_statRegistry = nullptr;
     EventProfiler *_profiler = nullptr;
     FaultInjector *_faultInjector = nullptr;
     std::uint64_t nextSeq = 0;
-    EventId nextId = 1;
     std::uint64_t executed = 0;
     std::size_t liveEvents = 0;
-    // Mutable alongside the heap: lazy reaping of cancelled entries
-    // happens from const queries (nextTick) and must stay accounted.
-    mutable std::size_t entriesAllocated = 0;
     // Ambient flow state (see the accessor block above): written by
     // the attached Tracer through const handles, hence mutable.
     mutable std::uint64_t _flowCursor = 0;
     mutable std::uint64_t _pendingOrigin = 0;
 
-    // Heap of owning pointers; cancellation marks the entry and the heap
-    // lazily discards it when it reaches the top.
+    // Entry storage (see event_arena.hh): the pending structures hold
+    // arena-owned pointers; cancellation marks the entry and the head
+    // scan lazily destroys it.
+    mutable ObjectArena<Entry> arena;
     mutable std::priority_queue<Entry *, std::vector<Entry *>,
                                 EntryCompare> heap;
-    // Map from live EventId to entry, for cancellation.
-    std::unordered_map<EventId, Entry *> liveIndex;
+    mutable LadderQueue<Entry> ladder;
 };
 
 } // namespace genie

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * A self-tuning calendar/ladder queue for pending events
+ * (Genie-Turbo).
+ *
+ * Drop-in pending-set replacement for the EventQueue's binary heap:
+ * amortized O(1) push/pop by spreading events across an array of
+ * tick-range buckets ("the calendar"), with far-future events parked
+ * in an overflow heap until the window reaches them. The bucket
+ * width and count retune themselves from the observed tick
+ * distribution at every redistribution/rebuild, so clock-edge-dense
+ * workloads and sparse DMA tails both land near one event per bucket.
+ *
+ * THE ORDERING CONTRACT (shared by every queue strategy, see
+ * DESIGN.md §15): pop order is the strict total order
+ *     (when ascending, then seq ascending)
+ * — ties at a tick fire in schedule order, nothing else. Any two
+ * strategies fed the same push/pop/erase sequence must pop the exact
+ * same node sequence; tests/test_properties.cc proves this against a
+ * sorted-vector reference model under randomized schedules, and
+ * tests/test_queue_diff.cc proves it end-to-end (byte-identical stats
+ * and traces vs the heap on the paper design points).
+ *
+ * Monotonicity assumption (matches the kernel: scheduling in the past
+ * panics): every push(n) satisfies n->when >= the `when` of the most
+ * recently popped node. Pushes below the current window's lower bound
+ * can still occur — a fired event scheduling at the current tick after
+ * the window advanced past it — and land in the sorted `front` spill,
+ * which pop() always drains first (front nodes are strictly earlier
+ * than every bucketed node by construction).
+ *
+ * The node type must expose `Tick when` and `std::uint64_t seq`
+ * members; the ladder stores non-owning Node* and never touches node
+ * lifetime (the EventQueue's ObjectArena owns storage).
+ */
+
+#ifndef GENIE_SIM_LADDER_QUEUE_HH
+#define GENIE_SIM_LADDER_QUEUE_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace genie
+{
+
+template <typename Node>
+class LadderQueue
+{
+  public:
+    LadderQueue() { buckets.resize(std::size_t(1) << nbLog2); }
+
+    /** Insert @p n keyed by (n->when, n->seq). */
+    void
+    push(Node *n)
+    {
+        ++count;
+        if (n->when < windowLo) {
+            // Late re-entry below the committed window (same-tick
+            // schedule after the scan advanced): spill front, which
+            // pop() drains before any bucket.
+            sortedInsertDesc(front, n);
+            return;
+        }
+        if (n->when >= windowEnd()) {
+            overflow.push_back(n);
+            std::push_heap(overflow.begin(), overflow.end(),
+                           laterFirst);
+            return;
+        }
+        std::size_t idx = bucketIndex(n->when);
+        std::vector<Node *> &b = buckets[idx];
+        ++inBuckets;
+        if (idx == cur && curSorted)
+            sortedInsertDesc(b, n);
+        else
+            b.push_back(n);
+        // Occupancy outgrew the calendar: re-spread everything over a
+        // retuned window before bucket scans degrade to linear.
+        if (inBuckets > (std::size_t(8) << nbLog2))
+            rebuild();
+    }
+
+    /** The earliest pending node by (when, seq), or nullptr. May
+     * advance the window and sort the bucket it lands on. */
+    Node *
+    top()
+    {
+        if (!front.empty())
+            return front.back();
+        if (inBuckets == 0) {
+            if (overflow.empty())
+                return nullptr;
+            redistribute();
+        }
+        seekBucket();
+        return buckets[cur].back();
+    }
+
+    /** Remove the node top() returned. Call only after a non-null
+     * top(). */
+    void
+    pop()
+    {
+        GENIE_ASSERT(count > 0, "LadderQueue::pop on empty queue");
+        --count;
+        if (!front.empty()) {
+            front.pop_back();
+            return;
+        }
+        // top() positioned cur on the sorted head bucket.
+        buckets[cur].pop_back();
+        --inBuckets;
+    }
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** Current bucket width in ticks (test/inspection hook). */
+    Tick bucketWidth() const { return Tick(1) << widthLog2; }
+
+    /** Current bucket count (test/inspection hook). */
+    std::size_t numBuckets() const { return buckets.size(); }
+
+    /** Times the calendar retuned (redistribute/rebuild). */
+    std::uint64_t numRetunes() const { return retunes; }
+
+  private:
+    // Fires-earlier comparison: ascending (when, seq).
+    static bool earlierFirst(const Node *a, const Node *b)
+    {
+        if (a->when != b->when)
+            return a->when < b->when;
+        return a->seq < b->seq;
+    }
+
+    // Heap/descending-sort comparator: later events first so the
+    // minimum sits at the vector back (pop_back) / heap top.
+    static bool laterFirst(const Node *a, const Node *b)
+    {
+        return earlierFirst(b, a);
+    }
+
+    static void sortedInsertDesc(std::vector<Node *> &v, Node *n)
+    {
+        v.insert(std::upper_bound(v.begin(), v.end(), n, laterFirst),
+                 n);
+    }
+
+    Tick windowEnd() const
+    {
+        return windowLo + (Tick(buckets.size()) << widthLog2);
+    }
+
+    std::size_t bucketIndex(Tick when) const
+    {
+        return std::size_t(when >> widthLog2) & (buckets.size() - 1);
+    }
+
+    /**
+     * Pull every overflow node that now lies inside the window into
+     * its bucket. Must run whenever windowLo advances: the window end
+     * moves with it, and an overflow node falling inside the window
+     * unnoticed would fire after later bucketed nodes — the ordering
+     * contract's one structural hazard.
+     */
+    void
+    pullOverflow()
+    {
+        while (!overflow.empty() &&
+               overflow.front()->when < windowEnd()) {
+            std::pop_heap(overflow.begin(), overflow.end(),
+                          laterFirst);
+            Node *n = overflow.back();
+            overflow.pop_back();
+            std::size_t idx = bucketIndex(n->when);
+            if (idx == cur && curSorted)
+                sortedInsertDesc(buckets[idx], n);
+            else
+                buckets[idx].push_back(n);
+            ++inBuckets;
+        }
+    }
+
+    /** Advance cur/windowLo to the first non-empty bucket and sort it
+     * (requires inBuckets > 0). The commit is safe: pushes that later
+     * land below the advanced windowLo go to `front`, and overflow is
+     * drained into the window at every advance. */
+    void
+    seekBucket()
+    {
+        pullOverflow();
+        while (buckets[cur].empty()) {
+            cur = (cur + 1) & (buckets.size() - 1);
+            windowLo += Tick(1) << widthLog2;
+            curSorted = false;
+            pullOverflow();
+        }
+        if (!curSorted) {
+            std::sort(buckets[cur].begin(), buckets[cur].end(),
+                      laterFirst);
+            curSorted = true;
+        }
+    }
+
+    /** All buckets and front empty: retune around the overflow
+     * minimum and pull the near window out of the overflow heap. */
+    void
+    redistribute()
+    {
+        retune(overflow);
+        windowLo = (overflow.front()->when >> widthLog2) << widthLog2;
+        cur = bucketIndex(windowLo);
+        curSorted = false;
+        pullOverflow();
+    }
+
+    /** Collect every node and re-spread over a retuned calendar. */
+    void
+    rebuild()
+    {
+        std::vector<Node *> all;
+        all.reserve(count);
+        all.insert(all.end(), front.begin(), front.end());
+        front.clear();
+        for (std::vector<Node *> &b : buckets) {
+            all.insert(all.end(), b.begin(), b.end());
+            b.clear();
+        }
+        all.insert(all.end(), overflow.begin(), overflow.end());
+        overflow.clear();
+        inBuckets = 0;
+        retune(all);
+        // Re-anchor the window at the pending minimum; monotonicity
+        // keeps future pushes at or above it (late same-tick pushes
+        // spill to front as usual).
+        Tick lo = maxTick;
+        for (const Node *n : all)
+            lo = std::min(lo, n->when);
+        windowLo = (lo >> widthLog2) << widthLog2;
+        cur = bucketIndex(windowLo);
+        curSorted = false;
+        for (Node *n : all) {
+            if (n->when >= windowEnd()) {
+                overflow.push_back(n);
+            } else {
+                buckets[bucketIndex(n->when)].push_back(n);
+                ++inBuckets;
+            }
+        }
+        std::make_heap(overflow.begin(), overflow.end(), laterFirst);
+    }
+
+    /**
+     * Deterministic self-tuning from the pending tick distribution:
+     * bucket width ~ the average inter-event gap of @p pending
+     * (power of two, so bucket indexing is shift-and-mask) and bucket
+     * count ~ 2x the pending population (so occupancy stays near one
+     * event per two buckets). Depends only on queue content — the
+     * same schedule retunes identically on every host.
+     */
+    void
+    retune(const std::vector<Node *> &pending)
+    {
+        ++retunes;
+        Tick lo = maxTick, hi = 0;
+        for (const Node *n : pending) {
+            lo = std::min(lo, n->when);
+            hi = std::max(hi, n->when);
+        }
+        std::size_t n = std::max<std::size_t>(pending.size(), 1);
+        Tick gap = (hi > lo) ? (hi - lo) / Tick(n) : 0;
+        unsigned wl = 0;
+        while ((Tick(1) << wl) < gap && wl < 40)
+            ++wl;
+        widthLog2 = std::max(wl, 4u); // floor: 16-tick buckets
+        unsigned nl = 6; // floor: 64 buckets
+        while ((std::size_t(1) << nl) < 2 * n && nl < 16)
+            ++nl;
+        nbLog2 = nl;
+        buckets.assign(std::size_t(1) << nbLog2, {});
+    }
+
+    // Calendar geometry: power-of-two bucket width and count so the
+    // tick→bucket map is shift-and-mask. Defaults suit the ~10000-ps
+    // clock periods of the paper design points before the first
+    // retune.
+    unsigned widthLog2 = 14;
+    unsigned nbLog2 = 8;
+    Tick windowLo = 0;
+    std::size_t cur = 0;
+    bool curSorted = false;
+
+    std::vector<std::vector<Node *>> buckets;
+    /** Spill for pushes below windowLo; sorted descending (min at
+     * back), strictly earlier than every bucketed node. */
+    std::vector<Node *> front;
+    /** Min-heap (via laterFirst) of nodes at/after windowEnd(). */
+    std::vector<Node *> overflow;
+
+    std::size_t count = 0;
+    std::size_t inBuckets = 0;
+    std::uint64_t retunes = 0;
+};
+
+} // namespace genie
+
+#endif // GENIE_SIM_LADDER_QUEUE_HH

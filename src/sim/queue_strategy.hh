@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The event-queue strategy axis (Genie-Turbo).
+ *
+ * The EventQueue's pending-event structure is pluggable: every
+ * strategy must retire events in exactly the same (when, seq) order —
+ * the strict total order the determinism suite depends on — so the
+ * choice is purely a host-speed knob. It is deliberately NOT part of
+ * the canonical config key or the fingerprint (core/fingerprint.cc):
+ * two runs that differ only in queue strategy must produce
+ * byte-identical records, stats, traces, and cache keys, and
+ * tests/test_queue_diff.cc holds every strategy to that contract.
+ */
+
+#ifndef GENIE_SIM_QUEUE_STRATEGY_HH
+#define GENIE_SIM_QUEUE_STRATEGY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace genie
+{
+
+/** Pending-event container used by an EventQueue. */
+enum class QueueStrategy : std::uint8_t
+{
+    /** Binary min-heap (std::priority_queue) — the original kernel.
+     * O(log n) push/pop, no tuning state; the reference strategy the
+     * differential suite compares everything else against. */
+    Heap,
+    /** Calendar/ladder queue with arena-friendly sorted buckets —
+     * amortized O(1) push/pop, self-tuning bucket width from the
+     * observed tick distribution. The default. */
+    Ladder,
+};
+
+inline const char *
+queueStrategyName(QueueStrategy s)
+{
+    switch (s) {
+      case QueueStrategy::Heap:
+        return "heap";
+      case QueueStrategy::Ladder:
+        return "ladder";
+    }
+    return "?";
+}
+
+/** Parse a strategy name ("heap" | "ladder"); fatal on anything
+ * else so config typos fail loudly. */
+inline QueueStrategy
+parseQueueStrategy(const std::string &name)
+{
+    if (name == "heap")
+        return QueueStrategy::Heap;
+    if (name == "ladder")
+        return QueueStrategy::Ladder;
+    fatal("unknown queue strategy '%s' (expected heap|ladder)",
+          name.c_str());
+}
+
+} // namespace genie
+
+#endif // GENIE_SIM_QUEUE_STRATEGY_HH

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Genie-Turbo differential suite: the event-queue strategy is a
+ * host-speed knob and nothing else.
+ *
+ * The strategy seam (sim/queue_strategy.hh) promises that every
+ * strategy retires events in the identical (when, seq) order, so a
+ * run's entire observable output — the key=value record, the stats
+ * dump of every component, the end tick, the executed-event count,
+ * and the serialized trace timeline — must be byte-identical across
+ * `queue=heap` and `queue=ladder`. These tests enforce that promise
+ * on all six paper design points genie_bench tracks, plus the iface,
+ * fault-campaign, and traced variants, and pin the config-identity
+ * half of the contract: the queue knob never reaches the canonical
+ * key, the fingerprint, or configToOptions(), so sweep journals and
+ * result caches written under one strategy stay warm under the other.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "accel/dddg.hh"
+#include "core/config_parse.hh"
+#include "core/fingerprint.hh"
+#include "core/report.hh"
+#include "core/soc.hh"
+#include "dse/result_cache.hh"
+#include "dse/sweep.hh"
+#include "dse/sweep_engine.hh"
+#include "trace/tracer.hh"
+#include "workloads/workload.hh"
+
+namespace genie
+{
+namespace
+{
+
+/** The six paper design points, mirroring genie_bench's scenario
+ * table (Figures 6 and 7 axes over the MachSuite kernels). */
+struct DesignPointSpec
+{
+    const char *name;
+    const char *workload;
+    const char *options;
+};
+
+const DesignPointSpec paperPoints[] = {
+    {"stencil2d-dma-opt", "stencil-stencil2d",
+     "mem=dma lanes=8 partitions=8 pipelined=1 triggered=1"},
+    {"gemm-dma-baseline", "gemm-ncubed",
+     "mem=dma lanes=4 partitions=4"},
+    {"md-knn-cache", "md-knn",
+     "mem=cache lanes=4 cache_kb=16 cache_ports=2"},
+    {"stencil3d-dma-opt", "stencil-stencil3d",
+     "mem=dma lanes=8 partitions=8 pipelined=1 triggered=1"},
+    {"spmv-crs-cache", "spmv-crs",
+     "mem=cache lanes=4 cache_kb=32 cache_ports=2"},
+    {"fft-dma-pipelined", "fft-transpose",
+     "mem=dma lanes=8 partitions=8 pipelined=1"},
+};
+
+std::vector<std::string>
+splitOptions(const char *options)
+{
+    std::vector<std::string> out;
+    std::istringstream iss(options);
+    std::string tok;
+    while (iss >> tok)
+        out.push_back(tok);
+    return out;
+}
+
+/**
+ * Build everything from scratch and run one simulation under the
+ * given strategy, returning the full observable output (the
+ * test_determinism.cc runAndDump contract, plus the strategy knob).
+ */
+std::string
+runAndDump(const std::string &workload, SocConfig cfg,
+           QueueStrategy strat)
+{
+    cfg.queue = strat;
+    Trace trace = makeWorkload(workload)->build().trace;
+    Dddg dddg(trace);
+    Soc soc(cfg, trace, dddg);
+    soc.bus().enableProtocolChecker();
+    SocResults r = soc.run();
+
+    std::ostringstream os;
+    printRecord(os, cfg, r);
+    dumpAllStats(os, soc);
+    os << "endTick=" << r.totalTicks
+       << " accelCycles=" << r.accelCycles
+       << " executed=" << soc.eventQueue().numExecuted() << "\n";
+    if (const Tracer *tracer = soc.tracer())
+        tracer->writeChromeJson(os);
+
+    soc.bus().protocolChecker()->checkQuiescent();
+    soc.eventQueue().checkDrained();
+    return os.str();
+}
+
+/** Byte-compare a design point's full dump across both strategies. */
+void
+expectStrategiesIdentical(const std::string &workload,
+                          const SocConfig &cfg, const char *label)
+{
+    const std::string heap =
+        runAndDump(workload, cfg, QueueStrategy::Heap);
+    const std::string ladder =
+        runAndDump(workload, cfg, QueueStrategy::Ladder);
+    ASSERT_FALSE(heap.empty()) << label;
+    EXPECT_EQ(heap, ladder)
+        << label << ": queue=heap and queue=ladder diverged";
+}
+
+TEST(QueueDiff, PaperDesignPointsAreByteIdenticalAcrossStrategies)
+{
+    for (const DesignPointSpec &p : paperPoints) {
+        SocConfig cfg = parseConfig(splitOptions(p.options));
+        expectStrategiesIdentical(p.workload, cfg, p.name);
+    }
+}
+
+TEST(QueueDiff, TracedRunsSerializeIdenticallyAcrossStrategies)
+{
+    // With tracing on, the Chrome JSON timeline (event order, tids,
+    // interned strings) joins the byte-identity contract: the ladder
+    // queue must not reorder even same-tick flow handoffs.
+    for (const DesignPointSpec &p :
+         {paperPoints[0], paperPoints[2]}) {
+        SocConfig cfg = parseConfig(splitOptions(p.options));
+        cfg.tracing.enabled = true;
+        cfg.tracing.categories = allTraceCategories;
+        expectStrategiesIdentical(p.workload, cfg, p.name);
+    }
+}
+
+TEST(QueueDiff, IfaceVariantsAreByteIdenticalAcrossStrategies)
+{
+    // ACP data movement (heavy same-tick snoop traffic).
+    SocConfig acp = parseConfig(splitOptions(
+        "mem=dma lanes=4 partitions=4 mem_type=acp"));
+    expectStrategiesIdentical("stencil-stencil2d", acp, "acp");
+
+    // Interrupt completion through a depth-4 command queue, invoked
+    // twice (self-rescheduling doorbell events).
+    SocConfig intr = parseConfig(splitOptions(
+        "mem=dma lanes=4 partitions=4 completion=interrupt "
+        "queue_depth=4 invocations=2"));
+    expectStrategiesIdentical("stencil-stencil2d", intr,
+                              "interrupt-queued");
+}
+
+TEST(QueueDiff, SeededFaultRunsAreByteIdenticalAcrossStrategies)
+{
+    // Fault injection perturbs timing with retries and backoff; the
+    // seeded campaign must land the exact same faults under either
+    // strategy because the retirement order (and so the Rng draw
+    // order) is part of the contract.
+    SocConfig cfg = parseConfig(splitOptions(
+        "mem=dma lanes=4 partitions=4"));
+    cfg.faults.rates[static_cast<unsigned>(FaultSite::DramRead)] =
+        0.2;
+    cfg.faults.rates[static_cast<unsigned>(FaultSite::BusResp)] = 0.1;
+    cfg.faults.seed = 42;
+    expectStrategiesIdentical("stencil-stencil2d", cfg, "faults");
+}
+
+TEST(QueueDiff, QueueKnobNeverReachesTheConfigIdentity)
+{
+    // The canonical key, the fingerprint, and the round-trip option
+    // string are strategy-blind: a journal or golden written under
+    // one strategy must keep verifying under the other.
+    SocConfig ladder;
+    SocConfig heap;
+    heap.queue = QueueStrategy::Heap;
+    EXPECT_EQ(configCanonicalKey(ladder), configCanonicalKey(heap));
+    EXPECT_EQ(configFingerprint(ladder), configFingerprint(heap));
+    EXPECT_EQ(configToOptions(ladder), configToOptions(heap));
+    EXPECT_EQ(configToOptions(heap).find("queue"),
+              std::string::npos);
+
+    // The parse side still honors the knob.
+    EXPECT_EQ(parseConfig({"queue=heap"}).queue, QueueStrategy::Heap);
+    EXPECT_EQ(parseConfig({"queue=ladder"}).queue,
+              QueueStrategy::Ladder);
+}
+
+TEST(QueueDiff, SweepFingerprintsAndResultsMatchAcrossStrategies)
+{
+    // A reduced Figure-6 sweep run under each strategy must produce
+    // the same design points with the same fingerprints and the same
+    // per-point records.
+    auto workload = makeWorkload("stencil-stencil2d")->build();
+    Dddg dddg(workload.trace);
+    SpaceFilter filter = SpaceFilter::parse("lanes=1,4;partitions=4");
+
+    SocConfig ladderBase;
+    SocConfig heapBase;
+    heapBase.queue = QueueStrategy::Heap;
+    auto ladderSpace =
+        filterConfigs(DesignSpace::dmaOptions(ladderBase), filter);
+    auto heapSpace =
+        filterConfigs(DesignSpace::dmaOptions(heapBase), filter);
+    ASSERT_FALSE(ladderSpace.empty());
+    ASSERT_EQ(ladderSpace.size(), heapSpace.size());
+
+    auto ladderPts = runSweep(ladderSpace, workload.trace, dddg);
+    auto heapPts = runSweep(heapSpace, workload.trace, dddg);
+    ASSERT_EQ(ladderPts.size(), heapPts.size());
+    for (std::size_t i = 0; i < ladderPts.size(); ++i) {
+        EXPECT_EQ(configFingerprint(ladderPts[i].config),
+                  configFingerprint(heapPts[i].config))
+            << "sweep point " << i;
+        std::ostringstream a, b;
+        printRecord(a, ladderPts[i].config, ladderPts[i].results);
+        printRecord(b, heapPts[i].config, heapPts[i].results);
+        EXPECT_EQ(a.str(), b.str()) << "sweep point " << i;
+    }
+}
+
+TEST(QueueDiff, ResultCacheStaysWarmAcrossStrategies)
+{
+    // Because the cache keys on the canonical config key and the key
+    // is strategy-blind, a cache populated by a ladder sweep must
+    // serve a heap sweep of the same space entirely from memory.
+    auto workload = makeWorkload("stencil-stencil2d")->build();
+    Dddg dddg(workload.trace);
+    SpaceFilter filter = SpaceFilter::parse("lanes=1,4;partitions=4");
+
+    SocConfig ladderBase;
+    SocConfig heapBase;
+    heapBase.queue = QueueStrategy::Heap;
+    auto ladderSpace =
+        filterConfigs(DesignSpace::dmaOptions(ladderBase), filter);
+    auto heapSpace =
+        filterConfigs(DesignSpace::dmaOptions(heapBase), filter);
+    ASSERT_FALSE(ladderSpace.empty());
+
+    ResultCache cache;
+    SweepOptions options;
+    options.cache = &cache;
+    SweepEngine engine(std::move(options));
+    engine.run(ladderSpace, workload.trace, dddg);
+    EXPECT_EQ(cache.hits(), 0u);
+    engine.run(heapSpace, workload.trace, dddg);
+    EXPECT_EQ(cache.hits(), heapSpace.size());
+}
+
+} // namespace
+} // namespace genie

@@ -246,6 +246,40 @@ TEST(LintRawNewDelete, FlagsOwnershipButNotDeletedMembers)
         "raw-new-delete"));
 }
 
+TEST(LintEventAlloc, FlagsManualAllocationInsideTheEventKernel)
+{
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/sim/event_queue.cc",
+                    "void *p = malloc(sizeof(Entry));\n"),
+        "event-alloc"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/sim/event_queue.cc", "free(p);\n"),
+        "event-alloc"));
+    EXPECT_TRUE(hasRule(
+        lintSnippet("src/sim/ladder_queue.hh",
+                    "void *operator new(std::size_t n);\n"),
+        "event-alloc"));
+}
+
+TEST(LintEventAlloc, ArenaHomeAndOtherSubsystemsAreExempt)
+{
+    // The arena header is the one sanctioned manual-allocation site.
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/sim/event_arena.hh",
+                    "void *raw = malloc(n); free(raw);\n"),
+        "event-alloc"));
+    // The rule polices the event kernel only; allocation elsewhere is
+    // raw-new-delete's (or a human reviewer's) business.
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/mem/dram.cc", "free(ctx);\n"),
+        "event-alloc"));
+    // Identifiers containing the tokens don't trip the lexer.
+    EXPECT_FALSE(hasRule(
+        lintSnippet("src/sim/event_queue.cc",
+                    "freeEntry(e); arena.destroy(slot);\n"),
+        "event-alloc"));
+}
+
 TEST(LintTraceSink, FlagsAdHocFileSinksOutsideTraceHome)
 {
     EXPECT_TRUE(hasRule(

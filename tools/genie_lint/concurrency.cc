@@ -269,14 +269,21 @@ checkEventAffinity(const DeclIndex &index, std::vector<Finding> &out)
 
         for (std::size_t i = 0; i < toks.size(); ++i) {
             const std::string &t = toks[i].text;
-            if ((t == "schedule" || t == "scheduleIn" ||
-                 t == "scheduleAt" || t == "scheduleFlow" ||
-                 t == "scheduleFlowIn") &&
-                isMemberCall(toks, i)) {
+            bool stdSched = t == "schedule" || t == "scheduleIn" ||
+                            t == "scheduleAt" || t == "scheduleFlow" ||
+                            t == "scheduleFlowIn";
+            // Genie-Turbo raw-dispatch variants: (tick, fn, ctx,
+            // arg, kind), so a kind-tagged call has at least five
+            // arguments instead of three.
+            bool rawSched = t == "scheduleFlowRaw" ||
+                            t == "scheduleFlowRawIn" ||
+                            t == "scheduleRaw";
+            if ((stdSched || rawSched) && isMemberCall(toks, i)) {
                 // A kind-tagged call has at least three arguments:
                 // tick, action, kind. (A stripped string-literal kind
                 // leaves its comma behind, so the count survives.)
-                if (topLevelCommas(toks, i + 1) >= 2) {
+                if (topLevelCommas(toks, i + 1) >=
+                    (rawSched ? 4u : 2u)) {
                     hasTaggedSchedule = true;
                 } else {
                     out.push_back(
@@ -380,7 +387,7 @@ checkFlowSite(const DeclIndex &index, std::vector<Finding> &out)
         for (std::size_t i = 0; i < toks.size(); ++i) {
             const std::string &t = toks[i].text;
             if ((t == "schedule" || t == "scheduleIn" ||
-                 t == "scheduleAt") &&
+                 t == "scheduleAt" || t == "scheduleRaw") &&
                 isMemberCall(toks, i)) {
                 out.push_back(
                     {"flow-site", path, toks[i].line,
@@ -388,9 +395,9 @@ checkFlowSite(const DeclIndex &index, std::vector<Finding> &out)
                      "unit (it calls tracerFor): components that "
                      "record spans must schedule through "
                      "scheduleFlow()/scheduleFlowIn()/"
-                     "scheduleCycles() so the causal origin of the "
-                     "event is captured and critical-path "
-                     "attribution stays complete"});
+                     "scheduleCycles() (or their Raw variants) so "
+                     "the causal origin of the event is captured "
+                     "and critical-path attribution stays complete"});
             }
         }
     }

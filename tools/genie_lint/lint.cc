@@ -197,6 +197,37 @@ const TokenRule sweepDeterminismTokens[] = {
      "journal"},
 };
 
+// event-alloc: after Genie-Turbo the event kernel allocates event
+// storage only through ObjectArena (src/sim/event_arena.hh) — the
+// arena header is the one sanctioned manual-allocation site in
+// src/sim (raw new/delete there rides its raw-new-delete
+// suppression). Everything else in src/sim must not reach for the
+// allocator by hand: per-event heap traffic is exactly what the
+// arena was built to delete, and libc allocation would dodge the
+// arena's generation/leak accounting entirely.
+const TokenRule eventAllocTokens[] = {
+    {"malloc(", "manual allocation in the event kernel: event "
+                "storage lives in ObjectArena (sim/event_arena.hh)"},
+    {"calloc(", "manual allocation in the event kernel: event "
+                "storage lives in ObjectArena (sim/event_arena.hh)"},
+    {"realloc(", "manual allocation in the event kernel: event "
+                 "storage lives in ObjectArena (sim/event_arena.hh)"},
+    {"free(", "manual free in the event kernel: event storage lives "
+              "in ObjectArena (sim/event_arena.hh)"},
+    {"aligned_alloc(", "manual allocation in the event kernel: event "
+                       "storage lives in ObjectArena "
+                       "(sim/event_arena.hh)"},
+    {"posix_memalign(", "manual allocation in the event kernel: "
+                        "event storage lives in ObjectArena "
+                        "(sim/event_arena.hh)"},
+    {"operator new", "custom operator new in the event kernel: event "
+                     "storage lives in ObjectArena "
+                     "(sim/event_arena.hh)"},
+    {"operator delete", "custom operator delete in the event kernel: "
+                        "event storage lives in ObjectArena "
+                        "(sim/event_arena.hh)"},
+};
+
 const TokenRule rawOutputTokens[] = {
     {"std::cout", "library code must log through sim/logging "
                   "(inform/warn), not std::cout"},
@@ -421,6 +452,16 @@ lintSource(const std::string &relPath, const std::string &contents)
             for (const auto &t : sweepDeterminismTokens) {
                 if (findToken(line, t.token) != std::string::npos)
                     report("sweep-determinism", lineNo, t.message);
+            }
+        }
+
+        // event-alloc: the event kernel allocates only through the
+        // arena API; the arena header itself is the sanctioned home.
+        if (startsWith(relPath, "src/sim/") &&
+            relPath != "src/sim/event_arena.hh") {
+            for (const auto &t : eventAllocTokens) {
+                if (findToken(line, t.token) != std::string::npos)
+                    report("event-alloc", lineNo, t.message);
             }
         }
 
